@@ -1,0 +1,33 @@
+(* Lazily tuned ISAAC engines, shared across experiments so each
+   (device, operation) pair pays the auto-tuning pipeline exactly once per
+   bench run. Seeds are fixed: the whole harness is deterministic for a
+   given REPRO_SEED / REPRO_SCALE. *)
+
+let samples () = Util.Env_config.scaled (Util.Env_config.int "ISAAC_TUNE_SAMPLES" 8000)
+let epochs () = Util.Env_config.int "ISAAC_TUNE_EPOCHS" 30
+
+let tune device op tag =
+  let seed = Util.Env_config.seed () + Hashtbl.hash tag in
+  let rng = Util.Rng.create seed in
+  Reporting.time_section
+    (Printf.sprintf "tune %s %s" device.Gpu.Device.name tag)
+    (fun () ->
+      Isaac.tune ~samples:(samples ()) ~epochs:(epochs ()) rng device ~op ())
+
+let gemm_maxwell = lazy (tune Gpu.Device.gtx980ti `Gemm "gemm")
+let gemm_pascal = lazy (tune Gpu.Device.p100 `Gemm "gemm")
+let conv_maxwell = lazy (tune Gpu.Device.gtx980ti `Conv "conv")
+let conv_pascal = lazy (tune Gpu.Device.p100 `Conv "conv")
+
+let gemm (device : Gpu.Device.t) =
+  match device.arch with
+  | Maxwell -> Lazy.force gemm_maxwell
+  | Pascal -> Lazy.force gemm_pascal
+
+let conv (device : Gpu.Device.t) =
+  match device.arch with
+  | Maxwell -> Lazy.force conv_maxwell
+  | Pascal -> Lazy.force conv_pascal
+
+(* A deterministic rng for baseline measurements within experiments. *)
+let fresh_rng tag = Util.Rng.create (Util.Env_config.seed () + 7919 + Hashtbl.hash tag)

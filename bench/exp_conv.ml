@@ -1,0 +1,98 @@
+(* CONV experiments: Figure 9 (SCONV on the GTX 980 Ti), Figure 10 (SCONV
+   on the P100) and Figure 11 (HCONV on the P100), ISAAC vs the
+   cuDNN-like baseline pinned to IMPLICIT_PRECOMP_GEMM. *)
+
+module CP = Codegen.Conv_params
+module WS = Workloads.Conv_suites
+
+type row = {
+  task : WS.task;
+  isaac : float;
+  cudnn : float;
+  config : Codegen.Gemm_params.config;
+}
+
+let run_suite device dtype =
+  let engine = Engines.conv device in
+  let rng = Engines.fresh_rng ("conv-suite-" ^ device.Gpu.Device.name) in
+  List.map
+    (fun (task : WS.task) ->
+      let plan =
+        match Isaac.plan_conv engine task.input with
+        | Some p -> p
+        | None -> failwith ("no ISAAC plan for " ^ task.label)
+      in
+      let cudnn =
+        match Baselines.Cudnn.heuristic rng device task.input with
+        | Some (_, m) -> m.tflops
+        | None -> 0.0
+      in
+      Printf.printf "  %-16s %-7s isaac %6.2f | cudnn %6.2f  (%s)\n%!" task.group
+        task.label plan.measurement.tflops cudnn
+        (Codegen.Gemm_params.describe plan.config);
+      { task; isaac = plan.measurement.tflops; cudnn; config = plan.config })
+    (WS.suite dtype)
+
+let print_rows rows =
+  Util.Table.print
+    ~header:[| "application"; "layer"; "ISAAC"; "cuDNN"; "speedup" |]
+    (List.map
+       (fun r ->
+         [| r.task.WS.group; r.task.label; Reporting.fmt_tf r.isaac;
+            Reporting.fmt_tf r.cudnn;
+            Printf.sprintf "%.2fx" (r.isaac /. Float.max 1e-9 r.cudnn) |])
+       rows)
+
+let save_series name rows =
+  Reporting.save_csv name
+    ~header:[ "isaac_tflops"; "cudnn_tflops" ]
+    (List.map (fun r -> [| r.isaac; r.cudnn |]) rows);
+  Reporting.bar_chart ~series:[ "ISAAC"; "cuDNN" ]
+    (List.map (fun r -> (r.task.WS.label, [ r.isaac; r.cudnn ])) rows)
+
+let speedup rows label =
+  let r = List.find (fun r -> r.task.WS.label = label) rows in
+  r.isaac /. Float.max 1e-9 r.cudnn
+
+let geomean rows =
+  Util.Stats.geomean
+    (Array.of_list (List.map (fun r -> r.isaac /. Float.max 1e-9 r.cudnn) rows))
+
+let run_fig9 () =
+  Reporting.print_header "Figure 9: SCONV on the GTX 980 Ti (ISAAC vs cuDNN)";
+  let rows = run_suite Gpu.Device.gtx980ti Ptx.Types.F32 in
+  print_rows rows;
+  save_series "fig9_sconv_gtx980ti" rows;
+  [ Reporting.check_min ~claim:"competitive overall (geomean speedup)"
+      ~paper:"noticeable but smaller than GEMM" ~value:(geomean rows) ~at_least:1.0;
+    Reporting.check_min ~claim:"deep reductions: Conv7" ~paper:"1.5-2x"
+      ~value:(speedup rows "Conv7") ~at_least:1.1;
+    Reporting.check_min ~claim:"deep reductions: Conv8" ~paper:"1.5-2x"
+      ~value:(speedup rows "Conv8") ~at_least:1.25;
+    Reporting.check_min ~claim:"small NPQ, RS>1: Conv13" ~paper:"~1.1"
+      ~value:(speedup rows "Conv13") ~at_least:1.0 ]
+
+let run_fig10 () =
+  Reporting.print_header "Figure 10: SCONV on the Tesla P100 (ISAAC vs cuDNN)";
+  let rows = run_suite Gpu.Device.p100 Ptx.Types.F32 in
+  print_rows rows;
+  save_series "fig10_sconv_p100" rows;
+  [ Reporting.check_min ~claim:"larger gains than Maxwell (geomean speedup)"
+      ~paper:"cuDNN tailored to Maxwell" ~value:(geomean rows) ~at_least:1.05;
+    Reporting.check_min ~claim:"Conv8 speedup" ~paper:">5x"
+      ~value:(speedup rows "Conv8") ~at_least:1.5;
+    Reporting.check_min ~claim:"Conv13 speedup" ~paper:"~1.7"
+      ~value:(speedup rows "Conv13") ~at_least:1.1 ]
+
+let run_fig11 () =
+  Reporting.print_header "Figure 11: HCONV on the Tesla P100 (ISAAC vs cuDNN)";
+  let rows = run_suite Gpu.Device.p100 Ptx.Types.F16 in
+  print_rows rows;
+  save_series "fig11_hconv_p100" rows;
+  let wins = List.length (List.filter (fun r -> r.isaac >= r.cudnn *. 0.98) rows) in
+  [ Reporting.check_min ~claim:"fp16 geomean speedup (tiling-scheme flexibility)"
+      ~paper:"almost consistently faster" ~value:(geomean rows) ~at_least:1.1;
+    Reporting.check ~claim:"faster on nearly every layer"
+      ~paper:"14/14"
+      ~ours:(Printf.sprintf "%d/14" wins)
+      ~pass:(wins >= 11) ]

@@ -1,0 +1,308 @@
+(* GEMM experiments: Table 3 (platforms), Figures 6-8 (SGEMM on the
+   GTX 980 Ti, SGEMM and H/DGEMM on the P100), Table 6 (parameter choices)
+   and the §8.1 analysis table. *)
+
+module GP = Codegen.Gemm_params
+module WS = Workloads.Gemm_suites
+
+let run_table3 () =
+  Reporting.print_header "Table 3: test platforms";
+  Util.Table.print
+    ~header:
+      [| "property"; Gpu.Device.gtx980ti.name; Gpu.Device.p100.name |]
+    (let d1 = Gpu.Device.gtx980ti and d2 = Gpu.Device.p100 in
+     let row name f = [| name; f d1; f d2 |] in
+     [ row "micro-architecture" (fun d ->
+           match d.Gpu.Device.arch with Maxwell -> "GM200" | Pascal -> "GP100");
+       row "CUDA cores" (fun d -> string_of_int (d.sm_count * d.cores_per_sm));
+       row "clock (GHz, sustained)" (fun d -> Printf.sprintf "%.3f" d.clock_ghz);
+       row "fp32 peak (TFLOPS)" (fun d ->
+           Printf.sprintf "%.1f" (Gpu.Device.peak_tflops d F32 ~vectorized:false));
+       row "fp64 peak (TFLOPS)" (fun d ->
+           Printf.sprintf "%.1f" (Gpu.Device.peak_tflops d F64 ~vectorized:false));
+       row "fp16 peak (TFLOPS)" (fun d ->
+           Printf.sprintf "%.1f" (Gpu.Device.peak_tflops d F16 ~vectorized:true));
+       row "memory bandwidth (GB/s)" (fun d -> Printf.sprintf "%.0f" d.dram_bw_gbs);
+       row "L2 (KB)" (fun d -> string_of_int (d.l2_bytes / 1024));
+       row "shared/SM (KB)" (fun d -> string_of_int (d.shared_per_sm / 1024)) ]);
+  [ Reporting.check ~claim:"fp32 peaks match Table 3" ~paper:"5.8 / 9.7"
+      ~ours:
+        (Printf.sprintf "%.1f / %.1f"
+           (Gpu.Device.peak_tflops Gpu.Device.gtx980ti F32 ~vectorized:false)
+           (Gpu.Device.peak_tflops Gpu.Device.p100 F32 ~vectorized:false))
+      ~pass:
+        (Float.abs (Gpu.Device.peak_tflops Gpu.Device.gtx980ti F32 ~vectorized:false -. 5.8)
+         < 0.15
+        && Float.abs (Gpu.Device.peak_tflops Gpu.Device.p100 F32 ~vectorized:false -. 9.7)
+           < 0.15) ]
+
+type row = {
+  task : WS.task;
+  isaac : float;
+  cublas : float;       (* heuristics *)
+  cublas_best : float;  (* best-kernel bypass *)
+  config : GP.config;
+}
+
+let run_suite device tasks =
+  let engine = Engines.gemm device in
+  let rng = Engines.fresh_rng ("gemm-suite-" ^ device.Gpu.Device.name) in
+  List.map
+    (fun (task : WS.task) ->
+      let plan =
+        match Isaac.plan_gemm engine task.input with
+        | Some p -> p
+        | None -> failwith ("no ISAAC plan for " ^ task.label)
+      in
+      let cublas =
+        match Baselines.Cublas.heuristic rng device task.input with
+        | Some (_, m) -> m.tflops
+        | None -> 0.0
+      in
+      let cublas_best =
+        match Baselines.Cublas.best_kernel rng device task.input with
+        | Some (_, m) -> m.tflops
+        | None -> 0.0
+      in
+      Printf.printf "  %-14s %-5s isaac %6.2f | cublas %6.2f | best-kernel %6.2f  (%s)\n%!"
+        task.group task.label plan.measurement.tflops cublas cublas_best
+        (GP.describe plan.config);
+      { task; isaac = plan.measurement.tflops; cublas; cublas_best;
+        config = plan.config })
+    tasks
+
+let print_rows ~best_kernel rows =
+  let header =
+    if best_kernel then
+      [| "suite"; "size"; "ISAAC"; "cuBLAS (heuristics)"; "cuBLAS (best kernel)";
+         "vs heur"; "vs best" |]
+    else [| "suite"; "size"; "ISAAC"; "cuBLAS"; "speedup" |]
+  in
+  Util.Table.print ~header
+    (List.map
+       (fun r ->
+         let sp b = Printf.sprintf "%.2fx" (r.isaac /. Float.max 1e-9 b) in
+         if best_kernel then
+           [| r.task.group; r.task.label; Reporting.fmt_tf r.isaac;
+              Reporting.fmt_tf r.cublas; Reporting.fmt_tf r.cublas_best;
+              sp r.cublas; sp r.cublas_best |]
+         else
+           [| r.task.group; r.task.label; Reporting.fmt_tf r.isaac;
+              Reporting.fmt_tf r.cublas; sp r.cublas |])
+       rows)
+
+let save_series name rows =
+  Reporting.save_csv name
+    ~header:[ "isaac_tflops"; "cublas_tflops"; "cublas_best_tflops" ]
+    (List.map (fun r -> [| r.isaac; r.cublas; r.cublas_best |]) rows)
+
+let chart ~best_kernel rows =
+  let series =
+    if best_kernel then [ "ISAAC"; "cuBLAS (heuristics)"; "cuBLAS (best kernel)" ]
+    else [ "ISAAC"; "cuBLAS" ]
+  in
+  Reporting.bar_chart ~series
+    (List.map
+       (fun r ->
+         ( Printf.sprintf "%s %s" r.task.WS.group r.task.label,
+           if best_kernel then [ r.isaac; r.cublas; r.cublas_best ]
+           else [ r.isaac; r.cublas ] ))
+       rows)
+
+let find rows group label =
+  List.find (fun r -> r.task.WS.group = group && r.task.label = label) rows
+
+let geomean_speedup rows baseline =
+  Util.Stats.geomean
+    (Array.of_list (List.map (fun r -> r.isaac /. Float.max 1e-9 (baseline r)) rows))
+
+let run_fig6 () =
+  Reporting.print_header "Figure 6: SGEMM on the GTX 980 Ti (ISAAC vs cuBLAS)";
+  let rows = run_suite Gpu.Device.gtx980ti (WS.fp32_suite ~mk:1760) in
+  print_rows ~best_kernel:false rows;
+  save_series "fig6_sgemm_gtx980ti" rows;
+  chart ~best_kernel:false rows;
+  let r = find rows in
+  [ Reporting.check_min ~claim:"never slower than cuBLAS (geomean speedup)"
+      ~paper:">= 1" ~value:(geomean_speedup rows (fun r -> r.cublas)) ~at_least:1.0;
+    Reporting.check_min ~claim:"LINPACK 512 speedup" ~paper:"~1.25"
+      ~value:((r "LINPACK" "512").isaac /. (r "LINPACK" "512").cublas)
+      ~at_least:1.05;
+    Reporting.check_range ~claim:"LINPACK 2048 parity" ~paper:"~1.0"
+      ~value:((r "LINPACK" "2048").isaac /. (r "LINPACK" "2048").cublas)
+      ~lo:0.9 ~hi:1.6;
+    Reporting.check_min ~claim:"DeepBench-F N=16 speedup" ~paper:"~1.8"
+      ~value:((r "DeepBench [F]" "16").isaac /. (r "DeepBench [F]" "16").cublas)
+      ~at_least:1.3;
+    Reporting.check ~claim:"DeepBench gains shrink as N grows"
+      ~paper:"vanish at N=128"
+      ~ours:
+        (Printf.sprintf "%.2fx @16 vs %.2fx @128"
+           ((r "DeepBench [F]" "16").isaac /. (r "DeepBench [F]" "16").cublas)
+           ((r "DeepBench [F]" "128").isaac /. (r "DeepBench [F]" "128").cublas))
+      ~pass:
+        ((r "DeepBench [F]" "16").isaac /. (r "DeepBench [F]" "16").cublas
+        > (r "DeepBench [F]" "128").isaac /. (r "DeepBench [F]" "128").cublas);
+    Reporting.check_min ~claim:"ICA heuristic failure (speedup vs heuristics)"
+      ~paper:"order of magnitude"
+      ~value:((r "ICA" "32").isaac /. Float.max 1e-9 (r "ICA" "32").cublas)
+      ~at_least:3.0;
+    Reporting.check_min ~claim:"Blocked SVD speedup" ~paper:"~1.1"
+      ~value:(geomean_speedup
+                (List.filter (fun r -> r.task.WS.group = "Blocked SVD") rows)
+                (fun r -> r.cublas))
+      ~at_least:1.0 ]
+
+let run_fig7 () =
+  Reporting.print_header
+    "Figure 7: SGEMM on the Tesla P100 (ISAAC vs cuBLAS heuristics vs best kernel)";
+  let rows = run_suite Gpu.Device.p100 (WS.fp32_suite ~mk:2560) in
+  print_rows ~best_kernel:true rows;
+  save_series "fig7_sgemm_p100" rows;
+  chart ~best_kernel:true rows;
+  let r = find rows in
+  [ Reporting.check_min ~claim:"never slower than cuBLAS heuristics (geomean)"
+      ~paper:">= 1" ~value:(geomean_speedup rows (fun r -> r.cublas)) ~at_least:1.0;
+    Reporting.check_min ~claim:"DeepBench-F N=16 vs best kernel" ~paper:"~1.8"
+      ~value:((r "DeepBench [F]" "16").isaac /. (r "DeepBench [F]" "16").cublas_best)
+      ~at_least:1.3;
+    Reporting.check_min ~claim:"DeepBench-B N=16 vs best kernel" ~paper:"~1.65"
+      ~value:((r "DeepBench [B]" "16").isaac /. (r "DeepBench [B]" "16").cublas_best)
+      ~at_least:1.2;
+    Reporting.check_range ~claim:"ICA vs best kernel (heuristics bypassed)"
+      ~paper:"~1.05-1.1"
+      ~value:(geomean_speedup
+                (List.filter (fun r -> r.task.WS.group = "ICA") rows)
+                (fun r -> r.cublas_best))
+      ~lo:1.0 ~hi:5.0;
+    Reporting.check_range ~claim:"LINPACK 2048 vs best kernel" ~paper:"~1.0"
+      ~value:((r "LINPACK" "2048").isaac /. (r "LINPACK" "2048").cublas_best)
+      ~lo:0.9 ~hi:1.6 ]
+
+let run_fig8 () =
+  Reporting.print_header
+    "Figure 8: H/DGEMM on the Tesla P100 (fp16 LINPACK+DeepBench, fp64 ICA+SVD)";
+  let rows = run_suite Gpu.Device.p100 (WS.mixed_suite ~mk:2560) in
+  print_rows ~best_kernel:true rows;
+  save_series "fig8_hdgemm_p100" rows;
+  chart ~best_kernel:true rows;
+  let r = find rows in
+  let deepbench_fp16 =
+    List.filter
+      (fun x ->
+        x.task.WS.group = "DeepBench [F]" || x.task.WS.group = "DeepBench [B]")
+      rows
+  in
+  [ Reporting.check_min ~claim:"fp16 DeepBench vs cuBLAS best kernel (geomean)"
+      ~paper:"2.5-3x"
+      ~value:(geomean_speedup deepbench_fp16 (fun r -> r.cublas_best))
+      ~at_least:1.8;
+    Reporting.check_range ~claim:"fp16 LINPACK 2048 vs best kernel (near-optimal cuBLAS)"
+      ~paper:"~1.0"
+      ~value:((r "LINPACK" "2048").isaac /. (r "LINPACK" "2048").cublas_best)
+      ~lo:0.85 ~hi:1.7;
+    Reporting.check_min ~claim:"fp64 ICA speedup (geomean vs heuristics)"
+      ~paper:"~1.4"
+      ~value:(geomean_speedup
+                (List.filter (fun x -> x.task.WS.group = "ICA") rows)
+                (fun r -> r.cublas))
+      ~at_least:1.2;
+    Reporting.check_min ~claim:"fp64 SVD speedup (geomean vs heuristics)"
+      ~paper:"~1.15"
+      ~value:(geomean_speedup
+                (List.filter (fun x -> x.task.WS.group = "Blocked SVD") rows)
+                (fun r -> r.cublas))
+      ~at_least:1.0 ]
+
+let run_table6 () =
+  Reporting.print_header "Table 6: parameterization choices of ISAAC (P100, fp32)";
+  let engine = Engines.gemm Gpu.Device.p100 in
+  let chosen =
+    List.map
+      (fun (name, input) ->
+        let plan = Option.get (Isaac.plan_gemm engine input) in
+        (name, input, plan.config))
+      WS.table6_problems
+  in
+  Util.Table.print
+    ~header:[| "problem"; "Ms"; "Ns"; "ML"; "NL"; "U"; "Ks"; "KL"; "KG" |]
+    (List.map
+       (fun (name, _, c) ->
+         [| name; string_of_int c.GP.ms; string_of_int c.ns; string_of_int c.ml;
+            string_of_int c.nl; string_of_int c.u; string_of_int c.ks;
+            string_of_int c.kl; string_of_int c.kg |])
+       chosen);
+  let cfg_of name =
+    let _, _, c = List.find (fun (n, _, _) -> n = name) chosen in
+    c
+  in
+  let tile_area c = c.GP.ml * c.nl in
+  let small = cfg_of "LINPACK (512)" and big = cfg_of "LINPACK (2048)" in
+  let ica32 = cfg_of "ICA (32)" and ica256 = cfg_of "ICA (256)" in
+  let dbf16 = cfg_of "DeepBench-F (16)" and dbb16 = cfg_of "DeepBench-B (16)" in
+  let lap896 = cfg_of "LAPACK (896)" and lap4096 = cfg_of "LAPACK (4096)" in
+  [ Reporting.check ~claim:"smaller tiles for smaller problems"
+      ~paper:"32x32 @512 vs 64x64 @2048"
+      ~ours:(Printf.sprintf "%dx%d vs %dx%d" small.ml small.nl big.ml big.nl)
+      ~pass:(tile_area small <= tile_area big);
+    Reporting.check ~claim:"deep reductions always split (ICA)"
+      ~paper:"KL*KG in {128, 8}"
+      ~ours:(Printf.sprintf "KL*KG = %d and %d" (ica32.kl * ica32.kg)
+               (ica256.kl * ica256.kg))
+      ~pass:(ica32.kl * ica32.kg > 1 && ica256.kl * ica256.kg > 1);
+    Reporting.check ~claim:"skinny DeepBench splits the reduction"
+      ~paper:"KG=4 (F), KL=8 (B)"
+      ~ours:(Printf.sprintf "F: KL*KG=%d, B: KL*KG=%d" (dbf16.kl * dbf16.kg)
+               (dbb16.kl * dbb16.kg))
+      ~pass:(dbf16.kl * dbf16.kg > 1 || dbb16.kl * dbb16.kg > 1);
+    Reporting.check ~claim:"LAPACK (K=32) never splits"
+      ~paper:"Ks=KL=KG=1"
+      ~ours:(Printf.sprintf "KG=%d and %d" lap896.kg lap4096.kg)
+      ~pass:(lap896.kg = 1 && lap4096.kg = 1);
+    Reporting.check ~claim:"DeepBench narrow N gets narrow NL"
+      ~paper:"NL=16 @N=16"
+      ~ours:(Printf.sprintf "NL=%d" dbf16.nl)
+      ~pass:(dbf16.nl <= 32) ]
+
+let run_analysis81 () =
+  Reporting.print_header
+    "Section 8.1: ISAAC vs cuBLAS best kernel at (M,N,K) = (2560,32,2560), fp32, P100";
+  let device = Gpu.Device.p100 in
+  let input = GP.input 2560 32 2560 in
+  let engine = Engines.gemm device in
+  let rng = Engines.fresh_rng "analysis81" in
+  let plan = Option.get (Isaac.plan_gemm engine input) in
+  let cub_cfg, _ = Option.get (Baselines.Cublas.best_kernel rng device input) in
+  let report cfg = Option.get (Gpu.Perf_model.predict device (GP.cost input cfg)) in
+  let ri = report plan.config and rc = report cub_cfg in
+  let pct x = Printf.sprintf "%.0f%%" (100.0 *. x) in
+  Util.Table.print
+    ~header:[| "metric"; "ISAAC"; "cuBLAS (best)"; "paper ISAAC"; "paper cuBLAS" |]
+    [ [| "TFLOPS"; Reporting.fmt_tf ri.tflops; Reporting.fmt_tf rc.tflops; "3.73";
+         "2.56" |];
+      [| "ML"; string_of_int plan.config.GP.ml; string_of_int cub_cfg.GP.ml; "64";
+         "128" |];
+      [| "NL"; string_of_int plan.config.nl; string_of_int cub_cfg.nl; "32"; "64" |];
+      [| "KL"; string_of_int plan.config.kl; string_of_int cub_cfg.kl; "4"; "5" |];
+      [| "shared memory (KB)";
+         Printf.sprintf "%.2f" (float_of_int (GP.cost input plan.config).shared_bytes /. 1024.);
+         Printf.sprintf "%.2f" (float_of_int (GP.cost input cub_cfg).shared_bytes /. 1024.);
+         "12.25"; "12.25" |];
+      [| "registers/thread";
+         string_of_int (GP.cost input plan.config).regs_per_thread;
+         string_of_int (GP.cost input cub_cfg).regs_per_thread; "72"; "120" |];
+      [| "occupancy"; pct ri.occupancy; pct rc.occupancy; "17%"; "10%" |];
+      [| "L2 hit rate"; pct ri.l2_hit_rate; pct rc.l2_hit_rate; "32%"; "24%" |] ];
+  [ Reporting.check_min ~claim:"ISAAC faster at (2560,32,2560)" ~paper:"1.46x"
+      ~value:(ri.tflops /. rc.tflops) ~at_least:1.2;
+    Reporting.check ~claim:"ISAAC picks smaller N-tiles than cuBLAS's 64"
+      ~paper:"NL 32 vs 64"
+      ~ours:(Printf.sprintf "NL %d vs %d" plan.config.nl cub_cfg.nl)
+      ~pass:(plan.config.nl < cub_cfg.nl);
+    Reporting.check ~claim:"higher occupancy via smaller tiles"
+      ~paper:"17% vs 10%"
+      ~ours:(Printf.sprintf "%s vs %s" (pct ri.occupancy) (pct rc.occupancy))
+      ~pass:(ri.occupancy > rc.occupancy);
+    Reporting.check ~claim:"better L2 hit rate" ~paper:"32% vs 24%"
+      ~ours:(Printf.sprintf "%s vs %s" (pct ri.l2_hit_rate) (pct rc.l2_hit_rate))
+      ~pass:(ri.l2_hit_rate >= rc.l2_hit_rate) ]

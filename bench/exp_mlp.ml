@@ -1,0 +1,140 @@
+(* Table 2 (cross-validation MSE of MLP architectures, with and without
+   the log feature transform) and Figure 5 (cross-validation MSE vs
+   training-set size).
+
+   The paper trains on 200k samples and tests on 10k; our CPU-trained
+   reproduction scales those down (REPRO_SCALE / TABLE2_* env overrides)
+   while keeping the comparisons — depth vs width at fixed parameter
+   count, and the necessity of the log transform — intact. *)
+
+module Ds = Tuner.Dataset
+
+(* Table 2 rows: hidden-layer architectures, paper MSE with-log values. *)
+let architectures =
+  [ ([| 64 |], "0.17", Some "1.2");
+    ([| 512 |], "0.13", Some "1.0");
+    ([| 32; 64; 32 |], "0.088", Some "0.80");
+    ([| 64; 128; 64 |], "0.08", Some "0.75");
+    ([| 32; 64; 128; 64; 32 |], "0.073", None);
+    ([| 64; 128; 256; 128; 64 |], "0.067", None);
+    ([| 64; 128; 192; 256; 192; 128; 64 |], "0.062", None) ]
+
+let arch_name a =
+  String.concat ", " (List.map string_of_int (Array.to_list a))
+
+(* Slice the first [n] rows of a dataset (generation order is i.i.d.). *)
+let slice (ds : Ds.t) start n =
+  let idx = List.init n (fun i -> start + i) in
+  { ds with
+    features_log = Mlp.Train.rows ds.features_log idx;
+    features_raw = Mlp.Train.rows ds.features_raw idx;
+    tflops = Array.sub ds.tflops start n }
+
+let table2_train () = Util.Env_config.scaled (Util.Env_config.int "TABLE2_TRAIN" 10_000)
+let table2_test () = Util.Env_config.scaled (Util.Env_config.int "TABLE2_TEST" 2_000)
+let table2_epochs () = Util.Env_config.int "TABLE2_EPOCHS" 12
+
+let dataset = lazy begin
+  let rng = Engines.fresh_rng "table2-data" in
+  let n = table2_train () + table2_test () in
+  Reporting.time_section
+    (Printf.sprintf "generate %d GEMM samples (P100)" n)
+    (fun () -> Ds.generate_gemm rng Gpu.Device.p100 ~n)
+end
+
+let train_and_score ~arch ~log_features ~train ~test =
+  let rng = Engines.fresh_rng ("table2-" ^ arch_name arch) in
+  let profile =
+    Tuner.Profile.train ~arch ~epochs:(table2_epochs ()) ~log_features rng train
+  in
+  (profile, Tuner.Profile.mse profile test)
+
+let run_table2 () =
+  Reporting.print_header "Table 2: cross-validation MSE per MLP architecture";
+  let ds = Lazy.force dataset in
+  let n_train = table2_train () and n_test = table2_test () in
+  let train = slice ds 0 n_train in
+  let test = slice ds n_train n_test in
+  let results =
+    List.map
+      (fun (arch, paper_mse, paper_nolog) ->
+        let profile, mse = train_and_score ~arch ~log_features:true ~train ~test in
+        let nolog_mse =
+          match paper_nolog with
+          | None -> None
+          | Some _ ->
+            let _, m = train_and_score ~arch ~log_features:false ~train ~test in
+            Some m
+        in
+        (arch, Mlp.Network.num_weights (Tuner.Profile.(profile.net)), mse, nolog_mse,
+         paper_mse, paper_nolog))
+      architectures
+  in
+  Util.Table.print
+    ~header:
+      [| "hidden layers"; "#weights"; "MSE"; "MSE (no log)"; "paper MSE";
+         "paper (no log)" |]
+    (List.map
+       (fun (arch, weights, mse, nolog, paper, paper_nolog) ->
+         [| arch_name arch; string_of_int weights; Printf.sprintf "%.4f" mse;
+            (match nolog with Some m -> Printf.sprintf "%.4f" m | None -> "-");
+            paper; (match paper_nolog with Some p -> p | None -> "-") |])
+       results);
+  let mse_at i = let _, _, m, _, _, _ = List.nth results i in m in
+  let shallow = mse_at 0 and deep = mse_at 6 in
+  let log_small, nolog_big =
+    let _, _, m, nolog, _, _ = List.nth results 2 in
+    (m, match nolog with Some x -> x | None -> Float.nan)
+  in
+  [ Reporting.check_min ~claim:"deep beats shallow (MSE 64 / MSE 7-layer)"
+      ~paper:"0.17 vs 0.062 (2.7x)" ~value:(shallow /. deep) ~at_least:1.15;
+    Reporting.check_min ~claim:"log transform required (no-log / log, 32-64-32)"
+      ~paper:"0.80 vs 0.088 (9x)" ~value:(nolog_big /. log_small) ~at_least:2.0 ]
+
+let fig5_sizes () =
+  List.map Util.Env_config.scaled [ 1000; 2000; 5000; 10000; 20000; 40000 ]
+
+let run_fig5 () =
+  Reporting.print_header "Figure 5: cross-validation MSE vs dataset size";
+  let sizes = fig5_sizes () in
+  let max_size = List.fold_left max 0 sizes in
+  let n_test = table2_test () in
+  let rng = Engines.fresh_rng "fig5-data" in
+  let ds =
+    Reporting.time_section
+      (Printf.sprintf "generate %d GEMM samples (P100)" (max_size + n_test))
+      (fun () -> Ds.generate_gemm rng Gpu.Device.p100 ~n:(max_size + n_test))
+  in
+  let test = slice ds max_size n_test in
+  let arch = [| 32; 64; 128; 64; 32 |] in
+  let mses =
+    List.map
+      (fun n ->
+        let train = slice ds 0 n in
+        let _, mse = train_and_score ~arch ~log_features:true ~train ~test in
+        Printf.printf "  %6d samples -> MSE %.4f\n%!" n mse;
+        (n, mse))
+      sizes
+  in
+  Util.Table.print
+    ~header:[| "train samples"; "cross-validation MSE" |]
+    (List.map (fun (n, m) -> [| string_of_int n; Printf.sprintf "%.4f" m |]) mses);
+  Reporting.save_csv "fig5_mse_vs_dataset_size"
+    ~header:[ "train_samples"; "cross_validation_mse" ]
+    (List.map (fun (n, m) -> [| float_of_int n; m |]) mses);
+  let mse_at i = snd (List.nth mses i) in
+  let first = mse_at 0 in
+  let last = mse_at (List.length mses - 1) in
+  let second_last = mse_at (List.length mses - 2) in
+  (* Figure 5 plots MSE against dataset size: the curve is steep at first
+     and flat at the end. Check the flattening in the same absolute terms
+     the plot shows: the final doubling recovers a small fraction of what
+     the first doubling did. *)
+  let first_gain = first -. mse_at 1 in
+  let last_gain = second_last -. last in
+  [ Reporting.check_min ~claim:"more data helps (MSE smallest / largest set)"
+      ~paper:"0.16 -> 0.06" ~value:(first /. last) ~at_least:1.1;
+    Reporting.check ~claim:"curve flattens (last doubling's gain << first's)"
+      ~paper:"flat beyond 150k samples"
+      ~ours:(Printf.sprintf "dMSE %.3f -> %.3f" first_gain last_gain)
+      ~pass:(last_gain < 0.35 *. first_gain) ]

@@ -1,0 +1,76 @@
+(* Whole-network benchmark (beyond the paper's per-kernel evaluation):
+   aggregate ISAAC's per-layer gains over the layer stacks of AlexNet, a
+   ResNet-50 excerpt, and a DeepBench-style LSTM, against the vendor-like
+   baselines. This is the deployment story the paper's introduction
+   motivates: a library that is fast on *your* layer shapes, not just on
+   square matrices. *)
+
+module NW = Workloads.Networks
+
+let layer_times device rng (layer : NW.layer) =
+  match layer with
+  | NW.Gemm input ->
+    let engine = Engines.gemm device in
+    let isaac =
+      match Isaac.plan_gemm engine input with
+      | Some plan -> plan.measurement.seconds
+      | None -> Float.nan
+    in
+    let baseline =
+      match Baselines.Cublas.heuristic rng device input with
+      | Some (_, m) -> m.seconds
+      | None -> Float.nan
+    in
+    (isaac, baseline)
+  | NW.Conv input ->
+    let engine = Engines.conv device in
+    let isaac =
+      match Isaac.plan_conv engine input with
+      | Some plan -> plan.measurement.seconds
+      | None -> Float.nan
+    in
+    let baseline =
+      match Baselines.Cudnn.heuristic rng device input with
+      | Some (_, m) -> m.seconds
+      | None -> Float.nan
+    in
+    (isaac, baseline)
+
+let run_network device rng (net : NW.network) =
+  Printf.printf "\n%s on %s:\n" net.name device.Gpu.Device.name;
+  let totals = ref (0.0, 0.0) in
+  Util.Table.print
+    ~header:[| "layer"; "gflops"; "ISAAC (us)"; "baseline (us)"; "speedup" |]
+    (List.map
+       (fun (label, layer) ->
+         let isaac, base = layer_times device rng layer in
+         let ti, tb = !totals in
+         totals := (ti +. isaac, tb +. base);
+         [| label;
+            Printf.sprintf "%.2f" (NW.flops layer /. 1e9);
+            Printf.sprintf "%.1f" (isaac *. 1e6);
+            Printf.sprintf "%.1f" (base *. 1e6);
+            Printf.sprintf "%.2fx" (base /. isaac) |])
+       net.layers);
+  let ti, tb = !totals in
+  Printf.printf "  end-to-end: ISAAC %.2f ms vs baseline %.2f ms -> %.2fx\n" (ti *. 1e3)
+    (tb *. 1e3) (tb /. ti);
+  (net.name, tb /. ti)
+
+let run () =
+  Reporting.print_header
+    "Networks: end-to-end layer stacks (AlexNet / ResNet-50 excerpt / LSTM)";
+  let device = Gpu.Device.p100 in
+  let rng = Engines.fresh_rng "networks" in
+  let results =
+    List.map (run_network device rng) (NW.all Ptx.Types.F32)
+  in
+  Reporting.save_csv "networks_end_to_end"
+    ~header:[ "speedup" ]
+    (List.map (fun (_, s) -> [| s |]) results);
+  List.map
+    (fun (name, speedup) ->
+      Reporting.check_min
+        ~claim:(Printf.sprintf "%s end-to-end speedup" name)
+        ~paper:"per-layer gains compound" ~value:speedup ~at_least:1.0)
+    results

@@ -1,0 +1,54 @@
+(* Tables 4 and 5: the evaluation task lists themselves, printed with
+   their derived quantities so the suites can be audited against the
+   paper (the conv suite's NPQ/CRS columns are pinned by unit tests
+   too). *)
+
+module GP = Codegen.Gemm_params
+module CP = Codegen.Conv_params
+
+let run_table4 () =
+  Reporting.print_header "Table 4: GEMM tasks (fp32 suite; fig-8 variant uses fp16/fp64)";
+  let yn b = if b then "Yes" else "No" in
+  Util.Table.print
+    ~header:[| "suite"; "M"; "N"; "K"; "A-T"; "B-T"; "flops"; "arithmetic intensity" |]
+    (List.map
+       (fun (t : Workloads.Gemm_suites.task) ->
+         let i = t.input in
+         let flops = 2.0 *. float_of_int i.m *. float_of_int i.n *. float_of_int i.k in
+         let bytes =
+           float_of_int
+             (((i.m * i.k) + (i.k * i.n) + (i.m * i.n))
+             * Ptx.Types.dtype_bytes i.dtype)
+         in
+         [| t.group; string_of_int i.m; string_of_int i.n; string_of_int i.k;
+            yn i.a_trans; yn i.b_trans;
+            Printf.sprintf "%.2g" flops;
+            Printf.sprintf "%.1f flop/B" (flops /. bytes) |])
+       (Workloads.Gemm_suites.fp32_suite ~mk:2560));
+  let n_tasks = List.length (Workloads.Gemm_suites.fp32_suite ~mk:2560) in
+  [ Reporting.check ~claim:"all four task families present"
+      ~paper:"LINPACK + DeepBench F/B + ICA + SVD"
+      ~ours:(Printf.sprintf "%d tasks" n_tasks)
+      ~pass:(n_tasks = 17) ]
+
+let run_table5 () =
+  Reporting.print_header "Table 5: CONV tasks (DeepBench layers)";
+  Util.Table.print
+    ~header:[| "application"; "layer"; "N"; "P"; "Q"; "K"; "C"; "R"; "S"; "NPQ"; "CRS" |]
+    (List.map
+       (fun (t : Workloads.Conv_suites.task) ->
+         let i = t.input in
+         [| t.group; t.label; string_of_int i.n; string_of_int i.p;
+            string_of_int i.q; string_of_int i.k; string_of_int i.c;
+            string_of_int i.r; string_of_int i.s;
+            string_of_int (CP.npq i); string_of_int (CP.crs i) |])
+       (Workloads.Conv_suites.suite Ptx.Types.F32));
+  (* Pin two rows against the paper's own NPQ/CRS columns. *)
+  let conv1 = Workloads.Conv_suites.find "Conv1" Ptx.Types.F32 in
+  let conv8 = Workloads.Conv_suites.find "Conv8" Ptx.Types.F32 in
+  [ Reporting.check ~claim:"Conv1 NPQ/CRS match Table 5" ~paper:"431024 / 100"
+      ~ours:(Printf.sprintf "%d / %d" (CP.npq conv1.input) (CP.crs conv1.input))
+      ~pass:(CP.npq conv1.input = 431024 && CP.crs conv1.input = 100);
+    Reporting.check ~claim:"Conv8 NPQ/CRS match Table 5" ~paper:"784 / 20800"
+      ~ours:(Printf.sprintf "%d / %d" (CP.npq conv8.input) (CP.crs conv8.input))
+      ~pass:(CP.npq conv8.input = 784 && CP.crs conv8.input = 20800) ]

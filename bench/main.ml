@@ -1,0 +1,81 @@
+(* Benchmark harness entry point.
+
+   With no arguments, reproduces every table and figure of the paper's
+   evaluation in order, then runs the Bechamel micro-benchmarks and prints
+   a consolidated shape-check summary. Individual experiments can be
+   selected by name:
+
+     dune exec bench/main.exe -- table1 fig6 sec8.3
+
+   Scaling: REPRO_SCALE (default 1.0) multiplies all dataset/trial sizes;
+   REPRO_SEED fixes the RNG; ISAAC_TUNE_SAMPLES / ISAAC_TUNE_EPOCHS /
+   TABLE2_* / ISAAC_SEARCH_CAP fine-tune individual stages. *)
+
+let experiments : (string * string * (unit -> Reporting.check list)) list =
+  [ ("table1", "Table 1: generative-model acceptance", Exp_sampling.run);
+    ("table2", "Table 2: MLP architecture MSE", Exp_mlp.run_table2);
+    ("fig5", "Figure 5: MSE vs dataset size", Exp_mlp.run_fig5);
+    ("table3", "Table 3: hardware platforms", Exp_gemm.run_table3);
+    ("table4", "Table 4: GEMM evaluation tasks", Exp_tables.run_table4);
+    ("table5", "Table 5: CONV evaluation tasks", Exp_tables.run_table5);
+    ("fig6", "Figure 6: SGEMM, GTX 980 Ti", Exp_gemm.run_fig6);
+    ("fig7", "Figure 7: SGEMM, Tesla P100", Exp_gemm.run_fig7);
+    ("fig8", "Figure 8: H/DGEMM, Tesla P100", Exp_gemm.run_fig8);
+    ("fig9", "Figure 9: SCONV, GTX 980 Ti", Exp_conv.run_fig9);
+    ("fig10", "Figure 10: SCONV, Tesla P100", Exp_conv.run_fig10);
+    ("fig11", "Figure 11: HCONV, Tesla P100", Exp_conv.run_fig11);
+    ("table6", "Table 6: ISAAC parameter choices", Exp_gemm.run_table6);
+    ("sec8.1", "Section 8.1: DeepBench analysis", Exp_gemm.run_analysis81);
+    ("sec8.3", "Section 8.3: predication vs branches", Exp_ptx.run);
+    ("ablations", "Ablations: top-k, optimizers, prior, energy", Exp_ablations.run);
+    ("networks", "End-to-end network layer stacks", Exp_networks.run);
+    ("micro", "Bechamel micro-benchmarks", Micro.run) ]
+
+let usage () =
+  print_endline "usage: main.exe [experiment...]";
+  print_endline "experiments:";
+  List.iter (fun (key, desc, _) -> Printf.printf "  %-8s %s\n" key desc) experiments
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  (match args with
+   | [ "--help" ] | [ "-h" ] | [ "help" ] -> usage (); exit 0
+   | _ -> ());
+  let selected =
+    match args with
+    | [] -> experiments
+    | keys ->
+      List.map
+        (fun key ->
+          match List.find_opt (fun (k, _, _) -> k = key) experiments with
+          | Some e -> e
+          | None ->
+            Printf.eprintf "unknown experiment %s\n" key;
+            usage ();
+            exit 2)
+        keys
+  in
+  Printf.printf
+    "ISAAC reproduction benchmark harness (seed %d, scale %.2f)\n%!"
+    (Util.Env_config.seed ()) (Util.Env_config.scale ());
+  let t0 = Unix.gettimeofday () in
+  let all_checks =
+    List.concat_map
+      (fun (key, _, run) ->
+        let checks = Reporting.time_section key run in
+        Reporting.print_checks checks;
+        List.map (fun c -> (key, c)) checks)
+      selected
+  in
+  Reporting.print_header "Summary of shape checks";
+  Util.Table.print
+    ~header:[| "experiment"; "claim"; "paper"; "ours"; "verdict" |]
+    (List.map
+       (fun (key, c) ->
+         [| key; c.Reporting.claim; c.paper; c.ours;
+            (if c.pass then "OK" else "DIVERGES") |])
+       all_checks);
+  let total = List.length all_checks in
+  let passed = List.length (List.filter (fun (_, c) -> c.Reporting.pass) all_checks) in
+  Printf.printf "\n%d/%d shape checks passed; total wall time %.1fs\n" passed total
+    (Unix.gettimeofday () -. t0)

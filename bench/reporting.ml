@@ -1,0 +1,90 @@
+(* Shared output helpers for the experiment harness: every reproduced
+   table/figure prints an ASCII table plus a list of "shape checks" —
+   the qualitative claims of the paper (who wins, by roughly how much)
+   evaluated against our measurements. *)
+
+type check = {
+  claim : string;
+  paper : string;   (* what the paper reports *)
+  ours : string;    (* what we measured *)
+  pass : bool;
+}
+
+let check ~claim ~paper ~ours ~pass = { claim; paper; ours; pass }
+
+let check_min ~claim ~paper ~value ~at_least =
+  { claim; paper; ours = Printf.sprintf "%.2f" value; pass = value >= at_least }
+
+let check_range ~claim ~paper ~value ~lo ~hi =
+  { claim; paper;
+    ours = Printf.sprintf "%.2f" value;
+    pass = value >= lo && value <= hi }
+
+let print_header title =
+  let line = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" line title line
+
+let print_checks checks =
+  if checks <> [] then begin
+    Printf.printf "\nShape checks (paper claim vs this reproduction):\n";
+    Util.Table.print
+      ~header:[| "claim"; "paper"; "ours"; "verdict" |]
+      (List.map
+         (fun c ->
+           [| c.claim; c.paper; c.ours; (if c.pass then "OK" else "DIVERGES") |])
+         checks)
+  end
+
+let fmt_tf = Util.Table.fmt_float ~decimals:2
+
+(* Each experiment also drops its figure/table series as CSV under
+   results/ so the paper's plots can be regenerated with any plotting
+   tool. *)
+let results_dir () =
+  let dir = match Sys.getenv_opt "REPRO_RESULTS_DIR" with Some d -> d | None -> "results" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  dir
+
+let save_csv name ~header rows =
+  let path = Filename.concat (results_dir ()) (name ^ ".csv") in
+  Util.Csv.write path ~header rows;
+  Printf.printf "[series written to %s]
+" path
+
+(* Terminal rendering of the reproduced figures: grouped horizontal bars
+   scaled to the maximum value, one row per benchmark and one bar per
+   series — a textual stand-in for the paper's bar charts. *)
+let bar_chart ~series rows =
+  let width = 46 in
+  let maxv =
+    List.fold_left
+      (fun acc (_, vs) -> List.fold_left Float.max acc vs)
+      1e-9 rows
+  in
+  let glyphs = [| '#'; '='; '-'; '.' |] in
+  Printf.printf "
+";
+  List.iteri
+    (fun i name -> Printf.printf "  %c %s
+" glyphs.(i mod Array.length glyphs) name)
+    series;
+  List.iter
+    (fun (label, values) ->
+      List.iteri
+        (fun i v ->
+          let n = int_of_float (Float.round (float_of_int width *. v /. maxv)) in
+          Printf.printf "  %-22s |%s %.2f
+"
+            (if i = 0 then label else "")
+            (String.make (max 0 n) glyphs.(i mod Array.length glyphs))
+            v)
+        values)
+    rows;
+  Printf.printf "
+"
+
+let time_section name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%s completed in %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+  r

@@ -1,0 +1,56 @@
+(* Tensor contractions through the einsum front-end (the paper's §9
+   "flexible front-end / DSL" future-work direction).
+
+   Shows a few contractions beyond plain GEMM — Gram matrices, batched
+   attention-style products, broadcast projections — all lowered onto the
+   input-aware tuned kernels and executed under the PTX interpreter.
+
+   Run with:  dune exec examples/einsum_contractions.exe *)
+
+module E = Frontend.Einsum
+
+let rng = Util.Rng.create 11
+
+let arr n = Array.init n (fun _ -> Util.Rng.uniform rng *. 2.0 -. 1.0)
+
+let show ?engine text sizes =
+  let spec = E.parse text in
+  let extent idx = List.fold_left (fun acc c -> acc * List.assoc c sizes) 1 idx in
+  let a = arr (extent spec.a_indices) in
+  let b = arr (extent spec.b_indices) in
+  let t0 = Sys.time () in
+  let out = E.contract ?engine spec sizes ~a ~b in
+  let dt = Sys.time () -. t0 in
+  let want = E.reference spec sizes ~a ~b in
+  let max_err =
+    let m = ref 0.0 in
+    Array.iteri (fun i v -> m := Float.max !m (Float.abs (v -. want.(i)))) out;
+    !m
+  in
+  let batch, m, n, k = E.gemm_shape spec sizes in
+  Printf.printf "  %-14s -> batched GEMM (batch=%d, M=%d, N=%d, K=%d): %d outputs, max err %.1e, %.0f ms\n%!"
+    text batch m n k (Array.length out) max_err (1000.0 *. dt)
+
+let () =
+  Printf.printf "Tensor contractions lowered to tuned GEMM kernels:\n";
+  let engine =
+    Isaac.tune ~samples:2000 ~epochs:12 (Util.Rng.create 3) Gpu.Device.p100
+      ~op:`Gemm ()
+  in
+  (* Classic matrix product. *)
+  show ~engine "mk,kn->mn" [ ('m', 48); ('n', 40); ('k', 56) ];
+  (* Gram / covariance matrix: A^T A without materializing a transpose. *)
+  show ~engine "km,kn->mn" [ ('m', 24); ('n', 24); ('k', 300) ];
+  (* Batched product (attention scores: queries x keys^T per head). *)
+  show ~engine "bmk,bnk->bmn" [ ('b', 4); ('m', 16); ('n', 16); ('k', 32) ];
+  (* Broadcast projection: one weight matrix applied to every batch. *)
+  show ~engine "bmk,kn->bmn" [ ('b', 6); ('m', 20); ('n', 24); ('k', 32) ];
+  (* Two contracted indices at once (a fused inner structure). *)
+  show ~engine "mij,ijn->mn" [ ('m', 20); ('i', 6); ('j', 8); ('n', 20) ];
+  (* Transposed output layout. *)
+  show ~engine "mk,kn->nm" [ ('m', 30); ('n', 20); ('k', 25) ];
+  Printf.printf
+    "\nEvery contraction above was classified into batch/M/N/K index groups,\n\
+     canonicalized (reusing the generator's native transposition support when\n\
+     the layout allowed), planned by the tuned model, and executed as real\n\
+     mini-PTX under the interpreter, then checked against a naive evaluator.\n"

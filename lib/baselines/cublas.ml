@@ -1,0 +1,107 @@
+module GP = Codegen.Gemm_params
+
+let cfg ?(ks = 1) ?(kl = 1) ?(kg = 1) ?(db = 2) ~ms ~ns ~ml ~nl ~u ~vec () =
+  { GP.ms; ns; ks; ml; nl; u; kl; kg; vec; db }
+
+(* Scalar (fp32 / fp64 / promoted fp16) tile shapes, descending area.
+   N_L ∈ {64, 128} only and K_L = 1 everywhere, as the paper observes of
+   cuBLAS; thread counts match the vendor kernels (256 threads for the
+   128-wide tiles). *)
+let scalar_tiles =
+  [ cfg ~ms:8 ~ns:8 ~ml:128 ~nl:128 ~u:8 ~vec:4 ();
+    cfg ~ms:8 ~ns:4 ~ml:128 ~nl:64 ~u:8 ~vec:4 ();
+    cfg ~ms:4 ~ns:8 ~ml:64 ~nl:128 ~u:8 ~vec:4 ();
+    cfg ~ms:4 ~ns:8 ~ml:64 ~nl:64 ~u:8 ~vec:4 ();
+    cfg ~ms:2 ~ns:8 ~ml:32 ~nl:64 ~u:8 ~vec:2 ();
+    cfg ~ms:2 ~ns:4 ~ml:16 ~nl:64 ~u:8 ~vec:2 () ]
+
+(* Global-split variants for the deep-K regime (K_G > 1, still K_L = 1). *)
+let split_tiles =
+  List.concat_map
+    (fun kg ->
+      [ cfg ~ms:4 ~ns:8 ~ml:64 ~nl:64 ~u:8 ~vec:4 ~kg ();
+        cfg ~ms:2 ~ns:8 ~ml:32 ~nl:64 ~u:8 ~vec:2 ~kg ();
+        cfg ~ms:2 ~ns:4 ~ml:16 ~nl:64 ~u:8 ~vec:2 ~kg () ])
+    [ 4; 16; 32 ]
+
+(* fp16x2 kernels: only the two square-friendly shapes (the paper
+   attributes cuBLAS's LINPACK-only fp16 excellence to "a limited set of
+   NVIDIA kernels implementing this feature"). *)
+let fp16x2_tiles =
+  [ cfg ~ms:8 ~ns:8 ~ml:128 ~nl:128 ~u:8 ~vec:4 ();
+    cfg ~ms:8 ~ns:4 ~ml:128 ~nl:64 ~u:8 ~vec:4 () ]
+
+(* Scalar fp16 fallbacks (vec = 1, so no fp16x2 packing). *)
+let fp16_scalar_tiles =
+  [ cfg ~ms:4 ~ns:8 ~ml:64 ~nl:64 ~u:8 ~vec:1 ();
+    cfg ~ms:8 ~ns:4 ~ml:128 ~nl:64 ~u:8 ~vec:1 () ]
+
+let kernel_set (_device : Gpu.Device.t) (dtype : Ptx.Types.dtype) =
+  match dtype with
+  | F32 | F64 -> scalar_tiles @ split_tiles
+  | F16 -> fp16x2_tiles @ fp16_scalar_tiles @ split_tiles
+
+let legal device (i : GP.input) c =
+  GP.structurally_legal i c && Gpu.Executor.legal device (GP.cost i c)
+
+let grid_blocks (i : GP.input) (c : GP.config) =
+  let ceil_div a b = (a + b - 1) / b in
+  ceil_div i.m c.ml * ceil_div i.n c.nl * c.kg
+
+(* Handcrafted selection, in the style of a vendor library: walk the tile
+   list from largest to smallest and keep the first that fills the
+   machine, then apply a (deliberately incomplete) rule for global
+   reduction splitting. The incompleteness is the point: §7.3 traces
+   cuBLAS's ICA and skinny-DeepBench losses to exactly such heuristic
+   holes — no tile narrower than N_L = 64 exists, the K_G rule misses the
+   large-M·N part of the deep-reduction regime, and K_L is never used. *)
+let heuristic_pick device (i : GP.input) =
+  let fills c = grid_blocks i c >= 2 * device.Gpu.Device.sm_count in
+  let pick tiles =
+    let legal_tiles = List.filter (legal device i) tiles in
+    match List.find_opt fills legal_tiles with
+    | Some c -> Some c
+    | None ->
+      (* Nothing fills the device; take the smallest legal tile. *)
+      (match List.rev legal_tiles with c :: _ -> Some c | [] -> None)
+  in
+  let split_rule =
+    (* Fires only for small M·N *and* deep K: 256-channel ICA (M·N = 64k)
+       falls through and runs unsplit. *)
+    if i.k >= 4096 && i.m * i.n <= 4096 then
+      pick (List.filter (fun c -> c.GP.kg = 4) split_tiles)
+    else None
+  in
+  match split_rule with
+  | Some c -> Some c
+  | None ->
+    (match i.dtype with
+     | F16 ->
+       if i.m >= 128 && i.n >= 96 then
+         match pick fp16x2_tiles with
+         | Some c -> Some c
+         | None -> pick (fp16_scalar_tiles @ scalar_tiles)
+       else pick (fp16_scalar_tiles @ scalar_tiles)
+     | F32 | F64 -> pick scalar_tiles)
+
+let heuristic ?noise rng device (i : GP.input) =
+  match heuristic_pick device i with
+  | None -> None
+  | Some c ->
+    (match Gpu.Executor.measure_best_of ?noise rng device (GP.cost i c) with
+     | None -> None
+     | Some m -> Some (c, m))
+
+let best_kernel ?noise rng device (i : GP.input) =
+  let best = ref None in
+  List.iter
+    (fun c ->
+      if legal device i c then
+        match Gpu.Executor.measure_best_of ?noise rng device (GP.cost i c) with
+        | None -> ()
+        | Some m ->
+          (match !best with
+           | Some (_, bm) when bm.Gpu.Executor.seconds <= m.Gpu.Executor.seconds -> ()
+           | _ -> best := Some (c, m)))
+    (kernel_set device i.dtype);
+  !best

@@ -1,0 +1,38 @@
+(** A cuBLAS-like baseline: a small set of statically chosen, individually
+    excellent kernels plus handcrafted selection heuristics.
+
+    The kernel set and the heuristics deliberately encode the properties
+    the paper documents about cuBLAS 8.0 (§7.3, §8.1–8.2):
+    - only 64- and 128-wide tiling along N;
+    - no block-level reduction splitting (K_L = 1 everywhere);
+    - "some form of global reduction splitting (K_G > 1) to handle cases
+      where K is large and M·N is small", with heuristics that fail to
+      trigger it on part of that region (the ICA slowdowns);
+    - fp16x2 only in a couple of square-friendly kernels (the LINPACK-only
+      half-precision excellence of Figure 8).
+
+    Both entry points run on the same simulated device as ISAAC:
+    {!heuristic} models library calls through cuBLAS's selection logic,
+    {!best_kernel} models the `cublasGemmEx` bypass ("Best Kernel" in
+    Figures 7–8) that benchmarks every kernel in the set and keeps the
+    fastest. *)
+
+val kernel_set :
+  Gpu.Device.t -> Ptx.Types.dtype -> Codegen.Gemm_params.config list
+(** The static kernel list for a device/data-type (before per-input
+    legality filtering). *)
+
+val heuristic_pick :
+  Gpu.Device.t -> Codegen.Gemm_params.input -> Codegen.Gemm_params.config option
+(** What the selection heuristics choose for an input (no benchmarking).
+    [None] only if no kernel in the set is legal for the input. *)
+
+val heuristic :
+  ?noise:float -> Util.Rng.t -> Gpu.Device.t -> Codegen.Gemm_params.input ->
+  (Codegen.Gemm_params.config * Gpu.Executor.measurement) option
+(** Run the heuristically selected kernel. *)
+
+val best_kernel :
+  ?noise:float -> Util.Rng.t -> Gpu.Device.t -> Codegen.Gemm_params.input ->
+  (Codegen.Gemm_params.config * Gpu.Executor.measurement) option
+(** Benchmark every legal kernel in the set and keep the fastest. *)

@@ -1,0 +1,83 @@
+module GP = Codegen.Gemm_params
+module CP = Codegen.Conv_params
+
+let cfg ?(ks = 1) ?(kl = 1) ?(kg = 1) ?(db = 2) ~ms ~ns ~ml ~nl ~u ~vec () =
+  { GP.ms; ns; ks; ml; nl; u; kl; kg; vec; db }
+
+(* Implicit-GEMM tiles for (NPQ × K) outputs: tall tiles along the pixel
+   dimension, modest filter-dimension tiles, staging depths sized for
+   Maxwell's 96 KB of shared memory per SM. No C·R·S splitting. *)
+let tiles =
+  [ cfg ~ms:8 ~ns:4 ~ml:128 ~nl:32 ~u:16 ~vec:4 ();
+    cfg ~ms:8 ~ns:8 ~ml:128 ~nl:64 ~u:8 ~vec:4 ();
+    cfg ~ms:8 ~ns:4 ~ml:64 ~nl:32 ~u:16 ~vec:4 ();
+    cfg ~ms:4 ~ns:4 ~ml:64 ~nl:64 ~u:8 ~vec:2 ();
+    cfg ~ms:4 ~ns:4 ~ml:32 ~nl:32 ~u:8 ~vec:2 ();
+    cfg ~ms:2 ~ns:4 ~ml:16 ~nl:32 ~u:8 ~vec:1 () ]
+
+(* fp16: cuDNN v6/7 shipped fp16x2 for the common vision shapes only. *)
+let fp16x2_tiles =
+  [ cfg ~ms:8 ~ns:8 ~ml:128 ~nl:64 ~u:8 ~vec:4 ();
+    cfg ~ms:8 ~ns:4 ~ml:64 ~nl:32 ~u:16 ~vec:4 () ]
+
+let fp16_scalar_tiles =
+  [ cfg ~ms:8 ~ns:4 ~ml:128 ~nl:32 ~u:16 ~vec:1 ();
+    cfg ~ms:4 ~ns:4 ~ml:64 ~nl:32 ~u:8 ~vec:1 () ]
+
+let kernel_set (_device : Gpu.Device.t) (dtype : Ptx.Types.dtype) =
+  match dtype with
+  | F32 | F64 -> tiles
+  | F16 -> fp16x2_tiles @ fp16_scalar_tiles @ tiles
+
+let legal device (i : CP.input) c =
+  CP.structurally_legal i c && Gpu.Executor.legal device (CP.cost i c)
+
+(* Selection keyed on the implicit-GEMM extents, thresholds tuned (by the
+   original authors, on Maxwell) for DeepBench-style convolutions. *)
+let heuristic_pick device (i : CP.input) =
+  let m = CP.npq i in
+  let preferred =
+    match i.dtype with
+    | F16 ->
+      if m >= 8192 && i.k >= 32 then
+        [ cfg ~ms:8 ~ns:8 ~ml:128 ~nl:64 ~u:8 ~vec:4 ();
+          cfg ~ms:8 ~ns:4 ~ml:64 ~nl:32 ~u:16 ~vec:4 () ]
+      else
+        [ cfg ~ms:8 ~ns:4 ~ml:64 ~nl:32 ~u:16 ~vec:4 ();
+          cfg ~ms:4 ~ns:4 ~ml:64 ~nl:32 ~u:8 ~vec:1 () ]
+    | F32 | F64 ->
+      if m >= 16384 then
+        if i.k >= 64 then
+          [ cfg ~ms:8 ~ns:8 ~ml:128 ~nl:64 ~u:8 ~vec:4 ();
+            cfg ~ms:8 ~ns:4 ~ml:128 ~nl:32 ~u:16 ~vec:4 () ]
+        else [ cfg ~ms:8 ~ns:4 ~ml:128 ~nl:32 ~u:16 ~vec:4 () ]
+      else if m >= 2048 then
+        [ cfg ~ms:8 ~ns:4 ~ml:64 ~nl:32 ~u:16 ~vec:4 ();
+          cfg ~ms:4 ~ns:4 ~ml:64 ~nl:64 ~u:8 ~vec:2 () ]
+      else
+        [ cfg ~ms:4 ~ns:4 ~ml:32 ~nl:32 ~u:8 ~vec:2 ();
+          cfg ~ms:2 ~ns:4 ~ml:16 ~nl:32 ~u:8 ~vec:1 () ]
+  in
+  List.find_opt (legal device i) (preferred @ kernel_set device i.dtype)
+
+let heuristic ?noise rng device (i : CP.input) =
+  match heuristic_pick device i with
+  | None -> None
+  | Some c ->
+    (match Gpu.Executor.measure_best_of ?noise rng device (CP.cost i c) with
+     | None -> None
+     | Some m -> Some (c, m))
+
+let best_kernel ?noise rng device (i : CP.input) =
+  let best = ref None in
+  List.iter
+    (fun c ->
+      if legal device i c then
+        match Gpu.Executor.measure_best_of ?noise rng device (CP.cost i c) with
+        | None -> ()
+        | Some m ->
+          (match !best with
+           | Some (_, bm) when bm.Gpu.Executor.seconds <= m.Gpu.Executor.seconds -> ()
+           | _ -> best := Some (c, m)))
+    (kernel_set device i.dtype);
+  !best

@@ -1,0 +1,30 @@
+(** A cuDNN-like baseline for multi-channel convolutions, pinned to the
+    IMPLICIT_PRECOMP_GEMM algorithm the paper benchmarks against (§7.2,
+    §7.4).
+
+    The kernel set is tuned for the regime the paper says cuDNN was
+    optimized for — "both Maxwell and DeepBench-like problems in mind
+    (large NPQ, small K and intermediate CRS)" — and, like the real
+    library at the time, offers no reduction splitting along C·R·S, which
+    is why ISAAC pulls ahead on the deep reductions of Conv7/Conv8 and on
+    Pascal, whose smaller per-SM shared memory punishes the
+    Maxwell-tuned staging depths. *)
+
+val kernel_set :
+  Gpu.Device.t -> Ptx.Types.dtype -> Codegen.Gemm_params.config list
+
+val heuristic_pick :
+  Gpu.Device.t -> Codegen.Conv_params.input -> Codegen.Gemm_params.config option
+
+val heuristic :
+  ?noise:float -> Util.Rng.t -> Gpu.Device.t -> Codegen.Conv_params.input ->
+  (Codegen.Gemm_params.config * Gpu.Executor.measurement) option
+(** Run the convolution through cuDNN-style selection (the library call
+    of Figures 9–11). *)
+
+val best_kernel :
+  ?noise:float -> Util.Rng.t -> Gpu.Device.t -> Codegen.Conv_params.input ->
+  (Codegen.Gemm_params.config * Gpu.Executor.measurement) option
+(** Best of the whole set. The paper notes cuDNN "provides no public way
+    of benchmarking individual kernels"; we expose the oracle anyway for
+    analysis. *)

@@ -1,0 +1,132 @@
+module P = Gemm_params
+module C = Conv_params
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Tables address the zero-padded image (extents h_padded x w_padded);
+   output pixel (p, q) starts its taps at (p*stride, q*stride) of the
+   padded image, so no per-tap validity mask is needed. *)
+let tables (i : C.input) (cfg : P.config) =
+  let hp = C.h_padded i and wp = C.w_padded i in
+  let m = C.npq i in
+  let kk = C.crs i in
+  let rows = ceil_div m cfg.ml * cfg.ml in
+  let lut_row = Array.make rows 0.0 in
+  for idx = 0 to m - 1 do
+    let q = idx mod i.q in
+    let p = idx / i.q mod i.p in
+    let n = idx / (i.p * i.q) in
+    lut_row.(idx) <-
+      float_of_int ((n * i.c * hp * wp) + (p * i.stride * wp) + (q * i.stride))
+  done;
+  let lut_delta = Array.make (kk + cfg.u) 0.0 in
+  for j = 0 to kk - 1 do
+    let s = j mod i.s in
+    let r = j / i.s mod i.r in
+    let c = j / (i.r * i.s) in
+    lut_delta.(j) <- float_of_int ((c * hp * wp) + (r * wp) + s)
+  done;
+  (lut_row, lut_delta)
+
+(* Copy the image (N x C x H x W) into its zero-padded form
+   (N x C x (H+2p) x (W+2p)). The identity when pad = 0. *)
+let pad_image (i : C.input) image =
+  if i.pad = 0 then image
+  else begin
+    let h = C.h i and w = C.w i in
+    let hp = C.h_padded i and wp = C.w_padded i in
+    let out = Array.make (i.n * i.c * hp * wp) 0.0 in
+    for n = 0 to i.n - 1 do
+      for c = 0 to i.c - 1 do
+        for y = 0 to h - 1 do
+          let src = (((n * i.c) + c) * h * w) + (y * w) in
+          let dst = (((n * i.c) + c) * hp * wp) + ((y + i.pad) * wp) + i.pad in
+          Array.blit image src out dst w
+        done
+      done
+    done;
+    out
+  end
+
+let generate ?bounds (i : C.input) (cfg : P.config) =
+  Gemm.generate_gather ?bounds (C.gemm_input i) cfg
+
+let run ?bounds (i : C.input) (cfg : P.config) ~image ~filter =
+  let gi = C.gemm_input i in
+  let expect_i = i.n * i.c * C.h i * C.w i in
+  let expect_f = C.crs i * i.k in
+  if Array.length image <> expect_i then
+    invalid_arg
+      (Printf.sprintf "Conv.run: image has %d elements, expected %d"
+         (Array.length image) expect_i);
+  if Array.length filter <> expect_f then
+    invalid_arg
+      (Printf.sprintf "Conv.run: filter has %d elements, expected %d"
+         (Array.length filter) expect_f);
+  let program = generate ?bounds i cfg in
+  let lut_row, lut_delta = tables i cfg in
+  let padded = pad_image i image in
+  let out = Array.make (C.npq i * i.k) 0.0 in
+  let grid = (ceil_div gi.m cfg.ml, ceil_div gi.n cfg.nl, cfg.kg) in
+  let block = (P.threads_per_block cfg, 1, 1) in
+  let (_ : Ptx.Interp.counters) =
+    Ptx.Interp.run program ~grid ~block
+      ~bufs:
+        [ ("A", padded); ("B", filter); ("C", out); ("LUT_ROW", lut_row);
+          ("LUT_DELTA", lut_delta) ]
+      ~iargs:[ ("M", gi.m); ("N", gi.n); ("K", gi.k) ]
+  in
+  out
+
+let im2col (i : C.input) image =
+  let padded = pad_image i image in
+  let hp = C.h_padded i and wp = C.w_padded i in
+  let m = C.npq i and kk = C.crs i in
+  let out = Array.make (m * kk) 0.0 in
+  for idx = 0 to m - 1 do
+    let q = idx mod i.q in
+    let p = idx / i.q mod i.p in
+    let n = idx / (i.p * i.q) in
+    let base = (n * i.c * hp * wp) + (p * i.stride * wp) + (q * i.stride) in
+    for j = 0 to kk - 1 do
+      let s = j mod i.s in
+      let r = j / i.s mod i.r in
+      let c = j / (i.r * i.s) in
+      out.((idx * kk) + j) <- padded.(base + (c * hp * wp) + (r * wp) + s)
+    done
+  done;
+  out
+
+let run_im2col ?bounds (i : C.input) (cfg : P.config) ~image ~filter =
+  let gi = C.gemm_input i in
+  let a = im2col i image in
+  Gemm.run ?bounds gi cfg ~a ~b:filter
+
+let reference (i : C.input) ~image ~filter =
+  let h = C.h i and w = C.w i in
+  let out = Array.make (C.npq i * i.k) 0.0 in
+  let round = if i.dtype = Ptx.Types.F16 then Ptx.Types.round_half else Fun.id in
+  for n = 0 to i.n - 1 do
+    for p = 0 to i.p - 1 do
+      for q = 0 to i.q - 1 do
+        for k = 0 to i.k - 1 do
+          let acc = ref 0.0 in
+          for c = 0 to i.c - 1 do
+            for r = 0 to i.r - 1 do
+              for s = 0 to i.s - 1 do
+                let y = (p * i.stride) + r - i.pad in
+                let x = (q * i.stride) + s - i.pad in
+                if y >= 0 && y < h && x >= 0 && x < w then begin
+                  let iv = image.((((n * i.c) + c) * h * w) + (y * w) + x) in
+                  let fv = filter.(((((c * i.r) + r) * i.s) + s) * i.k + k) in
+                  acc := !acc +. (iv *. fv)
+                end
+              done
+            done
+          done;
+          out.((((n * i.p) + p) * i.q + q) * i.k + k) <- round !acc
+        done
+      done
+    done
+  done;
+  out

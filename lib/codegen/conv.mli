@@ -1,0 +1,51 @@
+(** Multi-channel convolution kernel generator (paper §3.3).
+
+    Builds the indirection tables for the implicit-GEMM formulation and
+    instantiates the gather variant of the GEMM generator
+    ({!Gemm.generate_gather}). The generated kernel really executes under
+    the interpreter; the test suite checks it against {!reference}, a
+    direct convolution loop. *)
+
+val tables : Conv_params.input -> Gemm_params.config -> float array * float array
+(** [(lut_row, lut_delta)]: per-output-pixel base addresses into the image
+    (padded to the block-tile boundary) and per-(c,r,s) offsets (padded to
+    K̂+U). Values are non-negative integers stored as floats, matching the
+    interpreter's integer-load convention. *)
+
+val generate :
+  ?bounds:Gemm_params.bounds_mode ->
+  Conv_params.input ->
+  Gemm_params.config ->
+  Ptx.Program.t
+
+val run :
+  ?bounds:Gemm_params.bounds_mode ->
+  Conv_params.input ->
+  Gemm_params.config ->
+  image:float array ->
+  filter:float array ->
+  float array
+(** Launch under the interpreter. [image] is N×C×H×W row-major (H and W
+    per {!Conv_params.h} / {!Conv_params.w}); it is zero-padded host-side
+    when [pad > 0]. [filter] is C×R×S×K; the result is N×P×Q×K. *)
+
+val im2col : Conv_params.input -> float array -> float array
+(** Materialize the NPQ×CRS patch matrix (the explicit counterpart of the
+    indirection tables). Input is the (unpadded) image. *)
+
+val run_im2col :
+  ?bounds:Gemm_params.bounds_mode ->
+  Conv_params.input ->
+  Gemm_params.config ->
+  image:float array ->
+  filter:float array ->
+  float array
+(** The IM2COL+GEMM algorithm family: build the patch matrix host-side
+    and run a dense GEMM kernel over it. Functionally identical to
+    {!run}; it trades the gather indirection for NPQ·CRS elements of
+    extra memory — the trade-off that made IMPLICIT_PRECOMP_GEMM the
+    paper's comparison point. *)
+
+val reference :
+  Conv_params.input -> image:float array -> filter:float array -> float array
+(** Direct convolution oracle with the same layouts and output rounding. *)

@@ -1,0 +1,54 @@
+type input = {
+  n : int;
+  c : int;
+  k : int;
+  p : int;
+  q : int;
+  r : int;
+  s : int;
+  stride : int;
+  pad : int;
+  dtype : Ptx.Types.dtype;
+}
+
+let input ?(dtype = Ptx.Types.F32) ?(stride = 1) ?(pad = 0) ~n ~c ~k ~p ~q ~r ~s () =
+  assert (stride >= 1 && pad >= 0);
+  { n; c; k; p; q; r; s; stride; pad; dtype }
+
+(* Input spatial extents, from the output size, filter, stride and
+   padding: H = (P-1)*stride + R - 2*pad. *)
+let h i = ((i.p - 1) * i.stride) + i.r - (2 * i.pad)
+let w i = ((i.q - 1) * i.stride) + i.s - (2 * i.pad)
+
+(* Extents of the zero-padded image the kernel actually gathers from. *)
+let h_padded i = h i + (2 * i.pad)
+let w_padded i = w i + (2 * i.pad)
+let npq i = i.n * i.p * i.q
+let crs i = i.c * i.r * i.s
+
+let gemm_input i = Gemm_params.input ~dtype:i.dtype (npq i) i.k (crs i)
+
+let structurally_legal i cfg = Gemm_params.structurally_legal (gemm_input i) cfg
+
+let describe_name i (cfg : Gemm_params.config) =
+  Printf.sprintf "conv_%s_n%dc%dk%d_p%dq%dr%ds%d_%dx%dx%d"
+    (Ptx.Types.dtype_name i.dtype) i.n i.c i.k i.p i.q i.r i.s cfg.ml cfg.nl cfg.u
+
+let cost ?bounds i (cfg : Gemm_params.config) =
+  let base = Gemm_params.cost ?bounds (gemm_input i) cfg in
+  let threads = Gemm_params.threads_per_block cfg in
+  let la = cfg.ml * cfg.u / threads in
+  let uc = cfg.u / cfg.kl in
+  (* Each staged image element costs two table lookups plus an add; the
+     tables are tiny and L2-resident, so they add instructions and a
+     little L2 traffic rather than DRAM bandwidth. *)
+  let gather_ialu = 3.0 *. float_of_int la in
+  let fmas_per_thread_iter =
+    float_of_int (cfg.ms * cfg.ns * uc)
+    /. (if base.vectorized_fp16 then 2.0 else 1.0)
+  in
+  { base with
+    name = describe_name i cfg;
+    ialu_per_fma = base.ialu_per_fma +. (gather_ialu /. fmas_per_thread_iter);
+    coalescing = base.coalescing *. 0.9;
+    mlp = Float.max 1.0 (base.mlp *. 0.75) }

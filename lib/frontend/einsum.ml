@@ -1,0 +1,283 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type role = Batch | M | N | K
+
+type spec = {
+  a_indices : char list;
+  b_indices : char list;
+  out_indices : char list;
+  roles : (char * role) list;
+}
+
+let chars_of_string s = List.init (String.length s) (String.get s)
+
+let check_operand name idx =
+  List.iter
+    (fun c ->
+      if not ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) then
+        fail "%s: index '%c' is not a letter" name c)
+    idx;
+  let sorted = List.sort compare idx in
+  let rec dup = function
+    | a :: (b :: _ as tl) -> if a = b then Some a else dup tl
+    | _ -> None
+  in
+  match dup sorted with
+  | Some c -> fail "%s: repeated index '%c' (diagonals are not supported)" name c
+  | None -> ()
+
+let parse text =
+  let inputs, output =
+    match String.index_opt text '-' with
+    | Some i when i + 1 < String.length text && text.[i + 1] = '>' ->
+      (String.sub text 0 i, String.sub text (i + 2) (String.length text - i - 2))
+    | _ -> fail "expected \"...,...->...\" (missing \"->\")"
+  in
+  let a_str, b_str =
+    match String.split_on_char ',' inputs with
+    | [ a; b ] -> (a, b)
+    | _ -> fail "expected exactly two comma-separated operands"
+  in
+  let a_indices = chars_of_string (String.trim a_str) in
+  let b_indices = chars_of_string (String.trim b_str) in
+  let out_indices = chars_of_string (String.trim output) in
+  if a_indices = [] || b_indices = [] then fail "operands must be non-empty";
+  check_operand "operand A" a_indices;
+  check_operand "operand B" b_indices;
+  check_operand "output" out_indices;
+  let mem c l = List.mem c l in
+  (* Classify every index that appears anywhere. *)
+  let all =
+    List.sort_uniq compare (a_indices @ b_indices @ out_indices)
+  in
+  let roles =
+    List.map
+      (fun c ->
+        let in_a = mem c a_indices
+        and in_b = mem c b_indices
+        and in_out = mem c out_indices in
+        let role =
+          match (in_a, in_b, in_out) with
+          | true, true, true -> Batch
+          | true, false, true -> M
+          | false, true, true -> N
+          | true, true, false -> K
+          | true, false, false | false, true, false ->
+            fail
+              "index '%c' appears in one input but not the output (per-operand \
+               reductions are not supported)"
+              c
+          | false, false, true -> fail "output index '%c' missing from inputs" c
+          | false, false, false -> assert false
+        in
+        (c, role))
+      all
+  in
+  { a_indices; b_indices; out_indices; roles }
+
+let to_string s =
+  let str l = String.init (List.length l) (List.nth l) in
+  Printf.sprintf "%s,%s->%s" (str s.a_indices) (str s.b_indices) (str s.out_indices)
+
+let role_of spec c = List.assoc c spec.roles
+
+type sizes = (char * int) list
+
+let size_of sizes c =
+  match List.assoc_opt c sizes with
+  | Some n when n > 0 -> n
+  | Some _ -> invalid_arg (Printf.sprintf "Einsum: index '%c' has non-positive size" c)
+  | None -> invalid_arg (Printf.sprintf "Einsum: no size given for index '%c'" c)
+
+let group spec role = List.filter (fun c -> role_of spec c = role) spec.out_indices
+
+(* Contracted indices, in their order of appearance in A (the canonical
+   K-ordering). *)
+let k_group spec = List.filter (fun c -> role_of spec c = K) spec.a_indices
+
+let extent sizes idx = List.fold_left (fun acc c -> acc * size_of sizes c) 1 idx
+
+let gemm_shape spec sizes =
+  ( extent sizes (group spec Batch),
+    extent sizes (group spec M),
+    extent sizes (group spec N),
+    extent sizes (k_group spec) )
+
+(* --- reorder: repack an operand, row-major over [src] indices, into
+   row-major over [dst] indices (same index set). --- *)
+let reorder sizes ~src ~dst data =
+  if src = dst then data
+  else begin
+    let n = List.length src in
+    assert (List.length dst = n);
+    let dims_dst = Array.of_list (List.map (size_of sizes) dst) in
+    (* Position of each dst index inside src, then its stride in src. *)
+    let src_arr = Array.of_list src in
+    let src_strides = Array.make n 1 in
+    for i = n - 2 downto 0 do
+      src_strides.(i) <- src_strides.(i + 1) * size_of sizes src_arr.(i + 1)
+    done;
+    let stride_in_src =
+      Array.of_list
+        (List.map
+           (fun c ->
+             let rec find i = if src_arr.(i) = c then i else find (i + 1) in
+             src_strides.(find 0))
+           dst)
+    in
+    let total = Array.fold_left ( * ) 1 dims_dst in
+    let out = Array.make total 0.0 in
+    let counter = Array.make n 0 in
+    let src_off = ref 0 in
+    for d = 0 to total - 1 do
+      out.(d) <- data.(!src_off);
+      (* mixed-radix increment, updating the source offset incrementally *)
+      let rec bump i =
+        if i >= 0 then begin
+          counter.(i) <- counter.(i) + 1;
+          src_off := !src_off + stride_in_src.(i);
+          if counter.(i) = dims_dst.(i) then begin
+            src_off := !src_off - (counter.(i) * stride_in_src.(i));
+            counter.(i) <- 0;
+            bump (i - 1)
+          end
+        end
+      in
+      bump (n - 1)
+    done;
+    out
+  end
+
+(* Canonicalize one operand to (batch, rows, cols) row-major, where rows
+   and cols are the given groups. If the operand is already ordered
+   (batch, cols, rows) we avoid the copy by flagging a transposition for
+   the GEMM generator instead — per batch slice the matrix is then stored
+   cols-major, exactly the generator's [trans] convention. *)
+let canonicalize sizes ~indices ~batch ~rows ~cols data =
+  (* A broadcast operand carries no batch indices; canonicalize against
+     the batch indices it actually has. *)
+  let batch = List.filter (fun c -> List.mem c indices) batch in
+  let want = batch @ rows @ cols in
+  let want_t = batch @ cols @ rows in
+  if indices = want then (data, false)
+  else if indices = want_t then (data, true)
+  else (reorder sizes ~src:indices ~dst:want data, false)
+
+let default_config =
+  { Codegen.Gemm_params.ms = 2; ns = 2; ks = 1; ml = 16; nl = 16; u = 8; kl = 1;
+    kg = 1; vec = 1; db = 1 }
+
+let pick_config ?engine ?config input =
+  match config with
+  | Some c -> c
+  | None ->
+    (match engine with
+     | Some e ->
+       (match Isaac.plan_gemm e input with
+        | Some plan -> plan.config
+        | None -> default_config)
+     | None -> default_config)
+
+let contract ?engine ?config spec sizes ~a ~b =
+  let batch_idx = group spec Batch in
+  let m_idx = group spec M in
+  let n_idx = group spec N in
+  let k_idx = k_group spec in
+  let nb = extent sizes batch_idx in
+  let m = extent sizes m_idx in
+  let n = extent sizes n_idx in
+  let k = extent sizes k_idx in
+  let expect name idx arr =
+    let want = extent sizes idx in
+    if Array.length arr <> want then
+      invalid_arg
+        (Printf.sprintf "Einsum.contract: %s has %d elements, expected %d" name
+           (Array.length arr) want)
+  in
+  expect "A" spec.a_indices a;
+  expect "B" spec.b_indices b;
+  let a_can, a_trans =
+    canonicalize sizes ~indices:spec.a_indices ~batch:batch_idx ~rows:m_idx
+      ~cols:k_idx a
+  in
+  let b_can, b_trans =
+    canonicalize sizes ~indices:spec.b_indices ~batch:batch_idx ~rows:k_idx
+      ~cols:n_idx b
+  in
+  (* Broadcast: an operand missing all the batch indices is reused for
+     every batch element. *)
+  let a_batched = List.exists (fun c -> List.mem c spec.a_indices) batch_idx in
+  let b_batched = List.exists (fun c -> List.mem c spec.b_indices) batch_idx in
+  if batch_idx <> [] && a_batched && not (List.for_all (fun c -> List.mem c spec.a_indices) batch_idx)
+  then fail "operand A must carry all batch indices or none";
+  if batch_idx <> [] && b_batched && not (List.for_all (fun c -> List.mem c spec.b_indices) batch_idx)
+  then fail "operand B must carry all batch indices or none";
+  let input = Codegen.Gemm_params.input ~a_trans ~b_trans m n k in
+  let cfg = pick_config ?engine ?config input in
+  if not (Codegen.Gemm_params.structurally_legal input cfg) then
+    invalid_arg "Einsum.contract: supplied kernel config is illegal for this shape";
+  let out =
+    if nb > 1 && a_batched && b_batched then
+      (* Both operands carry the batch: one strided-batched launch. *)
+      Codegen.Gemm.run_batched ~batch:nb input cfg ~a:a_can ~b:b_can
+    else begin
+      let out = Array.make (nb * m * n) 0.0 in
+      for bi = 0 to nb - 1 do
+        let slice arr batched len =
+          if batched then Array.sub arr (bi * len) len else arr
+        in
+        let a_b = slice a_can a_batched (m * k) in
+        let b_b = slice b_can b_batched (k * n) in
+        let c_b = Codegen.Gemm.run input cfg ~a:a_b ~b:b_b in
+        Array.blit c_b 0 out (bi * m * n) (m * n)
+      done;
+      out
+    end
+  in
+  (* The GEMM result is row-major over batch @ m @ n; permute to the
+     requested output order. *)
+  reorder sizes ~src:(batch_idx @ m_idx @ n_idx) ~dst:spec.out_indices out
+
+let reference spec sizes ~a ~b =
+  let strides indices =
+    let arr = Array.of_list indices in
+    let n = Array.length arr in
+    let s = Array.make n 1 in
+    for i = n - 2 downto 0 do
+      s.(i) <- s.(i + 1) * size_of sizes arr.(i + 1)
+    done;
+    fun assign ->
+      let off = ref 0 in
+      Array.iteri (fun i c -> off := !off + (List.assoc c assign * s.(i))) arr;
+      !off
+  in
+  let a_off = strides spec.a_indices in
+  let b_off = strides spec.b_indices in
+  let out_off = strides spec.out_indices in
+  let out = Array.make (extent sizes spec.out_indices) 0.0 in
+  let k_idx = k_group spec in
+  (* Iterate over all assignments of output indices, then sum over the
+     contracted ones. *)
+  let rec loop_out assign = function
+    | [] ->
+      let acc = ref 0.0 in
+      let rec loop_k kassign = function
+        | [] ->
+          let full = assign @ kassign in
+          acc := !acc +. (a.(a_off full) *. b.(b_off full))
+        | c :: rest ->
+          for v = 0 to size_of sizes c - 1 do
+            loop_k ((c, v) :: kassign) rest
+          done
+      in
+      loop_k [] k_idx;
+      out.(out_off assign) <- !acc
+    | c :: rest ->
+      for v = 0 to size_of sizes c - 1 do
+        loop_out ((c, v) :: assign) rest
+      done
+  in
+  loop_out [] spec.out_indices;
+  out

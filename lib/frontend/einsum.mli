@@ -1,0 +1,73 @@
+(** An einsum-style tensor-contraction front-end.
+
+    §9 of the paper names "a more flexible front-end (possibly a Domain
+    Specific Language) to allow its use on problems beyond GEMM and CONV"
+    as future work — the direction that eventually became Triton. This
+    module provides a first step along that road: binary contractions in
+    einsum notation, e.g.
+
+    - ["mk,kn->mn"]   — matrix multiplication
+    - ["km,kn->mn"]   — Aᵀ·B (covariance/Gram matrices)
+    - ["bmk,bkn->bmn"] — batched matrix multiplication
+    - ["mk,kn->nm"]   — product with transposed output
+    - ["bij,jk->bik"] — batch only on one operand (broadcast B)
+
+    Contractions are classified into batch / M / N / K index groups,
+    operands are canonicalized (using the GEMM generator's native
+    transposition support when the layout allows, repacking otherwise),
+    and the computation is lowered onto the tuned, input-aware GEMM
+    kernels — one launch per batch element, each planned once.
+
+    Restrictions (rejected with [Parse_error]): single-letter indices, no
+    repeated index within one operand (no diagonals), every output index
+    must come from an input, every non-output index must appear in both
+    inputs (a pure contraction), and the output must consist exactly of
+    the non-contracted indices. *)
+
+exception Parse_error of string
+
+(** Role of an index in a contraction. *)
+type role =
+  | Batch  (** in the output and in at least one input *)
+  | M      (** in A and the output only *)
+  | N      (** in B and the output only *)
+  | K      (** in both inputs, contracted *)
+
+type spec = {
+  a_indices : char list;
+  b_indices : char list;
+  out_indices : char list;
+  roles : (char * role) list;  (** every distinct index, classified *)
+}
+
+val parse : string -> spec
+(** Parse ["ab,bc->ac"]. Raises {!Parse_error} with a descriptive message
+    on malformed or unsupported specs. *)
+
+val to_string : spec -> string
+
+type sizes = (char * int) list
+(** Concrete extent of every index. *)
+
+val gemm_shape : spec -> sizes -> int * int * int * int
+(** [(batch, m, n, k)] extents of the lowered matrix multiplication.
+    Raises [Invalid_argument] if an index is missing from [sizes]. *)
+
+val contract :
+  ?engine:Isaac.t ->
+  ?config:Codegen.Gemm_params.config ->
+  spec ->
+  sizes ->
+  a:float array ->
+  b:float array ->
+  float array
+(** Evaluate the contraction. Operand arrays are row-major over their
+    index strings; the result is row-major over [out_indices].
+
+    Kernel selection: an explicit [config] wins; otherwise an [engine]
+    (from {!Isaac.tune}) plans the lowered GEMM shape; otherwise a
+    conservative default kernel is used. All paths execute the generated
+    mini-PTX under the interpreter. *)
+
+val reference : spec -> sizes -> a:float array -> b:float array -> float array
+(** Naive nested-loop evaluator, the oracle for tests. *)

@@ -1,0 +1,32 @@
+type measurement = {
+  tflops : float;
+  seconds : float;
+  report : Perf_model.report;
+}
+
+let default_noise = 0.03
+
+let legal (d : Device.t) (c : Kernel_cost.t) =
+  Occupancy.legal d (Kernel_cost.occupancy_usage c)
+
+let measure ?(noise = default_noise) rng d c =
+  match Perf_model.predict d c with
+  | None -> None
+  | Some report ->
+    let jitter = exp (noise *. Util.Rng.gaussian rng) in
+    let seconds = report.seconds *. jitter in
+    Some { tflops = c.useful_flops /. seconds /. 1e12; seconds; report }
+
+let measure_best_of ?(noise = default_noise) ?(reps = 3) rng d c =
+  let rec go best k =
+    if k = 0 then best
+    else
+      let best =
+        match (measure ~noise rng d c, best) with
+        | None, best -> best
+        | Some m, None -> Some m
+        | Some m, Some b -> Some (if m.seconds < b.seconds then m else b)
+      in
+      go best (k - 1)
+  in
+  go None reps

@@ -1,0 +1,38 @@
+let l2_bandwidth_gbs (d : Device.t) = 3.0 *. d.dram_bw_gbs
+
+type l2_result = {
+  hit_a : float;
+  hit_b : float;
+  working_set_bytes : float;
+}
+
+let clamp01 x = Float.min 1.0 (Float.max 0.0 x)
+
+let l2_hits (d : Device.t) ~concurrent_blocks ~grid_m ~grid_n ~tile_m ~tile_n ~u_depth
+    ~elem_bytes =
+  let c = float_of_int (max 1 concurrent_blocks) in
+  let gm = float_of_int (max 1 grid_m) and gn = float_of_int (max 1 grid_n) in
+  (* Streaming footprint of one scheduling window: every resident block
+     holds a pipeline of ~4 staging tiles of (tile_m + tile_n) * U elements. *)
+  let tile_bytes = float_of_int ((tile_m + tile_n) * u_depth * elem_bytes) in
+  let working_set = c *. tile_bytes *. 4.0 in
+  let capacity = clamp01 (float_of_int d.l2_bytes /. working_set) in
+  (* Deeper prefetching widens the K-window over which co-resident blocks'
+     accesses overlap, so reuse survives scheduling drift. *)
+  let sync = clamp01 (float_of_int u_depth /. 16.0 *. 0.75 +. 0.25) in
+  (* Row-major block scheduling: ~min(c, gn) blocks of one block-row are
+     co-resident and share B tiles; across rows, c/gn blocks share a
+     column's A tiles. *)
+  let row_span = Float.min c gn in
+  let col_span = Float.max 1.0 (c /. gn) in
+  let col_span = Float.min col_span gm in
+  let share_b = 1.0 -. (1.0 /. Float.max 1.0 row_span) in
+  let share_a = 1.0 -. (1.0 /. Float.max 1.0 col_span) in
+  { hit_a = share_a *. capacity *. sync;
+    hit_b = share_b *. capacity *. sync;
+    working_set_bytes = working_set }
+
+let latency_limited_bw_gbs (d : Device.t) ~warps_per_sm ~mlp =
+  let transactions_in_flight = float_of_int warps_per_sm *. Float.max 1.0 mlp in
+  let bytes_per_cycle_per_sm = transactions_in_flight *. 128.0 /. d.mem_latency in
+  bytes_per_cycle_per_sm *. float_of_int d.sm_count *. d.clock_ghz

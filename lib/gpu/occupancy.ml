@@ -1,0 +1,55 @@
+type usage = {
+  regs_per_thread : int;
+  shared_bytes : int;
+  threads_per_block : int;
+}
+
+type limiter = By_threads | By_registers | By_shared | By_blocks | By_block_limit
+
+type result = {
+  blocks_per_sm : int;
+  warps_per_sm : int;
+  occupancy : float;
+  limiter : limiter;
+}
+
+let legal (d : Device.t) u =
+  u.threads_per_block > 0
+  && u.threads_per_block <= d.max_threads_per_block
+  && u.threads_per_block mod d.warp_size = 0
+  && u.regs_per_thread <= d.regs_per_thread_max
+  && u.shared_bytes <= d.shared_per_block_max
+  && u.regs_per_thread * u.threads_per_block <= d.regs_per_sm
+
+let calc (d : Device.t) u =
+  if not (legal d u) then
+    { blocks_per_sm = 0; warps_per_sm = 0; occupancy = 0.0; limiter = By_block_limit }
+  else begin
+    (* Registers are allocated with warp granularity, in multiples of 8 per
+       thread, matching the CUDA occupancy calculator's behaviour. *)
+    let regs = max 16 ((u.regs_per_thread + 7) / 8 * 8) in
+    let by_threads = d.max_threads_per_sm / u.threads_per_block in
+    let by_regs = d.regs_per_sm / (regs * u.threads_per_block) in
+    let by_shared =
+      if u.shared_bytes = 0 then d.max_blocks_per_sm
+      else d.shared_per_sm / (max 256 u.shared_bytes)
+    in
+    let blocks, limiter =
+      List.fold_left
+        (fun (b, lim) (b', lim') -> if b' < b then (b', lim') else (b, lim))
+        (max_int, By_blocks)
+        [ (by_threads, By_threads); (by_regs, By_registers); (by_shared, By_shared);
+          (d.max_blocks_per_sm, By_blocks) ]
+    in
+    if blocks <= 0 then
+      { blocks_per_sm = 0; warps_per_sm = 0; occupancy = 0.0; limiter }
+    else begin
+      let warps_per_block = (u.threads_per_block + d.warp_size - 1) / d.warp_size in
+      let warps = blocks * warps_per_block in
+      let max_warps = d.max_threads_per_sm / d.warp_size in
+      { blocks_per_sm = blocks;
+        warps_per_sm = warps;
+        occupancy = float_of_int warps /. float_of_int max_warps;
+        limiter }
+    end
+  end

@@ -1,0 +1,30 @@
+(** CUDA occupancy calculator.
+
+    Determines how many blocks of a kernel can be resident on one
+    streaming multiprocessor given its register, shared-memory and thread
+    usage — the central quantity in the paper's §8 analysis ("smaller
+    tiling factors decrease register/shared memory pressure, resulting in
+    higher occupancy and therefore better latency hiding"). *)
+
+type usage = {
+  regs_per_thread : int;
+  shared_bytes : int;
+  threads_per_block : int;
+}
+
+(** Which resource capped residency. *)
+type limiter = By_threads | By_registers | By_shared | By_blocks | By_block_limit
+
+type result = {
+  blocks_per_sm : int;  (** 0 if the kernel cannot run at all *)
+  warps_per_sm : int;
+  occupancy : float;    (** resident warps / max warps, in \[0,1\] *)
+  limiter : limiter;
+}
+
+val calc : Device.t -> usage -> result
+
+val legal : Device.t -> usage -> bool
+(** [legal d u] iff the kernel satisfies all hard per-block limits
+    (threads, registers per thread, shared memory per block) — i.e. it
+    would launch without error. This is the X vs X̂ distinction of §4. *)

@@ -1,0 +1,25 @@
+let tdp_watts (_ : Device.t) = 250.0
+
+(* Utilization-linear board power: idle floor, plus the arithmetic
+   pipelines at full tilt costing ~55% of TDP and the DRAM interface
+   ~30%. Utilizations are the fraction of runtime each subsystem is the
+   active bottleneck or overlapped with it. *)
+let board_watts d (r : Perf_model.report) =
+  let tdp = tdp_watts d in
+  let idle = 0.15 *. tdp in
+  let total = Float.max r.seconds 1e-12 in
+  let arith_util = Float.min 1.0 (r.arith_seconds /. total) in
+  let mem_util = Float.min 1.0 (r.mem_seconds /. total) in
+  let shared_util = Float.min 1.0 (r.shared_seconds /. total) in
+  let watts =
+    idle
+    +. (0.55 *. tdp *. arith_util)
+    +. (0.25 *. tdp *. mem_util)
+    +. (0.10 *. tdp *. shared_util)
+  in
+  Float.min tdp (Float.max idle watts)
+
+let kernel_joules d r = board_watts d r *. r.Perf_model.seconds
+
+let gflops_per_watt d (r : Perf_model.report) =
+  r.tflops *. 1000.0 /. board_watts d r

@@ -1,0 +1,266 @@
+module GP = Codegen.Gemm_params
+module CP = Codegen.Conv_params
+
+type plan = {
+  config : GP.config;
+  measurement : Gpu.Executor.measurement;
+  predicted_tflops : float;
+  n_legal : int;
+}
+
+type t = {
+  profile : Tuner.Profile.t;
+  device : Gpu.Device.t;
+  rng : Util.Rng.t;
+  gemm_cache : (GP.input, plan option) Hashtbl.t;
+  conv_cache : (CP.input, plan option) Hashtbl.t;
+}
+
+let src = Logs.Src.create "isaac" ~doc:"ISAAC auto-tuner"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let of_profile device (profile : Tuner.Profile.t) =
+  if profile.device <> device.Gpu.Device.name then
+    invalid_arg
+      (Printf.sprintf "Isaac.of_profile: profile tuned on %s, device is %s"
+         profile.device device.Gpu.Device.name);
+  { profile; device;
+    rng = Util.Rng.create 0x15aac;
+    gemm_cache = Hashtbl.create 16;
+    conv_cache = Hashtbl.create 16 }
+
+let tune ?samples ?(epochs = 20) ?arch ?dtypes ?(noise = Gpu.Executor.default_noise)
+    ?(domains = 1) rng device ~op () =
+  let samples =
+    match samples with Some s -> s | None -> Util.Env_config.scaled 4000
+  in
+  Log.info (fun m ->
+      m "tuning %s on %s: %d samples, %d domains"
+        (match op with `Gemm -> "GEMM" | `Conv -> "CONV")
+        device.Gpu.Device.name samples domains);
+  let dataset =
+    match op with
+    | `Gemm -> Tuner.Dataset.generate_gemm ~domains ?dtypes ~noise rng device ~n:samples
+    | `Conv -> Tuner.Dataset.generate_conv ~domains ?dtypes ~noise rng device ~n:samples
+  in
+  let profile = Tuner.Profile.train ?arch ~epochs rng dataset in
+  of_profile device profile
+
+let profile t = t.profile
+let device t = t.device
+
+let plan_of_result (r : Tuner.Search.result) =
+  let predicted =
+    if Array.length r.candidates > 0 then r.candidates.(0).predicted_tflops
+    else r.best_measurement.tflops
+  in
+  { config = r.best;
+    measurement = r.best_measurement;
+    predicted_tflops = predicted;
+    n_legal = r.n_legal }
+
+let plan_gemm ?top_k t (i : GP.input) =
+  match Hashtbl.find_opt t.gemm_cache i with
+  | Some cached -> cached
+  | None ->
+    let result =
+      Tuner.Search.exhaustive_gemm ?top_k t.rng t.device ~profile:t.profile i
+    in
+    let plan = Option.map plan_of_result result in
+    Hashtbl.replace t.gemm_cache i plan;
+    plan
+
+let plan_conv ?top_k t (i : CP.input) =
+  match Hashtbl.find_opt t.conv_cache i with
+  | Some cached -> cached
+  | None ->
+    let result =
+      Tuner.Search.exhaustive_conv ?top_k t.rng t.device ~profile:t.profile i
+    in
+    let plan = Option.map plan_of_result result in
+    Hashtbl.replace t.conv_cache i plan;
+    plan
+
+let gemm t i ~a ~b =
+  match plan_gemm t i with
+  | None -> failwith "Isaac.gemm: no legal kernel for this input"
+  | Some plan -> Codegen.Gemm.run i plan.config ~a ~b
+
+let conv t i ~image ~filter =
+  match plan_conv t i with
+  | None -> failwith "Isaac.conv: no legal kernel for this input"
+  | Some plan -> Codegen.Conv.run i plan.config ~image ~filter
+
+let describe_report device (c : Gpu.Kernel_cost.t) (r : Gpu.Perf_model.report) =
+  [ [| "TFLOPS"; Printf.sprintf "%.2f" r.tflops |];
+    [| "bound by"; Gpu.Perf_model.bound_name r.bound |];
+    [| "occupancy"; Printf.sprintf "%.0f%% (%d warps/SM, %d blocks/SM)"
+         (100.0 *. r.occupancy) r.warps_per_sm r.blocks_per_sm |];
+    [| "L2 hit rate"; Printf.sprintf "%.0f%%" (100.0 *. r.l2_hit_rate) |];
+    [| "effective DRAM"; Printf.sprintf "%.0f GB/s" r.effective_dram_gbs |];
+    [| "time split (arith/mem/shared)";
+       Printf.sprintf "%.1f / %.1f / %.1f us" (r.arith_seconds *. 1e6)
+         (r.mem_seconds *. 1e6) (r.shared_seconds *. 1e6) |];
+    [| "threads/block"; string_of_int c.threads_per_block |];
+    [| "shared memory"; Printf.sprintf "%.1f KB" (float_of_int c.shared_bytes /. 1024.) |];
+    [| "regs/thread (estimate)"; string_of_int c.regs_per_thread |];
+    [| "board power"; Printf.sprintf "%.0f W" (Gpu.Power.board_watts device r) |];
+    [| "efficiency"; Printf.sprintf "%.1f GFLOPS/W" (Gpu.Power.gflops_per_watt device r) |] ]
+
+let explain ~plan ~cost_of ~baseline_pick ~program t describe_input =
+  match plan with
+  | None -> failwith "Isaac.explain: no legal kernel for this input"
+  | Some (plan : plan) ->
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf (describe_input ^ "\n");
+    let cost = cost_of plan.config in
+    let report =
+      match Gpu.Perf_model.predict t.device cost with
+      | Some r -> r
+      | None -> failwith "Isaac.explain: planned kernel no longer legal"
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "\nISAAC chose %s (searched %d legal kernels, predicted %.2f TFLOPS):\n"
+         (GP.describe plan.config) plan.n_legal plan.predicted_tflops);
+    Buffer.add_string buf
+      (Util.Table.render ~header:[| "metric"; "value" |]
+         (describe_report t.device cost report));
+    (* Measured register pressure of the actual generated code. *)
+    let pressure = Ptx.Regalloc.pressure (program plan.config) in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\nregister pressure of generated code: %d float + %d int + %d predicate\n"
+         pressure.fregs pressure.iregs pressure.pregs);
+    (match baseline_pick with
+     | Some (bc, (bm : Gpu.Executor.measurement)) ->
+       Buffer.add_string buf
+         (Printf.sprintf "\nvendor-like baseline picks %s -> %.2f TFLOPS (ISAAC %.2fx)\n"
+            (GP.describe bc) bm.tflops
+            (plan.measurement.tflops /. bm.tflops))
+     | None -> Buffer.add_string buf "\nvendor-like baseline: no legal kernel\n");
+    Buffer.contents buf
+
+let explain_gemm t (i : GP.input) =
+  let rng = Util.Rng.copy t.rng in
+  explain t
+    ~plan:(plan_gemm t i)
+    ~cost_of:(fun c -> GP.cost i c)
+    ~baseline_pick:(Baselines.Cublas.heuristic rng t.device i)
+    ~program:(fun c -> Codegen.Gemm.generate i c)
+    (Printf.sprintf "GEMM %dx%dx%d %c%c (%s) on %s" i.m i.n i.k
+       (if i.a_trans then 'T' else 'N')
+       (if i.b_trans then 'T' else 'N')
+       (Ptx.Types.dtype_name i.dtype) t.device.Gpu.Device.name)
+
+let explain_conv t (i : CP.input) =
+  let rng = Util.Rng.copy t.rng in
+  explain t
+    ~plan:(plan_conv t i)
+    ~cost_of:(fun c -> CP.cost i c)
+    ~baseline_pick:(Baselines.Cudnn.heuristic rng t.device i)
+    ~program:(fun c -> Codegen.Conv.generate i c)
+    (Printf.sprintf "CONV N=%d C=%d K=%d P=%d Q=%d R=%d S=%d (%s) on %s" i.n i.c i.k
+       i.p i.q i.r i.s (Ptx.Types.dtype_name i.dtype) t.device.Gpu.Device.name)
+
+(* --- filesystem plan cache (paper §6) ---------------------------------- *)
+
+let dtype_tag : Ptx.Types.dtype -> string = function
+  | F16 -> "f16"
+  | F32 -> "f32"
+  | F64 -> "f64"
+
+let dtype_of_tag = function
+  | "f16" -> Ptx.Types.F16
+  | "f32" -> Ptx.Types.F32
+  | "f64" -> Ptx.Types.F64
+  | t -> failwith ("Isaac.load_plans: bad dtype " ^ t)
+
+let config_fields (c : GP.config) =
+  String.concat " "
+    (List.map string_of_int (Array.to_list (GP.config_to_array c)))
+
+let save_plans t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "isaac-plans v1 %s\n" t.device.Gpu.Device.name;
+      Hashtbl.iter
+        (fun (i : GP.input) plan ->
+          match plan with
+          | Some p ->
+            Printf.fprintf oc "gemm %d %d %d %s %b %b : %s\n" i.m i.n i.k
+              (dtype_tag i.dtype) i.a_trans i.b_trans (config_fields p.config)
+          | None -> ())
+        t.gemm_cache;
+      Hashtbl.iter
+        (fun (i : CP.input) plan ->
+          match plan with
+          | Some p ->
+            Printf.fprintf oc "conv %d %d %d %d %d %d %d %d %d %s : %s\n" i.n i.c
+              i.k i.p i.q i.r i.s i.stride i.pad (dtype_tag i.dtype)
+              (config_fields p.config)
+          | None -> ())
+        t.conv_cache)
+
+let plan_of_config t cost config =
+  match Gpu.Executor.measure_best_of t.rng t.device cost with
+  | None -> None
+  | Some m ->
+    Some { config; measurement = m; predicted_tflops = m.tflops; n_legal = 0 }
+
+let load_plans t path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      (match String.split_on_char ' ' (input_line ic) with
+       | "isaac-plans" :: "v1" :: _ -> ()
+       | _ -> failwith (path ^ ": bad plan-cache header"));
+      try
+        while true do
+          let line = input_line ic in
+          if String.trim line <> "" then begin
+            match String.index_opt line ':' with
+            | None -> failwith (path ^ ": malformed plan line")
+            | Some colon ->
+              let head =
+                String.split_on_char ' ' (String.trim (String.sub line 0 colon))
+                |> List.filter (( <> ) "")
+              in
+              let cfg =
+                String.sub line (colon + 1) (String.length line - colon - 1)
+                |> String.trim |> String.split_on_char ' '
+                |> List.filter (( <> ) "")
+                |> List.map int_of_string |> Array.of_list |> GP.config_of_array
+              in
+              (match head with
+               | [ "gemm"; m; n; k; dt; at; bt ] ->
+                 let input =
+                   GP.input ~dtype:(dtype_of_tag dt)
+                     ~a_trans:(bool_of_string at) ~b_trans:(bool_of_string bt)
+                     (int_of_string m) (int_of_string n) (int_of_string k)
+                 in
+                 if GP.structurally_legal input cfg then
+                   Hashtbl.replace t.gemm_cache input
+                     (plan_of_config t (GP.cost input cfg) cfg)
+               | [ "conv"; n; c; k; p; q; r; s; stride; pad; dt ] ->
+                 let input =
+                   CP.input ~dtype:(dtype_of_tag dt) ~stride:(int_of_string stride)
+                     ~pad:(int_of_string pad) ~n:(int_of_string n)
+                     ~c:(int_of_string c) ~k:(int_of_string k) ~p:(int_of_string p)
+                     ~q:(int_of_string q) ~r:(int_of_string r) ~s:(int_of_string s)
+                     ()
+                 in
+                 if CP.structurally_legal input cfg then
+                   Hashtbl.replace t.conv_cache input
+                     (plan_of_config t (CP.cost input cfg) cfg)
+               | _ -> failwith (path ^ ": malformed plan line"))
+          end
+        done
+      with End_of_file -> ())
+
+let clear_cache t =
+  Hashtbl.reset t.gemm_cache;
+  Hashtbl.reset t.conv_cache

@@ -1,0 +1,99 @@
+(** ISAAC: input-aware auto-tuning of compute-bound kernels.
+
+    This is the public entry point of the reproduction, wiring together
+    the paper's four components (Figure 1):
+    + kernel generation — {!Codegen.Gemm} / {!Codegen.Conv};
+    + data generation — {!Tuner.Dataset} (categorical generative model,
+      §4);
+    + regression analysis — {!Mlp} + {!Tuner.Profile} (log-featured MLP,
+      §5);
+    + runtime inference — {!Tuner.Search} (exhaustive search over tuning
+      parameters with top-k device re-benchmarking, §6).
+
+    Typical use:
+    {[
+      let rng = Util.Rng.create 42 in
+      let engine = Isaac.tune rng Gpu.Device.p100 ~op:`Gemm () in
+      let input = Codegen.Gemm_params.input 2560 16 2560 in
+      let plan = Option.get (Isaac.plan_gemm engine input) in
+      (* plan.config is the chosen kernel; on small problems you can run
+         it for real under the PTX interpreter: *)
+      let c = Isaac.gemm engine input ~a ~b
+    ]} *)
+
+type t
+(** A tuned engine: device + trained profile + kernel-plan cache. *)
+
+(** The outcome of runtime inference for one input. *)
+type plan = {
+  config : Codegen.Gemm_params.config;   (** chosen tuning parameters *)
+  measurement : Gpu.Executor.measurement; (** device re-benchmark result *)
+  predicted_tflops : float;               (** the model's estimate *)
+  n_legal : int;                           (** legal configs searched *)
+}
+
+val tune :
+  ?samples:int ->
+  ?epochs:int ->
+  ?arch:int array ->
+  ?dtypes:Ptx.Types.dtype list ->
+  ?noise:float ->
+  ?domains:int ->
+  Util.Rng.t ->
+  Gpu.Device.t ->
+  op:[ `Gemm | `Conv ] ->
+  unit ->
+  t
+(** Run the full auto-tuning pipeline: fit the generative model, benchmark
+    [samples] random kernels (default 4000 scaled by REPRO_SCALE; the
+    paper uses 50k–200k on real hardware), and train the regression MLP
+    ([arch] defaults to {!Tuner.Profile.default_arch}). [domains > 1]
+    parallelizes the benchmarking stage over OCaml 5 domains.
+    Deterministic given the rng (and the domain count). *)
+
+val of_profile : Gpu.Device.t -> Tuner.Profile.t -> t
+(** Wrap a previously saved profile. Raises [Invalid_argument] if the
+    profile was tuned for a different device. *)
+
+val profile : t -> Tuner.Profile.t
+val device : t -> Gpu.Device.t
+
+val plan_gemm : ?top_k:int -> t -> Codegen.Gemm_params.input -> plan option
+(** Runtime inference for a GEMM input. Results are cached per input, so
+    repeated calls are free (the paper's filesystem cache). *)
+
+val plan_conv : ?top_k:int -> t -> Codegen.Conv_params.input -> plan option
+
+val gemm :
+  t -> Codegen.Gemm_params.input -> a:float array -> b:float array -> float array
+(** Plan, generate the kernel, and execute it under the PTX interpreter.
+    Intended for examples/tests on small problems — the interpreter is a
+    functional simulator, not a fast CPU BLAS. Raises [Failure] if
+    planning fails. *)
+
+val conv :
+  t -> Codegen.Conv_params.input -> image:float array -> filter:float array ->
+  float array
+
+val explain_gemm : t -> Codegen.Gemm_params.input -> string
+(** A human-readable §8.1-style analysis of the planned kernel for this
+    input: the chosen parameters, the timing model's introspection
+    (occupancy, residency, L2 hit rate, bound resource, pipeline time
+    breakdown), the measured register pressure of the generated code, an
+    energy estimate, and a comparison against the cuBLAS-like baseline's
+    pick. Raises [Failure] if no kernel is legal. *)
+
+val explain_conv : t -> Codegen.Conv_params.input -> string
+(** Same against the cuDNN-like baseline. *)
+
+val save_plans : t -> string -> unit
+(** Persist the kernel-plan cache to disk — §6: inferred kernels may be
+    "cached on the filesystem" so later runs skip the search. *)
+
+val load_plans : t -> string -> unit
+(** Pre-seed the plan cache from a file written by {!save_plans}: each
+    cached configuration is re-benchmarked once on the device (no model
+    search). Entries whose configuration is no longer legal are skipped.
+    Raises [Failure] on malformed files. *)
+
+val clear_cache : t -> unit

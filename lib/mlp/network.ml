@@ -1,0 +1,175 @@
+type layer = {
+  w : Tensor.t;          (* out × in *)
+  b : float array;       (* out *)
+  (* Adam first/second moments *)
+  mw : Tensor.t;
+  vw : Tensor.t;
+  mb : float array;
+  vb : float array;
+}
+
+type t = {
+  layers : layer array;
+  arch : int array;
+  mutable step : int;   (* Adam timestep *)
+}
+
+let create rng ~sizes =
+  assert (Array.length sizes >= 2);
+  assert (sizes.(Array.length sizes - 1) = 1);
+  let layers =
+    Array.init
+      (Array.length sizes - 1)
+      (fun i ->
+        let fan_in = sizes.(i) and fan_out = sizes.(i + 1) in
+        { w = Tensor.random_he rng fan_out fan_in;
+          b = Array.make fan_out 0.0;
+          mw = Tensor.create fan_out fan_in;
+          vw = Tensor.create fan_out fan_in;
+          mb = Array.make fan_out 0.0;
+          vb = Array.make fan_out 0.0 })
+  in
+  { layers; arch = Array.copy sizes; step = 0 }
+
+let sizes t = Array.copy t.arch
+
+let num_weights t =
+  Array.fold_left
+    (fun acc l -> acc + (l.w.Tensor.rows * l.w.Tensor.cols) + Array.length l.b)
+    0 t.layers
+
+(* Forward pass keeping pre-activations (z) and activations (a) of every
+   layer for backprop. *)
+let forward t x =
+  let n = Array.length t.layers in
+  let zs = Array.make n x and activations = Array.make (n + 1) x in
+  for i = 0 to n - 1 do
+    let l = t.layers.(i) in
+    let z = Tensor.matmul_nt activations.(i) l.w in
+    Tensor.add_row_inplace z l.b;
+    zs.(i) <- z;
+    let a = if i = n - 1 then z else begin
+        let a = Tensor.copy z in
+        Tensor.relu_inplace a;
+        a
+      end
+    in
+    activations.(i + 1) <- a
+  done;
+  (zs, activations)
+
+let predict t x =
+  let _, activations = forward t x in
+  let out = activations.(Array.length t.layers) in
+  assert (out.Tensor.cols = 1);
+  Array.copy out.Tensor.data
+
+let predict_one t features =
+  let x = Tensor.of_array ~rows:1 ~cols:(Array.length features) features in
+  (predict t x).(0)
+
+type adam = { lr : float; beta1 : float; beta2 : float; epsilon : float }
+
+let default_adam = { lr = 1e-3; beta1 = 0.9; beta2 = 0.999; epsilon = 1e-8 }
+
+let adam_update opt ~step ~m ~v ~g ~theta =
+  let n = Array.length theta in
+  let bc1 = 1.0 -. (opt.beta1 ** float_of_int step) in
+  let bc2 = 1.0 -. (opt.beta2 ** float_of_int step) in
+  for i = 0 to n - 1 do
+    m.(i) <- (opt.beta1 *. m.(i)) +. ((1.0 -. opt.beta1) *. g.(i));
+    v.(i) <- (opt.beta2 *. v.(i)) +. ((1.0 -. opt.beta2) *. g.(i) *. g.(i));
+    let mhat = m.(i) /. bc1 and vhat = v.(i) /. bc2 in
+    theta.(i) <- theta.(i) -. (opt.lr *. mhat /. (sqrt vhat +. opt.epsilon))
+  done
+
+let train_batch t opt ~x ~y =
+  let batch = x.Tensor.rows in
+  assert (Array.length y = batch);
+  let n = Array.length t.layers in
+  let zs, activations = forward t x in
+  let out = activations.(n) in
+  (* MSE and its gradient on the linear output. *)
+  let loss = ref 0.0 in
+  let delta = Tensor.create batch 1 in
+  for i = 0 to batch - 1 do
+    let d = out.Tensor.data.(i) -. y.(i) in
+    loss := !loss +. (d *. d);
+    delta.Tensor.data.(i) <- 2.0 *. d /. float_of_int batch
+  done;
+  t.step <- t.step + 1;
+  let delta = ref delta in
+  for i = n - 1 downto 0 do
+    let l = t.layers.(i) in
+    let dw = Tensor.matmul_tn !delta activations.(i) in
+    let db = Tensor.col_sums !delta in
+    if i > 0 then begin
+      let d_prev = Tensor.matmul_nn !delta l.w in
+      Tensor.relu_mask_inplace d_prev zs.(i - 1);
+      delta := d_prev
+    end;
+    adam_update opt ~step:t.step ~m:l.mw.Tensor.data ~v:l.vw.Tensor.data
+      ~g:dw.Tensor.data ~theta:l.w.Tensor.data;
+    adam_update opt ~step:t.step ~m:l.mb ~v:l.vb ~g:db ~theta:l.b
+  done;
+  !loss /. float_of_int batch
+
+let mse t ~x ~y =
+  let pred = predict t x in
+  Util.Stats.mse pred y
+
+let copy t =
+  { layers =
+      Array.map
+        (fun l ->
+          { w = Tensor.copy l.w; b = Array.copy l.b; mw = Tensor.copy l.mw;
+            vw = Tensor.copy l.vw; mb = Array.copy l.mb; vb = Array.copy l.vb })
+        t.layers;
+    arch = Array.copy t.arch;
+    step = t.step }
+
+let save t oc =
+  Printf.fprintf oc "mlp %d\n" (Array.length t.arch);
+  Array.iter (fun s -> Printf.fprintf oc "%d " s) t.arch;
+  Printf.fprintf oc "\n%d\n" t.step;
+  Array.iter
+    (fun l ->
+      Array.iter (fun v -> Printf.fprintf oc "%.17g " v) l.w.Tensor.data;
+      Printf.fprintf oc "\n";
+      Array.iter (fun v -> Printf.fprintf oc "%.17g " v) l.b;
+      Printf.fprintf oc "\n")
+    t.layers
+
+let load ic =
+  let line () = input_line ic in
+  let header = line () in
+  let arch_len = Scanf.sscanf header "mlp %d" Fun.id in
+  let arch =
+    let parts =
+      String.split_on_char ' ' (String.trim (line ())) |> List.map int_of_string
+    in
+    assert (List.length parts = arch_len);
+    Array.of_list parts
+  in
+  let step = int_of_string (String.trim (line ())) in
+  let floats_of_line l =
+    String.split_on_char ' ' (String.trim l)
+    |> List.filter (fun s -> s <> "")
+    |> List.map float_of_string
+    |> Array.of_list
+  in
+  let layers =
+    Array.init (arch_len - 1) (fun i ->
+        let fan_in = arch.(i) and fan_out = arch.(i + 1) in
+        let wdata = floats_of_line (line ()) in
+        assert (Array.length wdata = fan_in * fan_out);
+        let b = floats_of_line (line ()) in
+        assert (Array.length b = fan_out);
+        { w = Tensor.of_array ~rows:fan_out ~cols:fan_in wdata;
+          b;
+          mw = Tensor.create fan_out fan_in;
+          vw = Tensor.create fan_out fan_in;
+          mb = Array.make fan_out 0.0;
+          vb = Array.make fan_out 0.0 })
+  in
+  { layers; arch; step }

@@ -1,0 +1,50 @@
+(** Multi-layer perceptron for performance regression (paper §5,
+    Algorithm 1).
+
+    Hidden layers use relu — chosen by the paper because performance
+    models are full of maximums (Eq. 2–3) — and the output layer is
+    linear. Training minimizes mean squared error with Adam.
+
+    The caller is responsible for feature transformation; the paper's key
+    finding (§5.2) that inputs must be passed through a logarithm lives in
+    {!Tuner.Features}, and Table 2 reproduces the degradation without
+    it. *)
+
+type t
+
+val create : Util.Rng.t -> sizes:int array -> t
+(** [create rng ~sizes] with [sizes = [|inputs; hidden...; 1|]]. *)
+
+val sizes : t -> int array
+val num_weights : t -> int
+(** Total trainable parameters (weights + biases), as reported in
+    Table 2's "#weights" column. *)
+
+val predict : t -> Tensor.t -> float array
+(** Batch forward pass: (batch × inputs) → batch predictions. *)
+
+val predict_one : t -> float array -> float
+
+type adam = {
+  lr : float;
+  beta1 : float;
+  beta2 : float;
+  epsilon : float;
+}
+
+val default_adam : adam
+
+val train_batch : t -> adam -> x:Tensor.t -> y:float array -> float
+(** One optimizer step on a minibatch; returns the batch MSE before the
+    update. *)
+
+val mse : t -> x:Tensor.t -> y:float array -> float
+(** Evaluation loss on a dataset (no update). *)
+
+val copy : t -> t
+(** Deep copy (weights and optimizer state). *)
+
+val save : t -> out_channel -> unit
+val load : in_channel -> t
+(** Plain-text serialization (architecture then weights), used by the
+    profile cache. *)

@@ -1,0 +1,111 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols = { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let of_array ~rows ~cols data =
+  assert (Array.length data = rows * cols);
+  { rows; cols; data }
+
+let get t i j = t.data.((i * t.cols) + j)
+let set t i j v = t.data.((i * t.cols) + j) <- v
+
+let random_he rng rows cols =
+  let sigma = sqrt (2.0 /. float_of_int cols) in
+  { rows; cols;
+    data = Array.init (rows * cols) (fun _ -> sigma *. Util.Rng.gaussian rng) }
+
+(* a (m×k) · bᵀ with b (n×k): both operands walk rows, which are
+   contiguous, so the inner loop is a pure dot product. *)
+let matmul_nt a b =
+  assert (a.cols = b.cols);
+  let m = a.rows and n = b.rows and k = a.cols in
+  let out = create m n in
+  let ad = a.data and bd = b.data and od = out.data in
+  for i = 0 to m - 1 do
+    let abase = i * k in
+    let obase = i * n in
+    for j = 0 to n - 1 do
+      let bbase = j * k in
+      let acc = ref 0.0 in
+      for l = 0 to k - 1 do
+        acc := !acc +. (ad.(abase + l) *. bd.(bbase + l))
+      done;
+      od.(obase + j) <- !acc
+    done
+  done;
+  out
+
+(* a (m×k) · b (k×n): ikj order keeps the inner loop streaming over rows
+   of b and out. *)
+let matmul_nn a b =
+  assert (a.cols = b.rows);
+  let m = a.rows and k = a.cols and n = b.cols in
+  let out = create m n in
+  let ad = a.data and bd = b.data and od = out.data in
+  for i = 0 to m - 1 do
+    let abase = i * k and obase = i * n in
+    for l = 0 to k - 1 do
+      let av = ad.(abase + l) in
+      if av <> 0.0 then begin
+        let bbase = l * n in
+        for j = 0 to n - 1 do
+          od.(obase + j) <- od.(obase + j) +. (av *. bd.(bbase + j))
+        done
+      end
+    done
+  done;
+  out
+
+(* aᵀ (m×k) · b (k×n) with a stored (k×m). *)
+let matmul_tn a b =
+  assert (a.rows = b.rows);
+  let k = a.rows and m = a.cols and n = b.cols in
+  let out = create m n in
+  let ad = a.data and bd = b.data and od = out.data in
+  for l = 0 to k - 1 do
+    let abase = l * m and bbase = l * n in
+    for i = 0 to m - 1 do
+      let av = ad.(abase + i) in
+      if av <> 0.0 then begin
+        let obase = i * n in
+        for j = 0 to n - 1 do
+          od.(obase + j) <- od.(obase + j) +. (av *. bd.(bbase + j))
+        done
+      end
+    done
+  done;
+  out
+
+let add_row_inplace t row =
+  assert (Array.length row = t.cols);
+  for i = 0 to t.rows - 1 do
+    let base = i * t.cols in
+    for j = 0 to t.cols - 1 do
+      t.data.(base + j) <- t.data.(base + j) +. row.(j)
+    done
+  done
+
+let relu_inplace t =
+  Array.iteri (fun i v -> if v < 0.0 then t.data.(i) <- 0.0) t.data
+
+let relu_mask_inplace delta z =
+  assert (delta.rows = z.rows && delta.cols = z.cols);
+  Array.iteri (fun i v -> if v <= 0.0 then delta.data.(i) <- 0.0) z.data
+
+let col_sums t =
+  let out = Array.make t.cols 0.0 in
+  for i = 0 to t.rows - 1 do
+    let base = i * t.cols in
+    for j = 0 to t.cols - 1 do
+      out.(j) <- out.(j) +. t.data.(base + j)
+    done
+  done;
+  out
+
+let scale_inplace t s = Array.iteri (fun i v -> t.data.(i) <- v *. s) t.data
+
+let sub a b =
+  assert (a.rows = b.rows && a.cols = b.cols);
+  { a with data = Array.init (Array.length a.data) (fun i -> a.data.(i) -. b.data.(i)) }
+
+let copy t = { t with data = Array.copy t.data }

@@ -1,0 +1,52 @@
+(** Dense row-major matrices and the handful of BLAS-like operations the
+    MLP needs. Everything is plain [float array] for portability; the
+    matmul kernels use cache-blocked loops that are fast enough for the
+    training sizes in this reproduction.
+
+    (The paper notes, §5, that an MLP over ~20 features relies on highly
+    rectangular matrix products — the very shapes ISAAC tunes for; our CPU
+    stand-in keeps that irony intact.) *)
+
+type t = {
+  rows : int;
+  cols : int;
+  data : float array;  (** row-major, length rows·cols *)
+}
+
+val create : int -> int -> t
+(** Zero-filled matrix. *)
+
+val of_array : rows:int -> cols:int -> float array -> t
+(** Wrap an existing array (no copy). Length must match. *)
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val random_he : Util.Rng.t -> int -> int -> t
+(** He-normal initialization: N(0, sqrt(2 / cols)) — the standard choice
+    for relu networks. *)
+
+val matmul_nt : t -> t -> t
+(** [matmul_nt a b] = a · bᵀ where a is (m×k), b is (n×k); result (m×n).
+    This is the forward-pass shape: activations (batch×in) times weights
+    (out×in). *)
+
+val matmul_nn : t -> t -> t
+(** [matmul_nn a b] = a · b, a (m×k), b (k×n). *)
+
+val matmul_tn : t -> t -> t
+(** [matmul_tn a b] = aᵀ · b, a (k×m), b (k×n); result (m×n). The
+    weight-gradient shape: deltasᵀ times activations. *)
+
+val add_row_inplace : t -> float array -> unit
+(** Add a row vector to every row (bias). *)
+
+val relu_inplace : t -> unit
+val relu_mask_inplace : t -> t -> unit
+(** [relu_mask_inplace delta z]: zero the entries of [delta] where the
+    corresponding [z] entry is ≤ 0 (backprop through relu). *)
+
+val col_sums : t -> float array
+val scale_inplace : t -> float -> unit
+val sub : t -> t -> t
+val copy : t -> t

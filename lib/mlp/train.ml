@@ -1,0 +1,63 @@
+type history = {
+  epoch_train_mse : float array;
+  epoch_val_mse : float array;
+}
+
+let rows x idx =
+  let cols = x.Tensor.cols in
+  let out = Tensor.create (List.length idx) cols in
+  List.iteri
+    (fun i r ->
+      Array.blit x.Tensor.data (r * cols) out.Tensor.data (i * cols) cols)
+    idx;
+  out
+
+let fit ?(batch_size = 64) ?(epochs = 20) ?(adam = Network.default_adam) ?validation
+    rng net ~x ~y =
+  let n = x.Tensor.rows in
+  assert (Array.length y = n);
+  let cols = x.Tensor.cols in
+  let order = Array.init n (fun i -> i) in
+  let train_hist = Array.make epochs 0.0 in
+  let val_hist =
+    match validation with Some _ -> Array.make epochs 0.0 | None -> [||]
+  in
+  let xb = Tensor.create batch_size cols in
+  let yb = Array.make batch_size 0.0 in
+  for epoch = 0 to epochs - 1 do
+    Util.Rng.shuffle rng order;
+    let batches = ref 0 and loss_sum = ref 0.0 in
+    let i = ref 0 in
+    while !i + batch_size <= n do
+      for j = 0 to batch_size - 1 do
+        let r = order.(!i + j) in
+        Array.blit x.Tensor.data (r * cols) xb.Tensor.data (j * cols) cols;
+        yb.(j) <- y.(r)
+      done;
+      loss_sum := !loss_sum +. Network.train_batch net adam ~x:xb ~y:yb;
+      incr batches;
+      i := !i + batch_size
+    done;
+    train_hist.(epoch) <- (if !batches = 0 then Float.nan else !loss_sum /. float_of_int !batches);
+    match validation with
+    | Some (xv, yv) -> val_hist.(epoch) <- Network.mse net ~x:xv ~y:yv
+    | None -> ()
+  done;
+  { epoch_train_mse = train_hist; epoch_val_mse = val_hist }
+
+let split rng ~test_fraction ~x ~y =
+  let n = x.Tensor.rows in
+  let order = Array.to_list (Util.Rng.permutation rng n) in
+  let n_test = int_of_float (Float.round (float_of_int n *. test_fraction)) in
+  let n_test = max 1 (min (n - 1) n_test) in
+  let rec take k = function
+    | [] -> ([], [])
+    | hd :: tl ->
+      if k = 0 then ([], hd :: tl)
+      else
+        let a, b = take (k - 1) tl in
+        (hd :: a, b)
+  in
+  let test_idx, train_idx = take n_test order in
+  let pick idx = (rows x idx, Array.of_list (List.map (fun i -> y.(i)) idx)) in
+  (pick train_idx, pick test_idx)

@@ -1,0 +1,31 @@
+(** Minibatch training loops and cross-validation for {!Network}. *)
+
+type history = {
+  epoch_train_mse : float array;  (** mean minibatch loss per epoch *)
+  epoch_val_mse : float array;    (** validation MSE per epoch (empty if
+                                      no validation set was supplied) *)
+}
+
+val fit :
+  ?batch_size:int ->
+  ?epochs:int ->
+  ?adam:Network.adam ->
+  ?validation:Tensor.t * float array ->
+  Util.Rng.t ->
+  Network.t ->
+  x:Tensor.t ->
+  y:float array ->
+  history
+(** Shuffled minibatch Adam training (defaults: batch 64, 20 epochs). *)
+
+val split :
+  Util.Rng.t ->
+  test_fraction:float ->
+  x:Tensor.t ->
+  y:float array ->
+  (Tensor.t * float array) * (Tensor.t * float array)
+(** Random train/test split; the paper's Table 2 measures MSE "on a fixed
+    set of data-points separate from the samples used for training". *)
+
+val rows : Tensor.t -> int list -> Tensor.t
+(** Extract a row subset in the given order. *)

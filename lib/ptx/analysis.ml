@@ -1,0 +1,69 @@
+type mix = {
+  ialu : int;
+  fma : int;
+  fp_other : int;
+  ld_global : int;
+  st_global : int;
+  ld_shared : int;
+  st_shared : int;
+  atom : int;
+  bar : int;
+  branch : int;
+  pred : int;
+  mov : int;
+}
+
+let zero =
+  { ialu = 0; fma = 0; fp_other = 0; ld_global = 0; st_global = 0;
+    ld_shared = 0; st_shared = 0; atom = 0; bar = 0; branch = 0; pred = 0; mov = 0 }
+
+let add a b =
+  { ialu = a.ialu + b.ialu;
+    fma = a.fma + b.fma;
+    fp_other = a.fp_other + b.fp_other;
+    ld_global = a.ld_global + b.ld_global;
+    st_global = a.st_global + b.st_global;
+    ld_shared = a.ld_shared + b.ld_shared;
+    st_shared = a.st_shared + b.st_shared;
+    atom = a.atom + b.atom;
+    bar = a.bar + b.bar;
+    branch = a.branch + b.branch;
+    pred = a.pred + b.pred;
+    mov = a.mov + b.mov }
+
+let total m =
+  m.ialu + m.fma + m.fp_other + m.ld_global + m.st_global + m.ld_shared
+  + m.st_shared + m.atom + m.bar + m.branch + m.pred + m.mov
+
+let count_instr m (i : Instr.t) =
+  match Instr.categorize i.op with
+  | None -> m
+  | Some Cat_ialu -> { m with ialu = m.ialu + 1 }
+  | Some Cat_fma -> { m with fma = m.fma + 1 }
+  | Some Cat_fp_other -> { m with fp_other = m.fp_other + 1 }
+  | Some Cat_ld_global -> { m with ld_global = m.ld_global + 1 }
+  | Some Cat_st_global -> { m with st_global = m.st_global + 1 }
+  | Some Cat_ld_shared -> { m with ld_shared = m.ld_shared + 1 }
+  | Some Cat_st_shared -> { m with st_shared = m.st_shared + 1 }
+  | Some Cat_atom -> { m with atom = m.atom + 1 }
+  | Some Cat_bar -> { m with bar = m.bar + 1 }
+  | Some Cat_branch -> { m with branch = m.branch + 1 }
+  | Some Cat_pred -> { m with pred = m.pred + 1 }
+  | Some Cat_mov -> { m with mov = m.mov + 1 }
+
+let of_program (p : Program.t) = Array.fold_left count_instr zero p.body
+
+let between_labels (p : Program.t) ~start ~stop =
+  let labels = Program.find_labels p in
+  let i0 =
+    match Hashtbl.find_opt labels start with Some i -> i | None -> raise Not_found
+  in
+  let i1 =
+    match Hashtbl.find_opt labels stop with Some i -> i | None -> raise Not_found
+  in
+  if i1 < i0 then raise Not_found;
+  let m = ref zero in
+  for i = i0 + 1 to i1 - 1 do
+    m := count_instr !m p.body.(i)
+  done;
+  !m

@@ -1,0 +1,33 @@
+(** Static analysis over program bodies: per-category instruction counts of
+    the straight-line portions, used as a sanity cross-check against the
+    interpreter's dynamic counters and by tests that pin the structure of
+    generated kernels. *)
+
+type mix = {
+  ialu : int;
+  fma : int;
+  fp_other : int;
+  ld_global : int;
+  st_global : int;
+  ld_shared : int;
+  st_shared : int;
+  atom : int;
+  bar : int;
+  branch : int;
+  pred : int;
+  mov : int;
+}
+
+val zero : mix
+val add : mix -> mix -> mix
+val total : mix -> int
+
+val of_program : Program.t -> mix
+(** Static (per-occurrence, not per-execution) instruction mix of the whole
+    body. *)
+
+val between_labels : Program.t -> start:string -> stop:string -> mix
+(** Mix of the instructions strictly between two labels. Raises
+    [Not_found] if either label is absent or they are out of order.
+    Generators bracket their main loop with labels so tests and the timing
+    model can inspect the loop body in isolation. *)

@@ -1,0 +1,243 @@
+open Types
+
+exception Bad of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Bad (line, s))) fmt
+
+let strip_comment line =
+  match String.index_opt line '/' with
+  | Some i when i + 1 < String.length line && line.[i + 1] = '/' -> String.sub line 0 i
+  | _ -> line
+
+let specials =
+  [ ("%tid.x", Tid_x); ("%tid.y", Tid_y); ("%tid.z", Tid_z);
+    ("%ctaid.x", Ctaid_x); ("%ctaid.y", Ctaid_y); ("%ctaid.z", Ctaid_z);
+    ("%ntid.x", Ntid_x); ("%ntid.y", Ntid_y); ("%ntid.z", Ntid_z);
+    ("%nctaid.x", Nctaid_x); ("%nctaid.y", Nctaid_y); ("%nctaid.z", Nctaid_z) ]
+
+let parse_ireg ln tok =
+  match int_of_string_opt (String.sub tok 2 (String.length tok - 2)) with
+  | Some r when String.length tok > 2 && tok.[0] = '%' && tok.[1] = 'r' -> r
+  | _ -> fail ln "expected integer register, got %S" tok
+
+let parse_freg ln tok =
+  match int_of_string_opt (String.sub tok 2 (String.length tok - 2)) with
+  | Some r when String.length tok > 2 && tok.[0] = '%' && tok.[1] = 'f' -> r
+  | _ -> fail ln "expected float register, got %S" tok
+
+let parse_preg ln tok =
+  match int_of_string_opt (String.sub tok 2 (String.length tok - 2)) with
+  | Some r when String.length tok > 2 && tok.[0] = '%' && tok.[1] = 'p' -> r
+  | _ -> fail ln "expected predicate register, got %S" tok
+
+let parse_io ln tok =
+  if tok = "" then fail ln "empty integer operand"
+  else if tok.[0] = '%' then begin
+    match List.assoc_opt tok specials with
+    | Some s -> Ispecial s
+    | None ->
+      if String.length tok > 6 && String.sub tok 0 6 = "%param" then
+        match int_of_string_opt (String.sub tok 6 (String.length tok - 6)) with
+        | Some p -> Iparam p
+        | None -> fail ln "bad parameter operand %S" tok
+      else Ireg (parse_ireg ln tok)
+  end
+  else
+    match int_of_string_opt tok with
+    | Some v -> Iimm v
+    | None -> fail ln "bad integer operand %S" tok
+
+let parse_fo ln tok =
+  if tok = "" then fail ln "empty float operand"
+  else if tok.[0] = '%' then Freg (parse_freg ln tok)
+  else
+    match float_of_string_opt tok with
+    | Some v -> Fimm v
+    | None -> fail ln "bad float operand %S" tok
+
+(* "[%param_buf3 + %r7]" -> (3, operand); "[%r7]" / "[12]" -> shared
+   address operand. *)
+let parse_global_addr ln tok =
+  let inner = String.sub tok 1 (String.length tok - 2) in
+  match String.index_opt inner '+' with
+  | None -> fail ln "global address %S missing base" tok
+  | Some plus ->
+    let base = String.trim (String.sub inner 0 plus) in
+    let off = String.trim (String.sub inner (plus + 1) (String.length inner - plus - 1)) in
+    let prefix = "%param_buf" in
+    let pl = String.length prefix in
+    if String.length base <= pl || String.sub base 0 pl <> prefix then
+      fail ln "bad buffer base %S" base;
+    (match int_of_string_opt (String.sub base pl (String.length base - pl)) with
+     | Some slot -> (slot, parse_io ln off)
+     | None -> fail ln "bad buffer slot in %S" base)
+
+let parse_shared_addr ln tok =
+  let inner = String.trim (String.sub tok 1 (String.length tok - 2)) in
+  parse_io ln inner
+
+let split_operands s =
+  String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
+
+let cmp_of_name ln = function
+  | "eq" -> Eq | "ne" -> Ne | "lt" -> Lt | "le" -> Le | "gt" -> Gt | "ge" -> Ge
+  | other -> fail ln "unknown comparison %S" other
+
+let parse_instr ln text =
+  let text = String.trim text in
+  (* guard *)
+  let guard, text =
+    if text <> "" && text.[0] = '@' then begin
+      let sp =
+        match String.index_opt text ' ' with
+        | Some i -> i
+        | None -> fail ln "guard without instruction"
+      in
+      let g = String.sub text 1 (sp - 1) in
+      let sense, reg = if g.[0] = '!' then (false, String.sub g 1 (String.length g - 1)) else (true, g) in
+      ( Some (parse_preg ln reg, sense),
+        String.trim (String.sub text (sp + 1) (String.length text - sp - 1)) )
+    end
+    else (None, text)
+  in
+  let opcode, rest =
+    match String.index_opt text ' ' with
+    | Some i ->
+      (String.sub text 0 i, String.trim (String.sub text (i + 1) (String.length text - i - 1)))
+    | None -> (text, "")
+  in
+  let parts = String.split_on_char '.' opcode in
+  let ops = split_operands rest in
+  let io i = parse_io ln (List.nth ops i) in
+  let fo i = parse_fo ln (List.nth ops i) in
+  let ir i = parse_ireg ln (List.nth ops i) in
+  let fr i = parse_freg ln (List.nth ops i) in
+  let pr i = parse_preg ln (List.nth ops i) in
+  let arity n =
+    if List.length ops <> n then
+      fail ln "%s expects %d operands, got %d" opcode n (List.length ops)
+  in
+  let i3 mk = arity 3; mk (ir 0) (io 1) (io 2) in
+  let f3 mk = arity 3; mk (fr 0) (fo 1) (fo 2) in
+  let op =
+    match parts with
+    | [ "mov"; "s32" ] -> arity 2; Instr.Mov (ir 0, io 1)
+    | "mov" :: _ -> arity 2; Movf (fr 0, fo 1)
+    | [ "add"; "s32" ] -> i3 (fun d a b -> Instr.Iadd (d, a, b))
+    | [ "sub"; "s32" ] -> i3 (fun d a b -> Instr.Isub (d, a, b))
+    | [ "mul"; "lo"; "s32" ] -> i3 (fun d a b -> Instr.Imul (d, a, b))
+    | [ "mad"; "lo"; "s32" ] -> arity 4; Imad (ir 0, io 1, io 2, io 3)
+    | [ "div"; "s32" ] -> i3 (fun d a b -> Instr.Idiv (d, a, b))
+    | [ "rem"; "s32" ] -> i3 (fun d a b -> Instr.Irem (d, a, b))
+    | [ "min"; "s32" ] -> i3 (fun d a b -> Instr.Imin (d, a, b))
+    | [ "max"; "s32" ] -> i3 (fun d a b -> Instr.Imax (d, a, b))
+    | [ "shl"; "b32"; "s32" ] -> i3 (fun d a b -> Instr.Ishl (d, a, b))
+    | [ "shr"; "b32"; "s32" ] -> i3 (fun d a b -> Instr.Ishr (d, a, b))
+    | [ "and"; "b32"; "s32" ] -> i3 (fun d a b -> Instr.Iand (d, a, b))
+    | [ "or"; "b32"; "s32" ] -> i3 (fun d a b -> Instr.Ior (d, a, b))
+    | [ "setp"; c; "s32" ] -> arity 3; Setp (cmp_of_name ln c, pr 0, io 1, io 2)
+    | [ "and"; "pred" ] -> arity 3; And_p (pr 0, pr 1, pr 2)
+    | [ "or"; "pred" ] -> arity 3; Or_p (pr 0, pr 1, pr 2)
+    | [ "not"; "pred" ] -> arity 2; Not_p (pr 0, pr 1)
+    | "add" :: _ -> f3 (fun d a b -> Instr.Fadd (d, a, b))
+    | "sub" :: _ -> f3 (fun d a b -> Instr.Fsub (d, a, b))
+    | "mul" :: _ -> f3 (fun d a b -> Instr.Fmul (d, a, b))
+    | "max" :: _ -> f3 (fun d a b -> Instr.Fmax (d, a, b))
+    | "min" :: _ -> f3 (fun d a b -> Instr.Fmin (d, a, b))
+    | "fma" :: "rn" :: _ -> arity 4; Ffma (fr 0, fo 1, fo 2, fo 3)
+    | [ "ld"; "global"; "s32" ] ->
+      arity 2;
+      let slot, addr = parse_global_addr ln (List.nth ops 1) in
+      Ld_global_i (ir 0, slot, addr)
+    | "ld" :: "global" :: _ ->
+      arity 2;
+      let slot, addr = parse_global_addr ln (List.nth ops 1) in
+      Ld_global (fr 0, slot, addr)
+    | [ "ld"; "shared"; "s32" ] ->
+      arity 2; Ld_shared_i (ir 0, parse_shared_addr ln (List.nth ops 1))
+    | "ld" :: "shared" :: _ ->
+      arity 2; Ld_shared (fr 0, parse_shared_addr ln (List.nth ops 1))
+    | [ "st"; "global"; _ ] ->
+      arity 2;
+      let slot, addr = parse_global_addr ln (List.nth ops 0) in
+      St_global (slot, addr, fo 1)
+    | [ "st"; "shared"; "s32" ] ->
+      arity 2; St_shared_i (parse_shared_addr ln (List.nth ops 0), io 1)
+    | "st" :: "shared" :: _ ->
+      arity 2; St_shared (parse_shared_addr ln (List.nth ops 0), fo 1)
+    | "red" :: "global" :: "add" :: _ ->
+      arity 2;
+      let slot, addr = parse_global_addr ln (List.nth ops 0) in
+      Atom_global_add (slot, addr, fo 1)
+    | [ "bra" ] -> arity 1; Bra (List.nth ops 0)
+    | "bar" :: _ -> Bar
+    | [ "ret" ] -> Ret
+    | _ -> fail ln "unknown opcode %S" opcode
+  in
+  { Instr.op; guard }
+
+let dtype_of_name ln = function
+  | "f16" -> F16
+  | "f32" -> F32
+  | "f64" -> F64
+  | other -> fail ln "unknown dtype %S" other
+
+let parse text =
+  try
+    let raw_lines = String.split_on_char '\n' text in
+    (* Header info lives in comments, so capture before stripping. *)
+    let name = ref "" and dtype = ref F32 in
+    let bufs = ref [] and ints = ref [] in
+    let nf = ref 0 and ni = ref 0 and np = ref 0 in
+    let sw = ref 0 and siw = ref 0 in
+    let body = ref [] in
+    List.iteri
+      (fun idx raw ->
+        let ln = idx + 1 in
+        let trimmed = String.trim raw in
+        if trimmed = "" || trimmed = ")" || trimmed = "}" then ()
+        else if String.length trimmed >= 15 && String.sub trimmed 0 15 = ".visible .entry" then
+          Scanf.sscanf trimmed ".visible .entry %s ( // dtype=%s" (fun n d ->
+              name := n;
+              dtype := dtype_of_name ln d)
+        else if String.length trimmed >= 6 && String.sub trimmed 0 6 = ".param" then begin
+          if String.length trimmed > 11 && String.sub trimmed 7 4 = ".u64" then
+            Scanf.sscanf trimmed ".param .u64 %[^, ]" (fun n -> bufs := n :: !bufs)
+          else Scanf.sscanf trimmed ".param .s32 %[^ ,]" (fun n -> ints := n :: !ints)
+        end
+        else if trimmed.[0] = '{' then
+          Scanf.sscanf trimmed
+            "{ // %d fregs, %d iregs, %d pregs, %d shared words, %d shared int words"
+            (fun a b c d e -> nf := a; ni := b; np := c; sw := d; siw := e)
+        else begin
+          let stripped = String.trim (strip_comment trimmed) in
+          if stripped = "" then ()
+          else if String.length stripped > 1 && stripped.[String.length stripped - 1] = ':'
+          then
+            body := Instr.mk (Instr.Label (String.sub stripped 0 (String.length stripped - 1)))
+                    :: !body
+          else body := parse_instr ln stripped :: !body
+        end)
+      raw_lines;
+    let program =
+      { Program.name = !name;
+        dtype = !dtype;
+        buf_params = Array.of_list (List.rev !bufs);
+        int_params = Array.of_list (List.rev !ints);
+        shared_words = !sw;
+        shared_int_words = !siw;
+        body = Array.of_list (List.rev !body);
+        n_fregs = !nf;
+        n_iregs = !ni;
+        n_pregs = !np }
+    in
+    (match Program.validate program with
+     | Ok () -> Ok program
+     | Error e -> Error ("validation: " ^ e))
+  with
+  | Bad (ln, msg) -> Error (Printf.sprintf "line %d: %s" ln msg)
+  | Scanf.Scan_failure msg -> Error ("scan failure: " ^ msg)
+  | Failure msg -> Error msg
+
+let parse_exn text =
+  match parse text with Ok p -> p | Error e -> failwith ("Ptx.Asm.parse: " ^ e)

@@ -1,0 +1,15 @@
+(** Assembler for the mini-PTX textual form.
+
+    Parses exactly the dialect {!Disasm.program} emits, closing the
+    loop: [parse (Disasm.program p)] returns a program structurally equal
+    to [p] (float immediates are printed with 17 significant digits so
+    the round-trip is lossless). Useful for storing kernels as text, for
+    hand-writing test kernels, and as a guarantee that the printed form
+    carries all program information. *)
+
+val parse : string -> (Program.t, string) result
+(** Parse a full kernel listing. Errors carry a line number and a
+    message. The parsed program is {!Program.validate}d. *)
+
+val parse_exn : string -> Program.t
+(** Like {!parse}; raises [Failure]. *)

@@ -1,0 +1,80 @@
+open Types
+
+type t = {
+  name : string;
+  dtype : dtype;
+  mutable buf_params : string list;   (* reversed *)
+  mutable int_params : string list;   (* reversed *)
+  mutable body : Instr.t list;        (* reversed *)
+  mutable next_f : int;
+  mutable next_i : int;
+  mutable next_p : int;
+  mutable next_label : int;
+  mutable shared_words : int;
+  mutable shared_int_words : int;
+}
+
+let create ~name ~dtype =
+  { name; dtype; buf_params = []; int_params = []; body = [];
+    next_f = 0; next_i = 0; next_p = 0; next_label = 0;
+    shared_words = 0; shared_int_words = 0 }
+
+let buf_param t name =
+  let slot = List.length t.buf_params in
+  t.buf_params <- name :: t.buf_params;
+  slot
+
+let int_param t name =
+  let slot = List.length t.int_params in
+  t.int_params <- name :: t.int_params;
+  Iparam slot
+
+let fresh_f t = let r = t.next_f in t.next_f <- r + 1; r
+let fresh_i t = let r = t.next_i in t.next_i <- r + 1; r
+let fresh_p t = let r = t.next_p in t.next_p <- r + 1; r
+
+let fresh_label t stem =
+  let n = t.next_label in
+  t.next_label <- n + 1;
+  Printf.sprintf "%s_%d" stem n
+
+let emit t ?guard op = t.body <- Instr.mk ?guard op :: t.body
+let place_label t name = emit t (Instr.Label name)
+
+let set_shared t ~words ~int_words =
+  t.shared_words <- words;
+  t.shared_int_words <- int_words
+
+let finish t =
+  let body =
+    match t.body with
+    | { Instr.op = Instr.Ret; _ } :: _ -> List.rev t.body
+    | _ -> List.rev (Instr.mk Instr.Ret :: t.body)
+  in
+  let program =
+    { Program.name = t.name;
+      dtype = t.dtype;
+      buf_params = Array.of_list (List.rev t.buf_params);
+      int_params = Array.of_list (List.rev t.int_params);
+      shared_words = t.shared_words;
+      shared_int_words = t.shared_int_words;
+      body = Array.of_list body;
+      n_fregs = t.next_f;
+      n_iregs = t.next_i;
+      n_pregs = t.next_p }
+  in
+  match Program.validate program with
+  | Ok () -> program
+  | Error msg -> invalid_arg ("Builder.finish: " ^ msg)
+
+let mov_i t a = let d = fresh_i t in emit t (Instr.Mov (d, a)); d
+let mov_f t a = let d = fresh_f t in emit t (Instr.Movf (d, a)); d
+let add_i t a b = let d = fresh_i t in emit t (Instr.Iadd (d, a, b)); d
+let sub_i t a b = let d = fresh_i t in emit t (Instr.Isub (d, a, b)); d
+let mul_i t a b = let d = fresh_i t in emit t (Instr.Imul (d, a, b)); d
+let mad_i t a b c = let d = fresh_i t in emit t (Instr.Imad (d, a, b, c)); d
+let div_i t a b = let d = fresh_i t in emit t (Instr.Idiv (d, a, b)); d
+let rem_i t a b = let d = fresh_i t in emit t (Instr.Irem (d, a, b)); d
+let min_i t a b = let d = fresh_i t in emit t (Instr.Imin (d, a, b)); d
+let setp t cmp a b = let d = fresh_p t in emit t (Instr.Setp (cmp, d, a, b)); d
+let and_p t a b = let d = fresh_p t in emit t (Instr.And_p (d, a, b)); d

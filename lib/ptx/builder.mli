@@ -1,0 +1,54 @@
+(** Imperative construction of {!Program.t} values.
+
+    The kernel generators allocate virtual registers and labels through a
+    builder and emit instructions in order; [finish] packages the body with
+    the register counts. The builder guarantees the structural invariants
+    that {!Program.validate} checks. *)
+
+open Types
+
+type t
+
+val create : name:string -> dtype:dtype -> t
+
+val buf_param : t -> string -> int
+(** Declare a global buffer parameter; returns its slot. *)
+
+val int_param : t -> string -> ioperand
+(** Declare a scalar integer parameter; returns an operand reading it. *)
+
+val fresh_f : t -> freg
+val fresh_i : t -> ireg
+val fresh_p : t -> preg
+
+val fresh_label : t -> string -> string
+(** [fresh_label t stem] returns a unique label name based on [stem]. *)
+
+val emit : t -> ?guard:preg * bool -> Instr.op -> unit
+val place_label : t -> string -> unit
+(** Emit the [Label] pseudo-instruction defining a label. *)
+
+val set_shared : t -> words:int -> int_words:int -> unit
+(** Declare the shared-memory footprint (float words / int words). *)
+
+val finish : t -> Program.t
+(** Close the builder. Appends a trailing [Ret] if the body does not end
+    with one, and validates the result (raising [Invalid_argument] on
+    failure, which indicates a generator bug). *)
+
+(** {2 Convenience emission helpers}
+
+    These wrap common emit patterns; each returns the destination
+    register. *)
+
+val mov_i : t -> ioperand -> ireg
+val mov_f : t -> foperand -> freg
+val add_i : t -> ioperand -> ioperand -> ireg
+val sub_i : t -> ioperand -> ioperand -> ireg
+val mul_i : t -> ioperand -> ioperand -> ireg
+val mad_i : t -> ioperand -> ioperand -> ioperand -> ireg
+val div_i : t -> ioperand -> ioperand -> ireg
+val rem_i : t -> ioperand -> ioperand -> ireg
+val min_i : t -> ioperand -> ioperand -> ireg
+val setp : t -> cmp -> ioperand -> ioperand -> preg
+val and_p : t -> preg -> preg -> preg

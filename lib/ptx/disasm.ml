@@ -1,0 +1,106 @@
+open Types
+
+let special_name = function
+  | Tid_x -> "%tid.x" | Tid_y -> "%tid.y" | Tid_z -> "%tid.z"
+  | Ctaid_x -> "%ctaid.x" | Ctaid_y -> "%ctaid.y" | Ctaid_z -> "%ctaid.z"
+  | Ntid_x -> "%ntid.x" | Ntid_y -> "%ntid.y" | Ntid_z -> "%ntid.z"
+  | Nctaid_x -> "%nctaid.x" | Nctaid_y -> "%nctaid.y" | Nctaid_z -> "%nctaid.z"
+
+let operand_i = function
+  | Ireg r -> Printf.sprintf "%%r%d" r
+  | Iimm v -> string_of_int v
+  | Iparam p -> Printf.sprintf "%%param%d" p
+  | Ispecial s -> special_name s
+
+let operand_f = function
+  | Freg r -> Printf.sprintf "%%f%d" r
+  | Fimm v -> Printf.sprintf "%.17g" v
+
+let instr dtype { Instr.op; guard } =
+  let ty = dtype_name dtype in
+  let g =
+    match guard with
+    | None -> ""
+    | Some (p, true) -> Printf.sprintf "@%%p%d " p
+    | Some (p, false) -> Printf.sprintf "@!%%p%d " p
+  in
+  let i3 name d a b =
+    Printf.sprintf "%s.s32 %%r%d, %s, %s" name d (operand_i a) (operand_i b)
+  in
+  let f3 name d a b =
+    Printf.sprintf "%s.%s %%f%d, %s, %s" name ty d (operand_f a) (operand_f b)
+  in
+  let body =
+    match op with
+    | Instr.Mov (d, a) -> Printf.sprintf "mov.s32 %%r%d, %s" d (operand_i a)
+    | Movf (d, a) -> Printf.sprintf "mov.%s %%f%d, %s" ty d (operand_f a)
+    | Iadd (d, a, b) -> i3 "add" d a b
+    | Isub (d, a, b) -> i3 "sub" d a b
+    | Imul (d, a, b) -> i3 "mul.lo" d a b
+    | Imad (d, a, b, c) ->
+      Printf.sprintf "mad.lo.s32 %%r%d, %s, %s, %s" d (operand_i a) (operand_i b) (operand_i c)
+    | Idiv (d, a, b) -> i3 "div" d a b
+    | Irem (d, a, b) -> i3 "rem" d a b
+    | Imin (d, a, b) -> i3 "min" d a b
+    | Imax (d, a, b) -> i3 "max" d a b
+    | Ishl (d, a, b) -> i3 "shl.b32" d a b
+    | Ishr (d, a, b) -> i3 "shr.b32" d a b
+    | Iand (d, a, b) -> i3 "and.b32" d a b
+    | Ior (d, a, b) -> i3 "or.b32" d a b
+    | Setp (c, p, a, b) ->
+      Printf.sprintf "setp.%s.s32 %%p%d, %s, %s" (cmp_name c) p (operand_i a) (operand_i b)
+    | And_p (d, a, b) -> Printf.sprintf "and.pred %%p%d, %%p%d, %%p%d" d a b
+    | Or_p (d, a, b) -> Printf.sprintf "or.pred %%p%d, %%p%d, %%p%d" d a b
+    | Not_p (d, a) -> Printf.sprintf "not.pred %%p%d, %%p%d" d a
+    | Fadd (d, a, b) -> f3 "add" d a b
+    | Fsub (d, a, b) -> f3 "sub" d a b
+    | Fmul (d, a, b) -> f3 "mul" d a b
+    | Fmax (d, a, b) -> f3 "max" d a b
+    | Fmin (d, a, b) -> f3 "min" d a b
+    | Ffma (d, a, b, c) ->
+      Printf.sprintf "fma.rn.%s %%f%d, %s, %s, %s" ty d (operand_f a) (operand_f b) (operand_f c)
+    | Ld_global (d, slot, addr) ->
+      Printf.sprintf "ld.global.%s %%f%d, [%%param_buf%d + %s]" ty d slot (operand_i addr)
+    | Ld_global_i (d, slot, addr) ->
+      Printf.sprintf "ld.global.s32 %%r%d, [%%param_buf%d + %s]" d slot (operand_i addr)
+    | Ld_shared (d, addr) ->
+      Printf.sprintf "ld.shared.%s %%f%d, [%s]" ty d (operand_i addr)
+    | Ld_shared_i (d, addr) ->
+      Printf.sprintf "ld.shared.s32 %%r%d, [%s]" d (operand_i addr)
+    | St_global (slot, addr, v) ->
+      Printf.sprintf "st.global.%s [%%param_buf%d + %s], %s" ty slot (operand_i addr) (operand_f v)
+    | St_shared (addr, v) ->
+      Printf.sprintf "st.shared.%s [%s], %s" ty (operand_i addr) (operand_f v)
+    | St_shared_i (addr, v) ->
+      Printf.sprintf "st.shared.s32 [%s], %s" (operand_i addr) (operand_i v)
+    | Atom_global_add (slot, addr, v) ->
+      Printf.sprintf "red.global.add.%s [%%param_buf%d + %s], %s" ty slot (operand_i addr)
+        (operand_f v)
+    | Label name -> Printf.sprintf "%s:" name
+    | Bra target -> Printf.sprintf "bra %s" target
+    | Bar -> "bar.sync 0"
+    | Ret -> "ret"
+  in
+  match op with Label _ -> body | _ -> "  " ^ g ^ body
+
+let program (p : Program.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf ".visible .entry %s (  // dtype=%s\n" p.name (dtype_name p.dtype));
+  Array.iteri
+    (fun i name -> Buffer.add_string buf (Printf.sprintf "  .param .u64 %s,  // buf%d\n" name i))
+    p.buf_params;
+  Array.iteri
+    (fun i name -> Buffer.add_string buf (Printf.sprintf "  .param .s32 %s   // param%d\n" name i))
+    p.int_params;
+  Buffer.add_string buf ")\n";
+  Buffer.add_string buf
+    (Printf.sprintf "{ // %d fregs, %d iregs, %d pregs, %d shared words, %d shared int words\n"
+       p.n_fregs p.n_iregs p.n_pregs p.shared_words p.shared_int_words);
+  Array.iter
+    (fun i ->
+      Buffer.add_string buf (instr p.dtype i);
+      Buffer.add_char buf '\n')
+    p.body;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

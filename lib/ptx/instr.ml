@@ -1,0 +1,65 @@
+open Types
+
+type op =
+  | Mov of ireg * ioperand
+  | Iadd of ireg * ioperand * ioperand
+  | Isub of ireg * ioperand * ioperand
+  | Imul of ireg * ioperand * ioperand
+  | Imad of ireg * ioperand * ioperand * ioperand
+  | Idiv of ireg * ioperand * ioperand
+  | Irem of ireg * ioperand * ioperand
+  | Imin of ireg * ioperand * ioperand
+  | Imax of ireg * ioperand * ioperand
+  | Ishl of ireg * ioperand * ioperand
+  | Ishr of ireg * ioperand * ioperand
+  | Iand of ireg * ioperand * ioperand
+  | Ior of ireg * ioperand * ioperand
+  | Setp of cmp * preg * ioperand * ioperand
+  | And_p of preg * preg * preg
+  | Or_p of preg * preg * preg
+  | Not_p of preg * preg
+  | Movf of freg * foperand
+  | Fadd of freg * foperand * foperand
+  | Fsub of freg * foperand * foperand
+  | Fmul of freg * foperand * foperand
+  | Ffma of freg * foperand * foperand * foperand
+  | Fmax of freg * foperand * foperand
+  | Fmin of freg * foperand * foperand
+  | Ld_global of freg * int * ioperand
+  | Ld_global_i of ireg * int * ioperand
+  | Ld_shared of freg * ioperand
+  | Ld_shared_i of ireg * ioperand
+  | St_global of int * ioperand * foperand
+  | St_shared of ioperand * foperand
+  | St_shared_i of ioperand * ioperand
+  | Atom_global_add of int * ioperand * foperand
+  | Label of string
+  | Bra of string
+  | Bar
+  | Ret
+
+type t = { op : op; guard : (preg * bool) option }
+
+let mk ?guard op = { op; guard }
+
+type category =
+  | Cat_ialu | Cat_fma | Cat_fp_other
+  | Cat_ld_global | Cat_st_global | Cat_ld_shared | Cat_st_shared
+  | Cat_atom | Cat_bar | Cat_branch | Cat_pred | Cat_mov
+
+let categorize = function
+  | Mov _ | Movf _ -> Some Cat_mov
+  | Iadd _ | Isub _ | Imul _ | Imad _ | Idiv _ | Irem _
+  | Imin _ | Imax _ | Ishl _ | Ishr _ | Iand _ | Ior _ -> Some Cat_ialu
+  | Setp _ | And_p _ | Or_p _ | Not_p _ -> Some Cat_pred
+  | Ffma _ -> Some Cat_fma
+  | Fadd _ | Fsub _ | Fmul _ | Fmax _ | Fmin _ -> Some Cat_fp_other
+  | Ld_global _ | Ld_global_i _ -> Some Cat_ld_global
+  | St_global _ -> Some Cat_st_global
+  | Ld_shared _ | Ld_shared_i _ -> Some Cat_ld_shared
+  | St_shared _ | St_shared_i _ -> Some Cat_st_shared
+  | Atom_global_add _ -> Some Cat_atom
+  | Bar -> Some Cat_bar
+  | Bra _ -> Some Cat_branch
+  | Ret -> Some Cat_branch
+  | Label _ -> None

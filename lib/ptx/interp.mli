@@ -1,0 +1,53 @@
+(** Functional interpreter for mini-PTX programs.
+
+    Executes a kernel over real arrays with CUDA grid/block semantics:
+    blocks are independent; within a block, every thread runs until the
+    next barrier (or return), then the next barrier phase starts. This is
+    exact for data-race-free kernels — every kernel our generators emit
+    separates shared-memory writers from readers with [Bar] — and it
+    supports thread-divergent control flow between barriers (needed by the
+    branch-based bounds-checking mode of §8.3).
+
+    The interpreter also counts dynamically executed instructions per
+    category; tests cross-check these counts against the static cost
+    profiles the timing model consumes. *)
+
+type counters = {
+  mutable ialu : int;
+  mutable fma : int;
+  mutable fp_other : int;
+  mutable ld_global : int;
+  mutable st_global : int;
+  mutable ld_shared : int;
+  mutable st_shared : int;
+  mutable atom : int;
+  mutable bar : int;        (** barrier executions, per thread *)
+  mutable branch : int;
+  mutable pred : int;       (** setp/predicate logic ops *)
+  mutable mov : int;
+  mutable predicated_off : int;
+      (** instructions whose guard evaluated false (issued but masked) *)
+}
+
+val zero_counters : unit -> counters
+val total : counters -> int
+(** Total dynamically issued instructions (including masked ones, which
+    GPUs still issue — predication does not skip issue slots). *)
+
+exception Trap of string
+(** Raised on runtime errors: out-of-bounds memory access, barrier
+    divergence, instruction budget exhaustion, unknown parameter. *)
+
+val run :
+  ?max_dynamic:int ->
+  Program.t ->
+  grid:int * int * int ->
+  block:int * int * int ->
+  bufs:(string * float array) list ->
+  iargs:(string * int) list ->
+  counters
+(** [run p ~grid ~block ~bufs ~iargs] executes the kernel, mutating the
+    arrays bound to the program's buffer parameters. [bufs] must bind every
+    buffer parameter by name, [iargs] every scalar parameter.
+    [max_dynamic] bounds the total dynamic instruction count (default
+    200 million) to catch generator bugs that would loop forever. *)

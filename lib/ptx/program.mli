@@ -1,0 +1,32 @@
+(** Kernel programs: an instruction body plus its signature and resource
+    metadata. Produced by {!Builder}, consumed by {!Interp} (functional
+    execution), {!Disasm} (pretty printing) and the GPU timing model
+    (resource usage). *)
+
+open Types
+
+type t = {
+  name : string;
+  dtype : dtype;                (** compute data-type *)
+  buf_params : string array;    (** global buffer parameters, by slot *)
+  int_params : string array;    (** scalar integer parameters, by slot *)
+  shared_words : int;           (** shared-memory size in float words *)
+  shared_int_words : int;       (** shared-memory size in int words *)
+  body : Instr.t array;
+  n_fregs : int;                (** virtual float registers per thread *)
+  n_iregs : int;
+  n_pregs : int;
+}
+
+val shared_bytes : t -> int
+(** Shared memory footprint in bytes ([shared_words] at the compute dtype
+    width plus [shared_int_words] 4-byte ints). *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: every branch target is a defined, unique label;
+    every register index is below the declared counts; every parameter
+    slot is in range. The builder always produces valid programs; this
+    guards hand-written ones and is exercised by tests. *)
+
+val find_labels : t -> (string, int) Hashtbl.t
+(** Map from label name to body index (index of the [Label] instruction). *)

@@ -1,0 +1,261 @@
+open Types
+
+type pressure = { fregs : int; iregs : int; pregs : int }
+
+(* def/use sets of one instruction, per register class. Guarded defs are
+   also uses (the old value survives a false guard). *)
+let def_use (instr : Instr.t) =
+  let df = ref [] and uf = ref [] in
+  let di = ref [] and ui = ref [] in
+  let dp = ref [] and up = ref [] in
+  let use_io = function Ireg r -> ui := r :: !ui | Iimm _ | Iparam _ | Ispecial _ -> () in
+  let use_fo = function Freg r -> uf := r :: !uf | Fimm _ -> () in
+  (match instr.op with
+   | Instr.Mov (d, a) -> di := [ d ]; use_io a
+   | Iadd (d, a, b) | Isub (d, a, b) | Imul (d, a, b) | Idiv (d, a, b)
+   | Irem (d, a, b) | Imin (d, a, b) | Imax (d, a, b) | Ishl (d, a, b)
+   | Ishr (d, a, b) | Iand (d, a, b) | Ior (d, a, b) ->
+     di := [ d ]; use_io a; use_io b
+   | Imad (d, a, b, c) -> di := [ d ]; use_io a; use_io b; use_io c
+   | Setp (_, p, a, b) -> dp := [ p ]; use_io a; use_io b
+   | And_p (d, a, b) | Or_p (d, a, b) -> dp := [ d ]; up := [ a; b ]
+   | Not_p (d, a) -> dp := [ d ]; up := [ a ]
+   | Movf (d, a) -> df := [ d ]; use_fo a
+   | Fadd (d, a, b) | Fsub (d, a, b) | Fmul (d, a, b)
+   | Fmax (d, a, b) | Fmin (d, a, b) ->
+     df := [ d ]; use_fo a; use_fo b
+   | Ffma (d, a, b, c) -> df := [ d ]; use_fo a; use_fo b; use_fo c
+   | Ld_global (d, _, addr) -> df := [ d ]; use_io addr
+   | Ld_global_i (d, _, addr) -> di := [ d ]; use_io addr
+   | Ld_shared (d, addr) -> df := [ d ]; use_io addr
+   | Ld_shared_i (d, addr) -> di := [ d ]; use_io addr
+   | St_global (_, addr, v) -> use_io addr; use_fo v
+   | St_shared (addr, v) -> use_io addr; use_fo v
+   | St_shared_i (addr, v) -> use_io addr; use_io v
+   | Atom_global_add (_, addr, v) -> use_io addr; use_fo v
+   | Label _ | Bra _ | Bar | Ret -> ());
+  (match instr.guard with
+   | Some (p, _) ->
+     up := p :: !up;
+     (* guarded defs keep the old value live *)
+     uf := !df @ !uf;
+     ui := !di @ !ui;
+     up := !dp @ !up
+   | None -> ());
+  ((!df, !uf), (!di, !ui), (!dp, !up))
+
+let successors (p : Program.t) labels pc =
+  let n = Array.length p.body in
+  match p.body.(pc).Instr.op with
+  | Instr.Ret -> []
+  | Bra target ->
+    let t = Hashtbl.find labels target in
+    (match p.body.(pc).guard with
+     | None -> [ t ]
+     | Some _ -> if pc + 1 < n then [ t; pc + 1 ] else [ t ])
+  | _ -> if pc + 1 < n then [ pc + 1 ] else []
+
+(* Backward liveness fixpoint. live.(class).(pc) is a Bytes bitset over
+   the class's registers. *)
+type liveness = {
+  live_f : Bytes.t array;  (* live-in sets *)
+  live_i : Bytes.t array;
+  live_p : Bytes.t array;
+}
+
+let bit_get b r = Char.code (Bytes.get b (r lsr 3)) land (1 lsl (r land 7)) <> 0
+let bit_set b r =
+  let i = r lsr 3 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lor (1 lsl (r land 7))))
+
+let bytes_for n = Bytes.make ((n + 7) / 8) '\000'
+
+(* dst <- dst ∪ src; returns true if dst changed. *)
+let union_into dst src =
+  let changed = ref false in
+  for i = 0 to Bytes.length dst - 1 do
+    let d = Char.code (Bytes.get dst i) and s = Char.code (Bytes.get src i) in
+    let u = d lor s in
+    if u <> d then begin
+      Bytes.set dst i (Char.chr u);
+      changed := true
+    end
+  done;
+  !changed
+
+let compute_liveness (p : Program.t) =
+  let n = Array.length p.body in
+  let labels = Program.find_labels p in
+  let live_f = Array.init n (fun _ -> bytes_for p.n_fregs) in
+  let live_i = Array.init n (fun _ -> bytes_for p.n_iregs) in
+  let live_p = Array.init n (fun _ -> bytes_for p.n_pregs) in
+  let dus = Array.map def_use p.body in
+  let succs = Array.init n (successors p labels) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for pc = n - 1 downto 0 do
+      let (df, uf), (di, ui), (dp, up) = dus.(pc) in
+      let step live defs uses nbits get_live =
+        (* out = ∪ succ live-in; in = uses ∪ (out − defs) *)
+        let out = bytes_for nbits in
+        List.iter (fun s -> ignore (union_into out (get_live s))) succs.(pc);
+        List.iter (fun d ->
+          let i = d lsr 3 in
+          Bytes.set out i (Char.chr (Char.code (Bytes.get out i) land lnot (1 lsl (d land 7))))) defs;
+        List.iter (fun u -> bit_set out u) uses;
+        if union_into live out then changed := true
+      in
+      step live_f.(pc) df uf p.n_fregs (fun s -> live_f.(s));
+      step live_i.(pc) di ui p.n_iregs (fun s -> live_i.(s));
+      step live_p.(pc) dp up p.n_pregs (fun s -> live_p.(s))
+    done
+  done;
+  ({ live_f; live_i; live_p }, dus)
+
+let max_live sets nregs =
+  let best = ref 0 in
+  Array.iter
+    (fun b ->
+      let count = ref 0 in
+      for r = 0 to nregs - 1 do
+        if bit_get b r then incr count
+      done;
+      if !count > !best then best := !count)
+    sets;
+  !best
+
+let pressure p =
+  let lv, _ = compute_liveness p in
+  { fregs = max_live lv.live_f p.n_fregs;
+    iregs = max_live lv.live_i p.n_iregs;
+    pregs = max_live lv.live_p p.n_pregs }
+
+(* Live intervals: [start, stop] over instruction positions. A register
+   is "occupied" at pc if live-in at pc, or defined at pc. *)
+let intervals sets dus ~select ~nregs =
+  let n = Array.length sets in
+  let start = Array.make nregs max_int and stop = Array.make nregs (-1) in
+  for pc = 0 to n - 1 do
+    for r = 0 to nregs - 1 do
+      if bit_get sets.(pc) r then begin
+        if pc < start.(r) then start.(r) <- pc;
+        if pc > stop.(r) then stop.(r) <- pc
+      end
+    done;
+    let defs, uses = select dus.(pc) in
+    List.iter
+      (fun r ->
+        if pc < start.(r) then start.(r) <- pc;
+        if pc > stop.(r) then stop.(r) <- pc)
+      (defs @ uses)
+  done;
+  let out = ref [] in
+  for r = nregs - 1 downto 0 do
+    if stop.(r) >= 0 then out := (r, start.(r), stop.(r)) :: !out
+  done;
+  Array.of_list !out
+
+let live_ranges p =
+  let lv, dus = compute_liveness p in
+  intervals lv.live_f dus
+    ~select:(fun ((df, uf), _, _) -> (df, uf))
+    ~nregs:p.n_fregs
+
+(* Linear scan over intervals: assign the smallest physical register free
+   over the whole interval. *)
+let linear_scan ivals =
+  let ivals = Array.copy ivals in
+  Array.sort (fun (_, s1, _) (_, s2, _) -> compare s1 s2) ivals;
+  let assignment = Hashtbl.create 64 in
+  (* active: (stop, phys) list *)
+  let active = ref [] in
+  let free = ref [] in
+  let next = ref 0 in
+  Array.iter
+    (fun (r, start, stop) ->
+      let still, expired = List.partition (fun (e, _) -> e >= start) !active in
+      List.iter (fun (_, phys) -> free := phys :: !free) expired;
+      active := still;
+      let phys =
+        match !free with
+        | phys :: rest ->
+          free := rest;
+          phys
+        | [] ->
+          let phys = !next in
+          incr next;
+          phys
+      in
+      active := (stop, phys) :: !active;
+      Hashtbl.replace assignment r phys)
+    ivals;
+  (assignment, !next)
+
+let allocate (p : Program.t) =
+  let lv, dus = compute_liveness p in
+  let iv_f =
+    intervals lv.live_f dus ~select:(fun ((f, uf), _, _) -> (f, uf)) ~nregs:p.n_fregs
+  in
+  let iv_i =
+    intervals lv.live_i dus ~select:(fun (_, (i, ui), _) -> (i, ui)) ~nregs:p.n_iregs
+  in
+  let iv_p =
+    intervals lv.live_p dus ~select:(fun (_, _, (pp, up)) -> (pp, up)) ~nregs:p.n_pregs
+  in
+  let map_f, nf = linear_scan iv_f in
+  let map_i, ni = linear_scan iv_i in
+  let map_p, np = linear_scan iv_p in
+  let mf r = match Hashtbl.find_opt map_f r with Some x -> x | None -> 0 in
+  let mi r = match Hashtbl.find_opt map_i r with Some x -> x | None -> 0 in
+  let mp r = match Hashtbl.find_opt map_p r with Some x -> x | None -> 0 in
+  let io = function
+    | Ireg r -> Ireg (mi r)
+    | (Iimm _ | Iparam _ | Ispecial _) as x -> x
+  in
+  let fo = function Freg r -> Freg (mf r) | Fimm _ as x -> x in
+  let rewrite (instr : Instr.t) =
+    let op =
+      match instr.op with
+      | Instr.Mov (d, a) -> Instr.Mov (mi d, io a)
+      | Iadd (d, a, b) -> Iadd (mi d, io a, io b)
+      | Isub (d, a, b) -> Isub (mi d, io a, io b)
+      | Imul (d, a, b) -> Imul (mi d, io a, io b)
+      | Imad (d, a, b, c) -> Imad (mi d, io a, io b, io c)
+      | Idiv (d, a, b) -> Idiv (mi d, io a, io b)
+      | Irem (d, a, b) -> Irem (mi d, io a, io b)
+      | Imin (d, a, b) -> Imin (mi d, io a, io b)
+      | Imax (d, a, b) -> Imax (mi d, io a, io b)
+      | Ishl (d, a, b) -> Ishl (mi d, io a, io b)
+      | Ishr (d, a, b) -> Ishr (mi d, io a, io b)
+      | Iand (d, a, b) -> Iand (mi d, io a, io b)
+      | Ior (d, a, b) -> Ior (mi d, io a, io b)
+      | Setp (c, pr, a, b) -> Setp (c, mp pr, io a, io b)
+      | And_p (d, a, b) -> And_p (mp d, mp a, mp b)
+      | Or_p (d, a, b) -> Or_p (mp d, mp a, mp b)
+      | Not_p (d, a) -> Not_p (mp d, mp a)
+      | Movf (d, a) -> Movf (mf d, fo a)
+      | Fadd (d, a, b) -> Fadd (mf d, fo a, fo b)
+      | Fsub (d, a, b) -> Fsub (mf d, fo a, fo b)
+      | Fmul (d, a, b) -> Fmul (mf d, fo a, fo b)
+      | Fmax (d, a, b) -> Fmax (mf d, fo a, fo b)
+      | Fmin (d, a, b) -> Fmin (mf d, fo a, fo b)
+      | Ffma (d, a, b, c) -> Ffma (mf d, fo a, fo b, fo c)
+      | Ld_global (d, slot, addr) -> Ld_global (mf d, slot, io addr)
+      | Ld_global_i (d, slot, addr) -> Ld_global_i (mi d, slot, io addr)
+      | Ld_shared (d, addr) -> Ld_shared (mf d, io addr)
+      | Ld_shared_i (d, addr) -> Ld_shared_i (mi d, io addr)
+      | St_global (slot, addr, v) -> St_global (slot, io addr, fo v)
+      | St_shared (addr, v) -> St_shared (io addr, fo v)
+      | St_shared_i (addr, v) -> St_shared_i (io addr, io v)
+      | Atom_global_add (slot, addr, v) -> Atom_global_add (slot, io addr, fo v)
+      | (Label _ | Bra _ | Bar | Ret) as x -> x
+    in
+    let guard = Option.map (fun (pr, sense) -> (mp pr, sense)) instr.guard in
+    { Instr.op; guard }
+  in
+  { p with
+    body = Array.map rewrite p.body;
+    n_fregs = max 1 nf;
+    n_iregs = max 1 ni;
+    n_pregs = max 1 np }

@@ -1,0 +1,65 @@
+type dtype = F16 | F32 | F64
+
+let dtype_bytes = function F16 -> 2 | F32 -> 4 | F64 -> 8
+let dtype_name = function F16 -> "f16" | F32 -> "f32" | F64 -> "f64"
+
+(* Round through IEEE binary16: clamp exponent range, truncate mantissa to
+   10 bits with round-to-nearest-even via the float32 path. This is enough
+   fidelity for functional tests (we never rely on subnormal behaviour). *)
+let round_half x =
+  if Float.is_nan x then x
+  else if Float.abs x > 65504.0 then if x > 0.0 then Float.infinity else Float.neg_infinity
+  else if x = 0.0 then x
+  else begin
+    let bits = Int32.bits_of_float x in
+    let sign = Int32.logand bits 0x80000000l in
+    let abs_bits = Int32.logand bits 0x7FFFFFFFl in
+    let abs = Int32.float_of_bits abs_bits in
+    if abs < 0x1p-24 then Int32.float_of_bits sign (* below half subnormal min: flush *)
+    else begin
+      (* scale so that ulp(half) becomes ulp at the f32 level, then round by
+         adding and subtracting. Simpler: quantize mantissa manually. *)
+      let m = Float.abs x in
+      let e = Float.floor (Float.log2 m) in
+      let e = Float.max e (-14.0) in
+      let ulp = Float.pow 2.0 (e -. 10.0) in
+      let q = Float.round (m /. ulp) *. ulp in
+      if x < 0.0 then -.q else q
+    end
+  end
+
+type freg = int
+type ireg = int
+type preg = int
+
+type special =
+  | Tid_x | Tid_y | Tid_z
+  | Ctaid_x | Ctaid_y | Ctaid_z
+  | Ntid_x | Ntid_y | Ntid_z
+  | Nctaid_x | Nctaid_y | Nctaid_z
+
+type ioperand =
+  | Ireg of ireg
+  | Iimm of int
+  | Iparam of int
+  | Ispecial of special
+
+type foperand =
+  | Freg of freg
+  | Fimm of float
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+let cmp_name = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let eval_cmp c a b =
+  match c with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+type space = Global | Shared

@@ -1,0 +1,63 @@
+(** Core types shared by the mini-PTX intermediate representation.
+
+    The IR models the subset of NVIDIA PTX that the ISAAC kernel generator
+    relies on: typed virtual registers, predication, shared/global state
+    spaces, barriers and global atomics.  Addresses are expressed in
+    {e elements} of the kernel's compute data-type rather than bytes; this
+    keeps the functional interpreter simple while preserving every
+    structural property the reproduction needs (tiling, staging,
+    predicated bounds checks, reduction splitting). *)
+
+type dtype = F16 | F32 | F64
+(** Compute data-types. All are represented by OCaml [float] inside the
+    interpreter; [F16] values are additionally rounded through half
+    precision on stores so that precision-sensitive tests stay honest. *)
+
+val dtype_bytes : dtype -> int
+(** Storage size in bytes: 2, 4 or 8. *)
+
+val dtype_name : dtype -> string
+(** PTX-style suffix: "f16", "f32", "f64". *)
+
+val round_half : float -> float
+(** Round a float through IEEE binary16 (used on [F16] stores). *)
+
+type freg = int
+(** Virtual floating-point register index (per-thread). *)
+
+type ireg = int
+(** Virtual 32/64-bit integer register index (per-thread). *)
+
+type preg = int
+(** Virtual predicate register index (per-thread). *)
+
+(** Special read-only per-thread values, mirroring PTX [%tid], [%ctaid],
+    [%ntid] and [%nctaid]. *)
+type special =
+  | Tid_x | Tid_y | Tid_z
+  | Ctaid_x | Ctaid_y | Ctaid_z
+  | Ntid_x | Ntid_y | Ntid_z
+  | Nctaid_x | Nctaid_y | Nctaid_z
+
+(** Integer operands. *)
+type ioperand =
+  | Ireg of ireg            (** integer register *)
+  | Iimm of int             (** immediate *)
+  | Iparam of int           (** kernel scalar parameter, by position *)
+  | Ispecial of special     (** special register *)
+
+(** Floating-point operands. *)
+type foperand =
+  | Freg of freg            (** float register *)
+  | Fimm of float           (** immediate *)
+
+(** Comparison operators for [setp]. *)
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+val cmp_name : cmp -> string
+val eval_cmp : cmp -> int -> int -> bool
+
+(** State spaces addressable by loads/stores. [Global] addresses are pairs
+    (buffer parameter index, element offset); [Shared] is a per-block flat
+    array. *)
+type space = Global | Shared

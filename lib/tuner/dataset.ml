@@ -1,0 +1,150 @@
+module GP = Codegen.Gemm_params
+module CP = Codegen.Conv_params
+
+type t = {
+  op : [ `Gemm | `Conv ];
+  device : string;
+  features_log : Mlp.Tensor.t;
+  features_raw : Mlp.Tensor.t;
+  tflops : float array;
+}
+
+let size t = Array.length t.tflops
+
+let default_dtypes : Ptx.Types.dtype list = [ F16; F32; F64 ]
+
+let log_uniform_int rng lo hi =
+  let x = Util.Rng.uniform rng in
+  let v = Float.exp (Float.log (float_of_int lo) +. (x *. Float.log (float_of_int hi /. float_of_int lo))) in
+  max lo (min hi (int_of_float (Float.round v)))
+
+let random_gemm_input ?(dtypes = default_dtypes) rng =
+  let dtype = Util.Rng.choice rng (Array.of_list dtypes) in
+  { GP.m = log_uniform_int rng 16 4096;
+    n = log_uniform_int rng 16 4096;
+    k = log_uniform_int rng 16 65536;
+    dtype;
+    a_trans = Util.Rng.bool rng;
+    b_trans = Util.Rng.bool rng }
+
+let random_conv_input ?(dtypes = default_dtypes) rng =
+  let dtype = Util.Rng.choice rng (Array.of_list dtypes) in
+  let r = Util.Rng.choice rng [| 1; 3; 5; 7 |] in
+  let s = Util.Rng.choice rng [| 1; 3; 5; 7 |] in
+  (* Strides/padding change only the gather tables, but sampling them
+     keeps the training distribution honest about real layer specs. *)
+  let stride = Util.Rng.choice rng [| 1; 1; 1; 2 |] in
+  let pad = Util.Rng.int rng ((min r s / 2) + 1) in
+  CP.input ~dtype ~stride ~pad
+    ~n:(log_uniform_int rng 1 32)
+    ~c:(log_uniform_int rng 1 1024)
+    ~k:(log_uniform_int rng 8 2048)
+    ~p:(log_uniform_int rng 4 128)
+    ~q:(log_uniform_int rng 4 128)
+    ~r ~s ()
+
+let gemm_legal device input cfg_array =
+  let cfg = GP.config_of_array cfg_array in
+  GP.structurally_legal input cfg
+  && Gpu.Executor.legal device (GP.cost input cfg)
+
+let conv_legal device input cfg_array =
+  let cfg = GP.config_of_array cfg_array in
+  CP.structurally_legal input cfg
+  && Gpu.Executor.legal device (CP.cost input cfg)
+
+let fit_gemm_sampler ?(warmup = 10_000) ?dtypes rng device =
+  Sampler.fit ~warmup rng Config_space.gemm ~legal:(fun cfg ->
+      gemm_legal device (random_gemm_input ?dtypes rng) cfg)
+
+let fit_conv_sampler ?(warmup = 10_000) ?dtypes rng device =
+  Sampler.fit ~warmup rng Config_space.gemm ~legal:(fun cfg ->
+      conv_legal device (random_conv_input ?dtypes rng) cfg)
+
+let generate_chunk ~noise ~sampler rng device ~n ~random_input ~legal ~features
+    ~measure =
+  let dim = Features.dim in
+  let flog = Mlp.Tensor.create n dim in
+  let fraw = Mlp.Tensor.create n dim in
+  let ys = Array.make n 0.0 in
+  let filled = ref 0 in
+  while !filled < n do
+    let input = random_input rng in
+    match Sampler.sample_legal rng sampler ~legal:(fun c -> legal device input c) with
+    | None -> ()
+    | Some cfg_array ->
+      (match measure rng device input cfg_array ~noise with
+       | None -> ()
+       | Some tflops ->
+         let i = !filled in
+         let fl = features ~log:true input cfg_array in
+         let fr = features ~log:false input cfg_array in
+         Array.blit fl 0 flog.Mlp.Tensor.data (i * dim) dim;
+         Array.blit fr 0 fraw.Mlp.Tensor.data (i * dim) dim;
+         ys.(i) <- tflops;
+         incr filled)
+  done;
+  (flog, fraw, ys)
+
+(* Benchmarking sampled kernels is embarrassingly parallel: each domain
+   gets an independent PRNG split off the caller's and fills its own
+   chunk (the sampler's fitted marginals are shared read-only). *)
+let generate_generic ?(domains = 1) ~op ~noise ~sampler rng device ~n ~random_input
+    ~legal ~features ~measure () =
+  let dim = Features.dim in
+  let rngs = Array.init (max 1 domains) (fun _ -> Util.Rng.split rng) in
+  let chunks =
+    Util.Parallel.run_chunks ~domains ~total:n (fun ~chunk ~size ->
+        generate_chunk ~noise ~sampler rngs.(chunk) device ~n:size ~random_input
+          ~legal ~features ~measure)
+  in
+  let flog = Mlp.Tensor.create n dim in
+  let fraw = Mlp.Tensor.create n dim in
+  let ys = Array.make n 0.0 in
+  let row = ref 0 in
+  List.iter
+    (fun (cl, cr, cy) ->
+      let rows = Array.length cy in
+      Array.blit cl.Mlp.Tensor.data 0 flog.Mlp.Tensor.data (!row * dim) (rows * dim);
+      Array.blit cr.Mlp.Tensor.data 0 fraw.Mlp.Tensor.data (!row * dim) (rows * dim);
+      Array.blit cy 0 ys !row rows;
+      row := !row + rows)
+    chunks;
+  { op; device = device.Gpu.Device.name; features_log = flog; features_raw = fraw;
+    tflops = ys }
+
+let measure_gemm rng device input cfg_array ~noise =
+  let cfg = GP.config_of_array cfg_array in
+  match Gpu.Executor.measure ~noise rng device (GP.cost input cfg) with
+  | Some m when m.tflops > 0.0 -> Some m.tflops
+  | _ -> None
+
+let measure_conv rng device input cfg_array ~noise =
+  let cfg = GP.config_of_array cfg_array in
+  match Gpu.Executor.measure ~noise rng device (CP.cost input cfg) with
+  | Some m when m.tflops > 0.0 -> Some m.tflops
+  | _ -> None
+
+let generate_gemm ?(domains = 1) ?dtypes ?(noise = Gpu.Executor.default_noise)
+    ?sampler rng device ~n =
+  let sampler =
+    match sampler with Some s -> s | None -> fit_gemm_sampler ?dtypes rng device
+  in
+  generate_generic ~domains ~op:`Gemm ~noise ~sampler rng device ~n
+    ~random_input:(random_gemm_input ?dtypes)
+    ~legal:gemm_legal ~features:Features.gemm_features ~measure:measure_gemm ()
+
+let generate_conv ?(domains = 1) ?dtypes ?(noise = Gpu.Executor.default_noise)
+    ?sampler rng device ~n =
+  let sampler =
+    match sampler with Some s -> s | None -> fit_conv_sampler ?dtypes rng device
+  in
+  generate_generic ~domains ~op:`Conv ~noise ~sampler rng device ~n
+    ~random_input:(random_conv_input ?dtypes)
+    ~legal:conv_legal ~features:Features.conv_features ~measure:measure_conv ()
+
+let throughput_probe rng device ~n =
+  let t0 = Sys.time () in
+  let (_ : t) = generate_gemm rng device ~n in
+  let dt = Float.max 1e-9 (Sys.time () -. t0) in
+  float_of_int n /. dt

@@ -1,0 +1,74 @@
+(** Training-set synthesis (paper §4): draw random (input, tuning)
+    pairs from the generative model, benchmark the induced kernels on the
+    device, and record (features, TFLOPS) pairs.
+
+    Inputs (shapes, layouts, data-types) are sampled log-uniformly across
+    the ranges the evaluation suites live in, so the MLP must genuinely
+    interpolate input-dependence — the system never trains on the
+    benchmark shapes themselves. *)
+
+type t = {
+  op : [ `Gemm | `Conv ];
+  device : string;
+  features_log : Mlp.Tensor.t;   (** n × {!Features.dim}, log-transformed *)
+  features_raw : Mlp.Tensor.t;   (** same rows without the log (ablation) *)
+  tflops : float array;
+}
+
+val size : t -> int
+
+val random_gemm_input :
+  ?dtypes:Ptx.Types.dtype list -> Util.Rng.t -> Codegen.Gemm_params.input
+(** Log-uniform M, N ∈ \[16, 4096\], K ∈ \[16, 65536\], random layouts and
+    data-type. *)
+
+val random_conv_input :
+  ?dtypes:Ptx.Types.dtype list -> Util.Rng.t -> Codegen.Conv_params.input
+
+val gemm_legal :
+  Gpu.Device.t -> Codegen.Gemm_params.input -> int array -> bool
+(** Full legality of a flat configuration: structural + device resource
+    limits (the X of §4). *)
+
+val conv_legal : Gpu.Device.t -> Codegen.Conv_params.input -> int array -> bool
+
+val fit_gemm_sampler :
+  ?warmup:int -> ?dtypes:Ptx.Types.dtype list -> Util.Rng.t -> Gpu.Device.t ->
+  Sampler.t
+(** Fit the categorical generative model against legality under random
+    inputs (each warm-up draw pairs a uniform configuration with a fresh
+    random input). *)
+
+val fit_conv_sampler :
+  ?warmup:int -> ?dtypes:Ptx.Types.dtype list -> Util.Rng.t -> Gpu.Device.t ->
+  Sampler.t
+
+val generate_gemm :
+  ?domains:int ->
+  ?dtypes:Ptx.Types.dtype list ->
+  ?noise:float ->
+  ?sampler:Sampler.t ->
+  Util.Rng.t ->
+  Gpu.Device.t ->
+  n:int ->
+  t
+(** Generate [n] measured samples. A pre-fitted sampler can be supplied
+    to skip the warm-up. [domains > 1] fans the benchmarking loop out
+    over OCaml 5 domains (deterministic for fixed seed and domain
+    count). *)
+
+val generate_conv :
+  ?domains:int ->
+  ?dtypes:Ptx.Types.dtype list ->
+  ?noise:float ->
+  ?sampler:Sampler.t ->
+  Util.Rng.t ->
+  Gpu.Device.t ->
+  n:int ->
+  t
+
+val throughput_probe :
+  Util.Rng.t -> Gpu.Device.t -> n:int -> float
+(** Samples-per-second of the full generate-validate-measure loop (the
+    §4.2 "50,000 valid kernels in under two hours" claim, which our
+    simulated device beats by construction; reported for completeness). *)

@@ -1,0 +1,44 @@
+let dim = 16
+
+let log2 x = Float.log x /. Float.log 2.0
+
+let tr log v = if log then log2 (float_of_int v) else float_of_int v
+
+let pack ~log ~m ~n ~k ~bytes ~flag_a ~flag_b config =
+  assert (Array.length config = 10);
+  let f = Array.make dim 0.0 in
+  f.(0) <- tr log m;
+  f.(1) <- tr log n;
+  f.(2) <- tr log k;
+  f.(3) <- tr log bytes;
+  f.(4) <- flag_a;
+  f.(5) <- flag_b;
+  Array.iteri (fun i v -> f.(6 + i) <- tr log v) config;
+  f
+
+let gemm_features ~log (i : Codegen.Gemm_params.input) config =
+  pack ~log ~m:i.m ~n:i.n ~k:i.k
+    ~bytes:(Ptx.Types.dtype_bytes i.dtype)
+    ~flag_a:(if i.a_trans then 1.0 else 0.0)
+    ~flag_b:(if i.b_trans then 1.0 else 0.0)
+    config
+
+let conv_features ~log (i : Codegen.Conv_params.input) config =
+  let gi = Codegen.Conv_params.gemm_input i in
+  let rs = tr log (i.r * i.s) in
+  let f =
+    pack ~log ~m:gi.m ~n:gi.n ~k:gi.k
+      ~bytes:(Ptx.Types.dtype_bytes i.dtype) ~flag_a:rs ~flag_b:0.0 config
+  in
+  f
+
+type scaler = { mean : float; std : float }
+
+let fit_target_scaler tflops =
+  let logs = Array.map (fun v -> assert (v > 0.0); Float.log v) tflops in
+  let mean = Util.Stats.mean logs in
+  let std = Float.max 1e-6 (Util.Stats.stddev logs) in
+  { mean; std }
+
+let target s v = (Float.log v -. s.mean) /. s.std
+let untarget s y = Float.exp ((y *. s.std) +. s.mean)

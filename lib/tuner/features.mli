@@ -1,0 +1,44 @@
+(** Feature transformation for the performance MLP (paper §5.2).
+
+    Performance models compose hidden hardware constants with input and
+    tuning parameters through multiplications, divisions and maximums
+    (Eq. 2–3); a feed-forward net cannot easily represent products of raw
+    features, but in log space products become sums, so the paper sets
+    a₋₁ = log(x) and reports that without it the model "converges to much
+    worse solutions — if at all" (Table 2 reproduces both columns).
+
+    A GEMM sample has 16 features: 6 input parameters (M, N, K, data-type
+    size, two transposition flags) and 10 tuning parameters. CONV samples
+    use the same 16 through their implicit-GEMM view plus the filter
+    extent, see {!conv_features}. *)
+
+val dim : int
+(** Number of features, 16. *)
+
+val gemm_features : log:bool -> Codegen.Gemm_params.input -> int array -> float array
+(** [gemm_features ~log input config_array]: with [log] the sizes and
+    tuning values go through log2 (flags stay 0/1); without it they are
+    passed raw (the ablation column of Table 2). *)
+
+val conv_features : log:bool -> Codegen.Conv_params.input -> int array -> float array
+(** Implicit-GEMM features of a convolution, with R·S folded into the
+    data-type slot's spare bits — concretely the same 16 slots, with the
+    transposition flags reused for log2(R·S) since convolutions have no
+    layout flags. *)
+
+type scaler = {
+  mean : float;
+  std : float;
+}
+(** Standardization of the regression target. The target is
+    log(TFLOPS): performance spans 3+ orders of magnitude and MSE on the
+    log is what makes Table 2's values comparable across problems. *)
+
+val fit_target_scaler : float array -> scaler
+(** Fit on raw TFLOPS values (must be positive). *)
+
+val target : scaler -> float -> float
+(** TFLOPS → standardized log-space target. *)
+
+val untarget : scaler -> float -> float
+(** Inverse of {!target}. *)

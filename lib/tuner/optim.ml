@@ -1,0 +1,134 @@
+type objective = int array -> float option
+
+type outcome = {
+  config : int array;
+  score : float;
+  evaluations : int;
+}
+
+(* Shared bookkeeping: count evaluations and remember the best legal
+   point ever seen. *)
+type tracker = {
+  mutable best : (int array * float) option;
+  mutable evals : int;
+  f : objective;
+}
+
+let tracker f = { best = None; evals = 0; f }
+
+let eval t cfg =
+  t.evals <- t.evals + 1;
+  match t.f cfg with
+  | None -> None
+  | Some score ->
+    (match t.best with
+     | Some (_, b) when b >= score -> ()
+     | _ -> t.best <- Some (Array.copy cfg, score));
+    Some score
+
+let outcome t =
+  Option.map (fun (config, score) -> { config; score; evaluations = t.evals }) t.best
+
+let random_search rng space f ~budget =
+  let t = tracker f in
+  for _ = 1 to budget do
+    ignore (eval t (Config_space.random rng space))
+  done;
+  outcome t
+
+(* Move to an adjacent candidate value of one randomly chosen parameter —
+   the natural neighbourhood on ordered grids like tile sizes. *)
+let neighbour rng (space : Config_space.t) cfg =
+  let out = Array.copy cfg in
+  let i = Util.Rng.int rng (Array.length space) in
+  let p = space.(i) in
+  let j = Config_space.value_index p cfg.(i) in
+  let n = Array.length p.values in
+  let j' =
+    if n = 1 then j
+    else if j = 0 then 1
+    else if j = n - 1 then n - 2
+    else if Util.Rng.bool rng then j + 1
+    else j - 1
+  in
+  out.(i) <- p.values.(j');
+  out
+
+let simulated_annealing ?(t0 = 1.0) ?(t1 = 0.01) ?(restarts = 4) rng space f ~budget =
+  let t = tracker f in
+  let per_chain = max 1 (budget / max 1 restarts) in
+  for _ = 1 to restarts do
+    (* Find a legal starting point. *)
+    let rec start tries =
+      if tries = 0 then None
+      else
+        let cfg = Config_space.random rng space in
+        match eval t cfg with
+        | Some s -> Some (cfg, s)
+        | None -> start (tries - 1)
+    in
+    match start 200 with
+    | None -> ()
+    | Some (cfg0, s0) ->
+      let current = ref (Array.copy cfg0) and current_score = ref s0 in
+      let steps = per_chain in
+      for step = 0 to steps - 1 do
+        let temp = t0 *. ((t1 /. t0) ** (float_of_int step /. float_of_int steps)) in
+        let cand = neighbour rng space !current in
+        match eval t cand with
+        | None -> ()
+        | Some s ->
+          let accept =
+            s >= !current_score
+            || Util.Rng.uniform rng < exp ((s -. !current_score) /. temp)
+          in
+          if accept then begin
+            current := cand;
+            current_score := s
+          end
+      done
+  done;
+  outcome t
+
+let genetic ?(population = 64) ?(elite = 0.25) ?(mutation = 0.15) rng space f ~budget =
+  let t = tracker f in
+  (* Seed a legal population. *)
+  let pool = ref [] in
+  let tries = ref (budget / 2) in
+  while List.length !pool < population && !tries > 0 do
+    decr tries;
+    let cfg = Config_space.random rng space in
+    match eval t cfg with
+    | Some s -> pool := (cfg, s) :: !pool
+    | None -> ()
+  done;
+  if !pool = [] then outcome t
+  else begin
+    let pool = ref (Array.of_list !pool) in
+    let n_elite pool = max 2 (int_of_float (elite *. float_of_int (Array.length pool))) in
+    while t.evals < budget do
+      let sorted = Array.copy !pool in
+      Array.sort (fun (_, a) (_, b) -> compare b a) sorted;
+      let elites = Array.sub sorted 0 (min (n_elite sorted) (Array.length sorted)) in
+      let parent () = fst (Util.Rng.choice rng elites) in
+      let child =
+        let a = parent () and b = parent () in
+        Array.mapi (fun i _ -> if Util.Rng.bool rng then a.(i) else b.(i)) a
+      in
+      Array.iteri
+        (fun i _ ->
+          if Util.Rng.uniform rng < mutation then
+            child.(i) <- Util.Rng.choice rng space.(i).Config_space.values)
+        child;
+      match eval t child with
+      | None -> ()
+      | Some s ->
+        (* Replace the worst member if the child improves on it. *)
+        let worst = ref 0 in
+        Array.iteri
+          (fun i (_, sc) -> if sc < snd !pool.(!worst) then worst := i)
+          !pool;
+        if s > snd !pool.(!worst) then !pool.(!worst) <- (child, s)
+    done;
+    outcome t
+  end

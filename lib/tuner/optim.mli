@@ -1,0 +1,53 @@
+(** Alternative discrete optimizers for runtime inference.
+
+    §6 of the paper notes that "any discrete optimization method (e.g.,
+    simulated annealing, genetic algorithm, exhaustive search) may be
+    used" to optimize the trained model over tuning parameters; it opts
+    for exhaustive search. This module provides the other two, used by
+    the optimizer ablation in the benchmark harness and available to
+    users whose search spaces outgrow exhaustive enumeration.
+
+    An {!objective} scores a flat configuration (higher is better) and
+    returns [None] for illegal points; optimizers never return an illegal
+    configuration. All methods are deterministic for a given rng. *)
+
+type objective = int array -> float option
+
+type outcome = {
+  config : int array;
+  score : float;
+  evaluations : int;  (** objective calls spent *)
+}
+
+val random_search :
+  Util.Rng.t -> Config_space.t -> objective -> budget:int -> outcome option
+(** Baseline: best of [budget] uniform draws. *)
+
+val simulated_annealing :
+  ?t0:float ->
+  ?t1:float ->
+  ?restarts:int ->
+  Util.Rng.t ->
+  Config_space.t ->
+  objective ->
+  budget:int ->
+  outcome option
+(** Metropolis search over the grid with a geometric temperature schedule
+    from [t0] (default 1.0) to [t1] (default 0.01) and single-parameter
+    neighbourhood moves (step to an adjacent candidate value). The budget
+    is split across [restarts] (default 4) independent chains; the best
+    point ever visited is returned. *)
+
+val genetic :
+  ?population:int ->
+  ?elite:float ->
+  ?mutation:float ->
+  Util.Rng.t ->
+  Config_space.t ->
+  objective ->
+  budget:int ->
+  outcome option
+(** Steady-state genetic algorithm: uniform crossover of two parents
+    drawn from the elite fraction (default 0.25), per-parameter mutation
+    probability [mutation] (default 0.15). Population defaults to 64;
+    generations are bounded by the evaluation budget. *)

@@ -1,0 +1,116 @@
+type t = {
+  op : [ `Gemm | `Conv ];
+  device : string;
+  net : Mlp.Network.t;
+  scaler : Features.scaler;
+  log_features : bool;
+  feat_mean : float array;
+  feat_std : float array;
+}
+
+let default_arch = [| 32; 64; 32 |]
+
+(* Per-feature z-scoring, fitted on the training set. Both the log and
+   raw feature variants get it, so Table 2's ablation isolates the log
+   transform itself (as in the paper) rather than raw-scale blow-up. *)
+let fit_feature_scaler (x : Mlp.Tensor.t) =
+  let d = x.Mlp.Tensor.cols and n = x.Mlp.Tensor.rows in
+  let mean = Array.make d 0.0 and std = Array.make d 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to d - 1 do
+      mean.(j) <- mean.(j) +. Mlp.Tensor.get x i j
+    done
+  done;
+  Array.iteri (fun j v -> mean.(j) <- v /. float_of_int n) mean;
+  for i = 0 to n - 1 do
+    for j = 0 to d - 1 do
+      let dv = Mlp.Tensor.get x i j -. mean.(j) in
+      std.(j) <- std.(j) +. (dv *. dv)
+    done
+  done;
+  Array.iteri (fun j v -> std.(j) <- Float.max 1e-6 (sqrt (v /. float_of_int n))) std;
+  (mean, std)
+
+let standardize ~feat_mean ~feat_std (x : Mlp.Tensor.t) =
+  let d = x.Mlp.Tensor.cols and n = x.Mlp.Tensor.rows in
+  let out = Mlp.Tensor.create n d in
+  for i = 0 to n - 1 do
+    for j = 0 to d - 1 do
+      Mlp.Tensor.set out i j ((Mlp.Tensor.get x i j -. feat_mean.(j)) /. feat_std.(j))
+    done
+  done;
+  out
+
+let features_of t (ds : Dataset.t) =
+  if t.log_features then ds.features_log else ds.features_raw
+
+let train ?(arch = default_arch) ?(epochs = 20) ?(log_features = true) rng
+    (ds : Dataset.t) =
+  let scaler = Features.fit_target_scaler ds.tflops in
+  let y = Array.map (Features.target scaler) ds.tflops in
+  let x_raw = if log_features then ds.features_log else ds.features_raw in
+  let feat_mean, feat_std = fit_feature_scaler x_raw in
+  let x = standardize ~feat_mean ~feat_std x_raw in
+  let sizes = Array.concat [ [| Features.dim |]; arch; [| 1 |] ] in
+  let net = Mlp.Network.create rng ~sizes in
+  let (_ : Mlp.Train.history) = Mlp.Train.fit ~epochs rng net ~x ~y in
+  { op = ds.op; device = ds.device; net; scaler; log_features; feat_mean; feat_std }
+
+let predict_std_batch t x =
+  Mlp.Network.predict t.net (standardize ~feat_mean:t.feat_mean ~feat_std:t.feat_std x)
+
+let mse t (ds : Dataset.t) =
+  let x = features_of t ds in
+  let y = Array.map (Features.target t.scaler) ds.tflops in
+  let pred = predict_std_batch t x in
+  Util.Stats.mse pred y
+
+let predict_tflops t features =
+  let x = Mlp.Tensor.of_array ~rows:1 ~cols:(Array.length features) features in
+  Features.untarget t.scaler (predict_std_batch t x).(0)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "isaac-profile v2\n";
+      Printf.fprintf oc "op %s\n" (match t.op with `Gemm -> "gemm" | `Conv -> "conv");
+      Printf.fprintf oc "device %s\n" t.device;
+      Printf.fprintf oc "scaler %.17g %.17g\n" t.scaler.mean t.scaler.std;
+      Printf.fprintf oc "log_features %b\n" t.log_features;
+      Array.iter (fun v -> Printf.fprintf oc "%.17g " v) t.feat_mean;
+      Printf.fprintf oc "\n";
+      Array.iter (fun v -> Printf.fprintf oc "%.17g " v) t.feat_std;
+      Printf.fprintf oc "\n";
+      Mlp.Network.save t.net oc)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let expect fmt = Scanf.sscanf (input_line ic) fmt in
+      (try expect "isaac-profile v2%!" () with _ -> failwith (path ^ ": bad header"));
+      let op =
+        match expect "op %s" Fun.id with
+        | "gemm" -> `Gemm
+        | "conv" -> `Conv
+        | other -> failwith (path ^ ": unknown op " ^ other)
+      in
+      let device = expect "device %[^\n]" Fun.id in
+      let mean, std = expect "scaler %g %g" (fun a b -> (a, b)) in
+      let log_features = expect "log_features %B" Fun.id in
+      let floats_of_line l =
+        String.split_on_char ' ' (String.trim l)
+        |> List.filter (fun s -> s <> "")
+        |> List.map float_of_string
+        |> Array.of_list
+      in
+      let feat_mean = floats_of_line (input_line ic) in
+      let feat_std = floats_of_line (input_line ic) in
+      if Array.length feat_mean <> Features.dim || Array.length feat_std <> Features.dim
+      then failwith (path ^ ": bad feature scaler");
+      let net = Mlp.Network.load ic in
+      { op; device; net; scaler = { Features.mean; std }; log_features; feat_mean;
+        feat_std })

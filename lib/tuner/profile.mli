@@ -1,0 +1,46 @@
+(** Trained input-aware tuning profiles: the artefact ISAAC ships per
+    (device, operation) — a regression network plus its target scaler —
+    with plain-text persistence so runtime inference can skip tuning
+    ("cached on the filesystem", §6). *)
+
+type t = {
+  op : [ `Gemm | `Conv ];
+  device : string;           (** device name the profile was tuned on *)
+  net : Mlp.Network.t;
+  scaler : Features.scaler;
+  log_features : bool;       (** whether features go through log2 (always
+                                 true for shipped profiles; false exists
+                                 for the Table 2 ablation) *)
+  feat_mean : float array;   (** per-feature standardization, fitted on
+                                 the training set *)
+  feat_std : float array;
+}
+
+val default_arch : int array
+(** Hidden-layer sizes used by [tune] when none are given: 32-64-32,
+    Table 2's best accuracy-per-weight architecture. *)
+
+val train :
+  ?arch:int array ->
+  ?epochs:int ->
+  ?log_features:bool ->
+  Util.Rng.t ->
+  Dataset.t ->
+  t
+(** Fit a network on a dataset (standardized log-TFLOPS target). *)
+
+val mse : t -> Dataset.t -> float
+(** Cross-validation MSE of the profile on a held-out dataset, in the
+    standardized log space Table 2 reports. *)
+
+val predict_tflops : t -> float array -> float
+(** Model prediction for a feature vector, in TFLOPS. *)
+
+val predict_std_batch : t -> Mlp.Tensor.t -> float array
+(** Batch prediction in the standardized log-target space (what the
+    exhaustive search ranks by). Rows are un-standardized feature
+    vectors matching [log_features]. *)
+
+val save : t -> string -> unit
+val load : string -> t
+(** Raises [Failure] on malformed files. *)

@@ -1,0 +1,49 @@
+(** Generative modeling of the legal configuration space (paper §4.1).
+
+    When only the possible space X̂ is explicitly known, uniform sampling
+    wastes almost every draw on illegal configurations. The paper's
+    remedy is a naive factorized categorical model: treat each tuning
+    parameter as an independent categorical variable, estimate each
+    marginal from the acceptance proportions of a short uniform warm-up,
+    and smooth with a Dirichlet prior (pseudo-count α = 100 per value so
+    no probability is ever exactly zero).
+
+    Table 1 reports the resulting acceptance rates; {!acceptance_rate}
+    reproduces that measurement. *)
+
+type t
+(** A fitted categorical model over a {!Config_space.t}. *)
+
+val alpha_default : float
+(** Dirichlet prior pseudo-count, 100 as in the paper. *)
+
+val fit :
+  ?alpha:float ->
+  ?warmup:int ->
+  Util.Rng.t ->
+  Config_space.t ->
+  legal:(int array -> bool) ->
+  t
+(** [fit rng space ~legal] draws [warmup] (default 10000) uniform
+    configurations, keeps the acceptance counts of every parameter value
+    among legal draws, and returns the smoothed per-parameter
+    marginals. *)
+
+val space : t -> Config_space.t
+
+val marginal : t -> int -> float array
+(** [marginal t i] is the fitted probability distribution over parameter
+    [i]'s values (sums to 1). *)
+
+val sample : Util.Rng.t -> t -> int array
+(** One draw from the factorized model (not necessarily legal — the
+    factorization is naive; callers keep rejecting, just ~100× less
+    often). *)
+
+val sample_legal :
+  ?max_tries:int -> Util.Rng.t -> t -> legal:(int array -> bool) -> int array option
+(** Rejection-sample until [legal] accepts (default 1000 tries). *)
+
+val acceptance_rate :
+  trials:int -> sample:(unit -> int array) -> legal:(int array -> bool) -> float
+(** Monte-Carlo acceptance estimate used by the Table 1 reproduction. *)

@@ -1,0 +1,143 @@
+module GP = Codegen.Gemm_params
+module CP = Codegen.Conv_params
+
+type candidate = {
+  config : GP.config;
+  predicted_tflops : float;
+}
+
+type result = {
+  best : GP.config;
+  best_measurement : Gpu.Executor.measurement;
+  candidates : candidate array;
+  n_legal : int;
+  n_scored : int;
+}
+
+let legal_configs ~structurally_legal ~cost device =
+  let out = ref [] in
+  Config_space.iter Config_space.gemm (fun buf ->
+      let cfg = GP.config_of_array buf in
+      if structurally_legal cfg && Gpu.Executor.legal device (cost cfg) then
+        out := cfg :: !out);
+  !out
+
+let legal_gemm_configs device (i : GP.input) =
+  legal_configs device
+    ~structurally_legal:(fun c -> GP.structurally_legal i c)
+    ~cost:(fun c -> GP.cost i c)
+
+let legal_conv_configs device (i : CP.input) =
+  legal_configs device
+    ~structurally_legal:(fun c -> CP.structurally_legal i c)
+    ~cost:(fun c -> CP.cost i c)
+
+let default_cap () = Util.Env_config.int "ISAAC_SEARCH_CAP" 60_000
+
+(* Deterministic subsample preserving order: every ceil(n/cap)-th item. *)
+let subsample cap items =
+  let n = List.length items in
+  if n <= cap then items
+  else begin
+    let stride = (n + cap - 1) / cap in
+    List.filteri (fun idx _ -> idx mod stride = 0) items
+  end
+
+let exhaustive ~legal_configs ~features_of ~cost ?(top_k = 100) ?cap ?noise
+    ?(domains = 1) rng device ~profile =
+  let cap = match cap with Some c -> c | None -> default_cap () in
+  let all = legal_configs device in
+  let n_legal = List.length all in
+  if n_legal = 0 then None
+  else begin
+    let scored_cfgs = Array.of_list (subsample cap all) in
+    let n = Array.length scored_cfgs in
+    let dim = Features.dim in
+    let x = Mlp.Tensor.create n dim in
+    Array.iteri
+      (fun row cfg ->
+        let f = features_of cfg in
+        Array.blit f 0 x.Mlp.Tensor.data (row * dim) dim)
+      scored_cfgs;
+    (* Model scoring is the latency of §6's runtime inference; fan the
+       batch out over domains when asked. *)
+    let pred =
+      if domains <= 1 then Profile.predict_std_batch profile x
+      else begin
+        let out = Array.make n 0.0 in
+        let base = n / domains and extra = n mod domains in
+        let offset chunk = (chunk * base) + min chunk extra in
+        let chunks =
+          Util.Parallel.run_chunks ~domains ~total:n (fun ~chunk ~size ->
+              let off = offset chunk in
+              let sub = Mlp.Tensor.create size dim in
+              Array.blit x.Mlp.Tensor.data (off * dim) sub.Mlp.Tensor.data 0
+                (size * dim);
+              (off, Profile.predict_std_batch profile sub))
+        in
+        List.iter (fun (off, p) -> Array.blit p 0 out off (Array.length p)) chunks;
+        out
+      end
+    in
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare pred.(b) pred.(a)) order;
+    let k = min top_k n in
+    let candidates =
+      Array.init k (fun rank ->
+          let idx = order.(rank) in
+          { config = scored_cfgs.(idx);
+            predicted_tflops = Features.untarget profile.Profile.scaler pred.(idx) })
+    in
+    (* Re-benchmark the short-list on the device and keep the fastest. *)
+    let best = ref None in
+    Array.iter
+      (fun cand ->
+        match Gpu.Executor.measure_best_of ?noise rng device (cost cand.config) with
+        | None -> ()
+        | Some m ->
+          (match !best with
+           | Some (_, bm) when bm.Gpu.Executor.seconds <= m.seconds -> ()
+           | _ -> best := Some (cand.config, m)))
+      candidates;
+    match !best with
+    | None -> None
+    | Some (cfg, m) ->
+      Some { best = cfg; best_measurement = m; candidates; n_legal; n_scored = n }
+  end
+
+let exhaustive_gemm ?top_k ?cap ?noise ?domains rng device ~profile (i : GP.input) =
+  exhaustive ?top_k ?cap ?noise ?domains rng device ~profile
+    ~legal_configs:(fun d -> legal_gemm_configs d i)
+    ~features_of:(fun cfg ->
+      Features.gemm_features ~log:true i (GP.config_to_array cfg))
+    ~cost:(fun cfg -> GP.cost i cfg)
+
+let exhaustive_conv ?top_k ?cap ?noise ?domains rng device ~profile (i : CP.input) =
+  exhaustive ?top_k ?cap ?noise ?domains rng device ~profile
+    ~legal_configs:(fun d -> legal_conv_configs d i)
+    ~features_of:(fun cfg ->
+      Features.conv_features ~log:true i (GP.config_to_array cfg))
+    ~cost:(fun cfg -> CP.cost i cfg)
+
+let oracle ~legal_configs ~cost device =
+  let best = ref None in
+  List.iter
+    (fun cfg ->
+      match Gpu.Perf_model.predict device (cost cfg) with
+      | None -> ()
+      | Some report ->
+        (match !best with
+         | Some (_, br) when br.Gpu.Perf_model.seconds <= report.seconds -> ()
+         | _ -> best := Some (cfg, report)))
+    (legal_configs device);
+  !best
+
+let oracle_gemm device (i : GP.input) =
+  oracle device
+    ~legal_configs:(fun d -> legal_gemm_configs d i)
+    ~cost:(fun cfg -> GP.cost i cfg)
+
+let oracle_conv device (i : CP.input) =
+  oracle device
+    ~legal_configs:(fun d -> legal_conv_configs d i)
+    ~cost:(fun cfg -> CP.cost i cfg)

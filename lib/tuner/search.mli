@@ -1,0 +1,69 @@
+(** Runtime kernel inference (paper §6).
+
+    At runtime the input parameters are fixed; the trained model is
+    optimized over tuning parameters only, by exhaustive search over the
+    legal grid — "guaranteed to find the global optimum within the
+    specified search range" — followed by re-benchmarking the top-k
+    candidates on the device "to smooth out the inherent noise of our
+    predictive model". *)
+
+type candidate = {
+  config : Codegen.Gemm_params.config;
+  predicted_tflops : float;
+}
+
+type result = {
+  best : Codegen.Gemm_params.config;
+  best_measurement : Gpu.Executor.measurement;
+  candidates : candidate array;   (** top-k by model prediction, ranked *)
+  n_legal : int;                  (** size of the legal space searched *)
+  n_scored : int;                 (** configurations scored by the model *)
+}
+
+val legal_gemm_configs :
+  Gpu.Device.t -> Codegen.Gemm_params.input -> Codegen.Gemm_params.config list
+(** All fully legal configurations for this input (reverse grid order). *)
+
+val legal_conv_configs :
+  Gpu.Device.t -> Codegen.Conv_params.input -> Codegen.Gemm_params.config list
+
+val exhaustive_gemm :
+  ?top_k:int ->
+  ?cap:int ->
+  ?noise:float ->
+  ?domains:int ->
+  Util.Rng.t ->
+  Gpu.Device.t ->
+  profile:Profile.t ->
+  Codegen.Gemm_params.input ->
+  result option
+(** Full §6 pipeline. [top_k] defaults to 100 (as in the paper); [cap]
+    (default 60000, env ISAAC_SEARCH_CAP) bounds how many legal
+    configurations are scored — beyond it a deterministic subsample is
+    scored instead, trading the global-optimum guarantee for latency
+    exactly like shrinking the paper's "specified search range".
+    [None] when no configuration is legal (never happens for the spaces
+    shipped here). [domains > 1] spreads model scoring over OCaml 5
+    domains. *)
+
+val exhaustive_conv :
+  ?top_k:int ->
+  ?cap:int ->
+  ?noise:float ->
+  ?domains:int ->
+  Util.Rng.t ->
+  Gpu.Device.t ->
+  profile:Profile.t ->
+  Codegen.Conv_params.input ->
+  result option
+
+val oracle_gemm :
+  Gpu.Device.t -> Codegen.Gemm_params.input ->
+  (Codegen.Gemm_params.config * Gpu.Perf_model.report) option
+(** Noise-free argmax of the timing model over the whole legal space: the
+    best any search could do. Used by tests ("the MLP search reaches ≥x%
+    of the oracle") and by the §8 analysis tables. *)
+
+val oracle_conv :
+  Gpu.Device.t -> Codegen.Conv_params.input ->
+  (Codegen.Gemm_params.config * Gpu.Perf_model.report) option

@@ -1,0 +1,45 @@
+let write path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (String.concat "," header);
+      output_char oc '\n';
+      List.iter
+        (fun row ->
+          let cells = Array.to_list (Array.map (Printf.sprintf "%.17g") row) in
+          output_string oc (String.concat "," cells);
+          output_char oc '\n')
+        rows)
+
+let read path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header =
+        match In_channel.input_line ic with
+        | None -> failwith (path ^ ": empty csv")
+        | Some line -> String.split_on_char ',' line
+      in
+      let rows = ref [] in
+      let rec loop () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some "" -> loop ()
+        | Some line ->
+          let cells = String.split_on_char ',' line in
+          let row =
+            Array.of_list
+              (List.map
+                 (fun s ->
+                   match float_of_string_opt (String.trim s) with
+                   | Some f -> f
+                   | None -> failwith (path ^ ": bad float " ^ s))
+                 cells)
+          in
+          rows := row :: !rows;
+          loop ()
+      in
+      loop ();
+      (header, List.rev !rows))

@@ -1,0 +1,11 @@
+(** Minimal CSV reading/writing used to persist tuning datasets and
+    benchmark outputs. Only the subset needed here: float matrices with a
+    header row, no quoting. *)
+
+val write : string -> header:string list -> float array list -> unit
+(** [write path ~header rows] writes one header line then one line per
+    row, comma separated, full float precision. *)
+
+val read : string -> string list * float array list
+(** [read path] parses a file written by {!write}. Raises [Failure] on
+    malformed input. *)

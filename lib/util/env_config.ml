@@ -1,0 +1,20 @@
+let float name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> ( match float_of_string_opt s with Some f -> f | None -> default)
+
+let int name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> ( match int_of_string_opt s with Some i -> i | None -> default)
+
+let bool name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some ("0" | "false" | "no" | "off") -> false
+  | Some _ -> default
+
+let scale () = Float.min 100.0 (Float.max 0.01 (float "REPRO_SCALE" 1.0))
+let scaled n = max 1 (int_of_float (Float.round (float_of_int n *. scale ())))
+let seed () = int "REPRO_SEED" 42

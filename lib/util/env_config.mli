@@ -1,0 +1,22 @@
+(** Environment-variable driven experiment scaling.
+
+    The paper benchmarks 50k–200k kernels on real GPUs; our experiments run
+    the whole pipeline on a CPU, so every experiment size is scaled by
+    [REPRO_SCALE] (default 1.0) and can be pinned individually with
+    dedicated variables documented in EXPERIMENTS.md. *)
+
+val scale : unit -> float
+(** Global scale factor, [REPRO_SCALE], default 1.0, clamped to
+    \[0.01, 100\]. *)
+
+val scaled : int -> int
+(** [scaled n] is [n * scale()] rounded, at least 1. *)
+
+val int : string -> int -> int
+(** [int name default] reads an integer env override. *)
+
+val float : string -> float -> float
+val bool : string -> bool -> bool
+
+val seed : unit -> int
+(** Root experiment seed, [REPRO_SEED], default 42. *)

@@ -1,0 +1,39 @@
+let recommended_domains () =
+  let d =
+    match Sys.getenv_opt "ISAAC_DOMAINS" with
+    | Some s -> (match int_of_string_opt s with Some v -> v | None -> 1)
+    | None -> Domain.recommended_domain_count ()
+  in
+  max 1 (min 8 d)
+
+let chunk_sizes ~domains ~total =
+  let base = total / domains and extra = total mod domains in
+  List.init domains (fun i -> base + if i < extra then 1 else 0)
+
+let run_chunks ~domains ~total f =
+  if domains <= 1 || total <= 1 then [ f ~chunk:0 ~size:total ]
+  else begin
+    let sizes = chunk_sizes ~domains ~total in
+    let handles =
+      List.mapi (fun chunk size -> Domain.spawn (fun () -> f ~chunk ~size)) sizes
+    in
+    List.map Domain.join handles
+  end
+
+let map_array ~domains f arr =
+  let total = Array.length arr in
+  if domains <= 1 || total < 2 * domains then Array.map f arr
+  else begin
+    let sizes = chunk_sizes ~domains ~total in
+    let offsets =
+      let acc = ref 0 in
+      List.map (fun s -> let o = !acc in acc := o + s; o) sizes
+    in
+    let handles =
+      List.map2
+        (fun offset size ->
+          Domain.spawn (fun () -> Array.init size (fun i -> f arr.(offset + i))))
+        offsets sizes
+    in
+    Array.concat (List.map Domain.join handles)
+  end

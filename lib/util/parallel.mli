@@ -1,0 +1,22 @@
+(** Multicore fan-out helpers built directly on OCaml 5 [Domain].
+
+    The tuner's two hot loops — benchmarking tens of thousands of
+    sampled kernels (§4) and scoring the legal space through the MLP at
+    runtime (§6) — are embarrassingly parallel; these helpers spread them
+    across domains. Work functions must be thread-safe (the tuner's are:
+    they share only immutable models and per-domain PRNGs).
+
+    Results are deterministic for a fixed (seed, domain-count) pair. *)
+
+val recommended_domains : unit -> int
+(** [ISAAC_DOMAINS] env override, else [Domain.recommended_domain_count],
+    capped at 8. *)
+
+val map_array : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]: the input is split into [domains] contiguous
+    chunks, one domain each. [domains <= 1] degrades to plain map. *)
+
+val run_chunks : domains:int -> total:int -> (chunk:int -> size:int -> 'a) -> 'a list
+(** [run_chunks ~domains ~total f] splits [total] work items into
+    [domains] contiguous chunks and runs [f ~chunk ~size] per chunk in
+    its own domain, returning results in chunk order. *)

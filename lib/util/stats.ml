@@ -1,0 +1,69 @@
+let mean a =
+  assert (Array.length a > 0);
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  let m = mean a in
+  let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+  acc /. float_of_int (Array.length a)
+
+let stddev a = sqrt (variance a)
+
+let geomean a =
+  assert (Array.length a > 0);
+  let acc = Array.fold_left (fun acc x -> assert (x > 0.0); acc +. log x) 0.0 a in
+  exp (acc /. float_of_int (Array.length a))
+
+let sorted a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let percentile a p =
+  assert (Array.length a > 0 && p >= 0.0 && p <= 100.0);
+  let b = sorted a in
+  let n = Array.length b in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = rank -. float_of_int lo in
+  b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
+
+let median a = percentile a 50.0
+let min a = Array.fold_left Stdlib.min a.(0) a
+let max a = Array.fold_left Stdlib.max a.(0) a
+
+let mse a b =
+  assert (Array.length a = Array.length b && Array.length a > 0);
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> let d = x -. b.(i) in acc := !acc +. (d *. d)) a;
+  !acc /. float_of_int (Array.length a)
+
+let mae a b =
+  assert (Array.length a = Array.length b && Array.length a > 0);
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. Float.abs (x -. b.(i))) a;
+  !acc /. float_of_int (Array.length a)
+
+let correlation a b =
+  assert (Array.length a = Array.length b && Array.length a > 1);
+  let ma = mean a and mb = mean b in
+  let num = ref 0.0 and da = ref 0.0 and db = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let xa = x -. ma and xb = b.(i) -. mb in
+      num := !num +. (xa *. xb);
+      da := !da +. (xa *. xa);
+      db := !db +. (xb *. xb))
+    a;
+  !num /. sqrt (!da *. !db)
+
+let argmax a =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > a.(!best) then best := i) a;
+  !best
+
+let argmin a =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x < a.(!best) then best := i) a;
+  !best

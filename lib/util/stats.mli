@@ -1,0 +1,39 @@
+(** Small statistics toolbox used by the tuner, the MLP trainer and the
+    benchmark reporting code. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Requires a non-empty array. *)
+
+val variance : float array -> float
+(** Population variance (biased, divides by [n]). *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val geomean : float array -> float
+(** Geometric mean of strictly positive values. *)
+
+val median : float array -> float
+(** Median (does not mutate its argument). *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in \[0,100\], linear interpolation between
+    order statistics. *)
+
+val min : float array -> float
+val max : float array -> float
+
+val mse : float array -> float array -> float
+(** Mean squared error between two same-length vectors. *)
+
+val mae : float array -> float array -> float
+(** Mean absolute error. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation coefficient. *)
+
+val argmax : float array -> int
+(** Index of the maximum element (first occurrence). *)
+
+val argmin : float array -> int
+(** Index of the minimum element (first occurrence). *)

@@ -1,0 +1,42 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?align ~header rows =
+  let cols = Array.length header in
+  List.iter (fun r -> assert (Array.length r = cols)) rows;
+  let align =
+    match align with
+    | Some a -> assert (Array.length a = cols); a
+    | None -> Array.init cols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths = Array.map String.length header in
+  List.iter
+    (fun r -> Array.iteri (fun i s -> widths.(i) <- max widths.(i) (String.length s)) r)
+    rows;
+  let buf = Buffer.create 1024 in
+  let sep =
+    "+" ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "+"
+  in
+  let line r =
+    let cells =
+      Array.to_list (Array.mapi (fun i s -> " " ^ pad align.(i) widths.(i) s ^ " ") r)
+    in
+    "|" ^ String.concat "|" cells ^ "|"
+  in
+  Buffer.add_string buf (sep ^ "\n");
+  Buffer.add_string buf (line header ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (line r ^ "\n")) rows;
+  Buffer.add_string buf sep;
+  Buffer.contents buf
+
+let print ?align ~header rows = print_endline (render ?align ~header rows)
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let fmt_pct x = Printf.sprintf "%.1f%%" (x *. 100.0)

@@ -1,0 +1,29 @@
+(** ASCII table rendering for the benchmark harness and examples.
+
+    All experiment output (the reproduction of each paper table/figure) is
+    printed through this module so rows line up and can be diffed across
+    runs. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align array ->
+  header:string array ->
+  string array list ->
+  string
+(** [render ~header rows] renders a boxed ASCII table.  All rows must have
+    the same arity as [header].  [align] defaults to left for the first
+    column and right for the rest (the common "name, numbers..." layout). *)
+
+val print :
+  ?align:align array ->
+  header:string array ->
+  string array list ->
+  unit
+(** [print] renders to stdout. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point float formatting, default 2 decimals. *)
+
+val fmt_pct : float -> string
+(** [fmt_pct 0.153] is ["15.3%"]. *)

@@ -1,0 +1,35 @@
+module CP = Codegen.Conv_params
+
+type task = {
+  group : string;
+  label : string;
+  input : CP.input;
+}
+
+(* Table 5: (N, P, Q, K, C, R, S) per row. *)
+let rows =
+  [ ("DeepSpeech", "Conv1", (16, 79, 341, 32, 1, 5, 20));
+    ("DeepSpeech", "Conv2", (16, 38, 166, 32, 32, 5, 10));
+    ("OCR", "Conv3", (16, 24, 240, 32, 16, 3, 3));
+    ("OCR", "Conv4", (16, 12, 120, 64, 32, 3, 3));
+    ("Face Recognition", "Conv5", (8, 54, 54, 64, 64, 3, 3));
+    ("Face Recognition", "Conv6", (8, 27, 27, 128, 128, 3, 3));
+    ("Face Recognition", "Conv7", (16, 14, 14, 48, 512, 5, 5));
+    ("Face Recognition", "Conv8", (16, 7, 7, 128, 832, 5, 5));
+    ("Vision", "Conv9", (8, 112, 112, 128, 64, 3, 3));
+    ("Vision", "Conv10", (8, 56, 56, 256, 128, 3, 3));
+    ("Speaker ID", "Conv11", (16, 128, 39, 174, 64, 5, 5));
+    ("Speaker ID", "Conv12", (16, 256, 19, 87, 128, 5, 5));
+    ("ResNET", "Conv13", (16, 7, 7, 512, 512, 3, 3));
+    ("ResNET", "Conv14", (16, 7, 7, 2048, 1024, 1, 1)) ]
+
+let suite dtype =
+  List.map
+    (fun (group, label, (n, p, q, k, c, r, s)) ->
+      { group; label; input = CP.input ~dtype ~n ~c ~k ~p ~q ~r ~s () })
+    rows
+
+let find label dtype =
+  match List.find_opt (fun t -> t.label = label) (suite dtype) with
+  | Some t -> t
+  | None -> raise Not_found

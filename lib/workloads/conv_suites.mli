@@ -1,0 +1,17 @@
+(** The convolution evaluation tasks of Table 5: fourteen DeepBench
+    layers spanning six applications (DeepSpeech, OCR, face recognition,
+    vision, speaker identification, ResNet). Figures 9–11 run this suite
+    in fp32 on the GTX 980 Ti and in fp32/fp16 on the P100. *)
+
+type task = {
+  group : string;    (** application, e.g. "DeepSpeech" *)
+  label : string;    (** "Conv1" … "Conv14" *)
+  input : Codegen.Conv_params.input;
+}
+
+val suite : Ptx.Types.dtype -> task list
+(** All fourteen layers in Table 5 order. *)
+
+val find : string -> Ptx.Types.dtype -> task
+(** Look up a layer by label, e.g. [find "Conv8" F32].
+    Raises [Not_found]. *)

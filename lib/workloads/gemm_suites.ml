@@ -1,0 +1,64 @@
+module GP = Codegen.Gemm_params
+
+type task = {
+  group : string;
+  label : string;
+  input : GP.input;
+}
+
+let linpack dtype =
+  List.map
+    (fun s ->
+      { group = "LINPACK"; label = string_of_int s;
+        input = GP.input ~dtype ~b_trans:true s s s })
+    [ 512; 1024; 2048 ]
+
+let deepbench_ns = [ 16; 32; 64; 128 ]
+
+let deepbench_forward ?(mk = 2560) dtype =
+  List.map
+    (fun n ->
+      { group = "DeepBench [F]"; label = string_of_int n;
+        input = GP.input ~dtype mk n mk })
+    deepbench_ns
+
+let deepbench_backward ?(mk = 2560) dtype =
+  List.map
+    (fun n ->
+      { group = "DeepBench [B]"; label = string_of_int n;
+        input = GP.input ~dtype ~a_trans:true mk n mk })
+    deepbench_ns
+
+let ica dtype =
+  List.map
+    (fun c ->
+      { group = "ICA"; label = string_of_int c;
+        input = GP.input ~dtype ~b_trans:true c c 60000 })
+    [ 32; 64; 256 ]
+
+let blocked_svd dtype =
+  List.map
+    (fun s ->
+      { group = "Blocked SVD"; label = string_of_int s;
+        input = GP.input ~dtype ~b_trans:true s s 32 })
+    [ 896; 2048; 4096 ]
+
+let fp32_suite ~mk =
+  linpack F32 @ deepbench_forward ~mk F32 @ deepbench_backward ~mk F32 @ ica F32
+  @ blocked_svd F32
+
+let mixed_suite ~mk =
+  linpack F16 @ deepbench_forward ~mk F16 @ deepbench_backward ~mk F16 @ ica F64
+  @ blocked_svd F64
+
+let table6_problems =
+  [ ("LINPACK (512)", GP.input ~b_trans:true 512 512 512);
+    ("LINPACK (2048)", GP.input ~b_trans:true 2048 2048 2048);
+    ("DeepBench-F (16)", GP.input 2560 16 2560);
+    ("DeepBench-F (128)", GP.input 2560 128 2560);
+    ("DeepBench-B (16)", GP.input ~a_trans:true 2560 16 2560);
+    ("DeepBench-B (128)", GP.input ~a_trans:true 2560 128 2560);
+    ("ICA (32)", GP.input ~b_trans:true 32 32 60000);
+    ("ICA (256)", GP.input ~b_trans:true 256 256 60000);
+    ("LAPACK (896)", GP.input ~b_trans:true 896 896 32);
+    ("LAPACK (4096)", GP.input ~b_trans:true 4096 4096 32) ]

@@ -1,0 +1,39 @@
+(** The GEMM evaluation tasks of Table 4: LINPACK squares, DeepBench
+    forward/backward propagation shapes, independent component analysis
+    covariance products, and blocked-SVD panel products.
+
+    Figure 6 (GTX 980 Ti) and Figure 7 (P100) run the fp32 suite;
+    Figure 8 (P100) runs the mixed-precision variant (fp16 for LINPACK
+    and DeepBench, fp64 for ICA and SVD). *)
+
+type task = {
+  group : string;   (** "LINPACK", "DeepBench [F]", ... *)
+  label : string;   (** x-axis label in the figures, e.g. "512" or "16" *)
+  input : Codegen.Gemm_params.input;
+}
+
+val linpack : Ptx.Types.dtype -> task list
+(** Square M=N=K ∈ {512, 1024, 2048}, A·Bᵀ. *)
+
+val deepbench_forward : ?mk:int -> Ptx.Types.dtype -> task list
+(** M=K fixed (1760 on Maxwell, 2560 on Pascal — the paper uses both),
+    N ∈ {16,32,64,128}, no transposes. *)
+
+val deepbench_backward : ?mk:int -> Ptx.Types.dtype -> task list
+(** Same shapes with A transposed (gradient computation). *)
+
+val ica : Ptx.Types.dtype -> task list
+(** M=N ∈ {32, 64, 256}, K = 60000, covariance layout A·Bᵀ. *)
+
+val blocked_svd : Ptx.Types.dtype -> task list
+(** M=N ∈ {896, 2048, 4096}, K = 32: the packed outer products of blocked
+    Householder bi-diagonalization. *)
+
+val fp32_suite : mk:int -> task list
+(** The Figure 6/7 list in paper order. [mk] is the DeepBench M=K. *)
+
+val mixed_suite : mk:int -> task list
+(** The Figure 8 list: fp16 LINPACK + DeepBench, fp64 ICA + SVD. *)
+
+val table6_problems : (string * Codegen.Gemm_params.input) list
+(** The ten rows of Table 6 (parameterization choices of ISAAC). *)

@@ -1,0 +1,59 @@
+module GP = Codegen.Gemm_params
+module CP = Codegen.Conv_params
+
+type layer = Gemm of GP.input | Conv of CP.input
+
+type network = {
+  name : string;
+  layers : (string * layer) list;
+}
+
+let flops = function
+  | Gemm i -> 2.0 *. float_of_int i.m *. float_of_int i.n *. float_of_int i.k
+  | Conv i ->
+    2.0 *. float_of_int (CP.npq i) *. float_of_int i.k *. float_of_int (CP.crs i)
+
+let conv ?(stride = 1) ?(pad = 0) ~dtype ~n ~c ~k ~p ~r () =
+  Conv (CP.input ~dtype ~stride ~pad ~n ~c ~k ~p ~q:p ~r ~s:r ())
+
+(* Fully connected forward pass: out(features_out x batch) =
+   W(features_out x features_in) . x(features_in x batch). *)
+let fc ~dtype ~batch ~fin ~fout =
+  Gemm (GP.input ~dtype fout batch fin)
+
+let alexnet ?(batch = 16) dtype =
+  { name = "AlexNet";
+    layers =
+      [ ("conv1", conv ~dtype ~n:batch ~c:3 ~k:64 ~p:55 ~r:11 ~stride:4 ~pad:2 ());
+        ("conv2", conv ~dtype ~n:batch ~c:64 ~k:192 ~p:27 ~r:5 ~pad:2 ());
+        ("conv3", conv ~dtype ~n:batch ~c:192 ~k:384 ~p:13 ~r:3 ~pad:1 ());
+        ("conv4", conv ~dtype ~n:batch ~c:384 ~k:256 ~p:13 ~r:3 ~pad:1 ());
+        ("conv5", conv ~dtype ~n:batch ~c:256 ~k:256 ~p:13 ~r:3 ~pad:1 ());
+        ("fc6", fc ~dtype ~batch ~fin:9216 ~fout:4096);
+        ("fc7", fc ~dtype ~batch ~fin:4096 ~fout:4096);
+        ("fc8", fc ~dtype ~batch ~fin:4096 ~fout:1000) ] }
+
+let resnet50_excerpt ?(batch = 8) dtype =
+  let block ~stage ~c ~k ~p =
+    [ (Printf.sprintf "s%d.1x1a" stage, conv ~dtype ~n:batch ~c ~k ~p ~r:1 ());
+      (Printf.sprintf "s%d.3x3" stage, conv ~dtype ~n:batch ~c:k ~k ~p ~r:3 ~pad:1 ());
+      (Printf.sprintf "s%d.1x1b" stage,
+       conv ~dtype ~n:batch ~c:k ~k:(4 * k) ~p ~r:1 ()) ]
+  in
+  { name = "ResNet-50 (excerpt)";
+    layers =
+      block ~stage:2 ~c:256 ~k:64 ~p:56
+      @ block ~stage:3 ~c:512 ~k:128 ~p:28
+      @ block ~stage:4 ~c:1024 ~k:256 ~p:14
+      @ block ~stage:5 ~c:2048 ~k:512 ~p:7
+      @ [ ("fc", fc ~dtype ~batch ~fin:2048 ~fout:1000) ] }
+
+let lstm ?(batch = 32) ?(hidden = 1024) ?(steps = 8) dtype =
+  { name = Printf.sprintf "LSTM h=%d" hidden;
+    layers =
+      List.init steps (fun t ->
+          (* Fused gates: [i f g o] = W . [x; h], W is 4h x 2h. *)
+          (Printf.sprintf "step%d" t,
+           Gemm (GP.input ~dtype (4 * hidden) batch (2 * hidden)))) }
+
+let all dtype = [ alexnet dtype; resnet50_excerpt dtype; lstm dtype ]

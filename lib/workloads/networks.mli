@@ -1,0 +1,34 @@
+(** Whole-network workloads: the layer stacks of three representative
+    deep networks, mixing convolutions and matrix products, used by the
+    "networks" benchmark to aggregate ISAAC's per-layer gains into
+    end-to-end inference/training-step speedups (the deployment scenario
+    the paper's introduction motivates). *)
+
+type layer =
+  | Gemm of Codegen.Gemm_params.input
+  | Conv of Codegen.Conv_params.input
+
+type network = {
+  name : string;
+  layers : (string * layer) list;  (** (label, layer) in execution order *)
+}
+
+val flops : layer -> float
+(** Useful flops of one layer (2·M·N·K or 2·N·P·Q·K·C·R·S). *)
+
+val alexnet : ?batch:int -> Ptx.Types.dtype -> network
+(** The five AlexNet convolutions (strides and paddings included) plus
+    its three fully-connected layers. Default batch 16. *)
+
+val resnet50_excerpt : ?batch:int -> Ptx.Types.dtype -> network
+(** One bottleneck's worth of convolutions from each of ResNet-50's four
+    stages (1x1 reduce, 3x3, 1x1 expand at 56/28/14/7 spatial sizes) and
+    the final classifier GEMM. Default batch 8. *)
+
+val lstm : ?batch:int -> ?hidden:int -> ?steps:int -> Ptx.Types.dtype -> network
+(** A single-layer LSTM unrolled over [steps] timesteps (default 8):
+    each step is the fused-gate product (4·hidden × batch × 2·hidden).
+    Default hidden 1024, batch 32 — DeepBench's RNN regime, where the
+    batch dimension is far below vendor tile widths. *)
+
+val all : Ptx.Types.dtype -> network list

@@ -1,0 +1,160 @@
+(* Tests for the cuBLAS/cuDNN baselines: the structural properties the
+   paper attributes to the vendor libraries must hold of our clones, and
+   selection must always produce runnable kernels on the evaluation
+   suites. *)
+
+let quick name f = Alcotest.test_case name `Quick f
+
+module GP = Codegen.Gemm_params
+let rng () = Util.Rng.create 31415
+
+let devices = [ Gpu.Device.gtx980ti; Gpu.Device.p100 ]
+let dtypes : Ptx.Types.dtype list = [ F16; F32; F64 ]
+
+(* §7.3/§8.1: cuBLAS only tiles 64- or 128-wide along N and never uses
+   block-level reduction splitting. *)
+let test_cublas_set_structure () =
+  List.iter
+    (fun device ->
+      List.iter
+        (fun dtype ->
+          List.iter
+            (fun (c : GP.config) ->
+              Alcotest.(check bool) "NL in {64,128}" true (c.nl = 64 || c.nl = 128);
+              Alcotest.(check int) "KL = 1" 1 c.kl)
+            (Baselines.Cublas.kernel_set device dtype))
+        dtypes)
+    devices
+
+let test_cublas_has_split_kernels () =
+  let set = Baselines.Cublas.kernel_set Gpu.Device.p100 F32 in
+  Alcotest.(check bool) "some KG>1 kernels" true
+    (List.exists (fun (c : GP.config) -> c.kg > 1) set)
+
+let test_cublas_fp16x2_limited () =
+  (* Only a couple of fp16x2 (vec>=2) kernels exist. *)
+  let set = Baselines.Cublas.kernel_set Gpu.Device.p100 F16 in
+  let packed = List.filter (fun (c : GP.config) -> c.vec >= 2 && c.kg = 1) set in
+  Alcotest.(check bool) "at most 2 packed kernels" true (List.length packed <= 2)
+
+let all_gemm_tasks =
+  Workloads.Gemm_suites.fp32_suite ~mk:2560
+  @ Workloads.Gemm_suites.mixed_suite ~mk:2560
+  @ Workloads.Gemm_suites.fp32_suite ~mk:1760
+
+let test_cublas_heuristic_always_picks () =
+  List.iter
+    (fun device ->
+      List.iter
+        (fun (task : Workloads.Gemm_suites.task) ->
+          match Baselines.Cublas.heuristic_pick device task.input with
+          | None -> Alcotest.failf "no pick for %s %s" task.group task.label
+          | Some c ->
+            Alcotest.(check bool) "pick is legal" true
+              (GP.structurally_legal task.input c
+              && Gpu.Executor.legal device (GP.cost task.input c)))
+        all_gemm_tasks)
+    devices
+
+let test_cublas_best_at_least_heuristic () =
+  let r = rng () in
+  List.iter
+    (fun (task : Workloads.Gemm_suites.task) ->
+      let device = Gpu.Device.p100 in
+      let h = Baselines.Cublas.heuristic ~noise:0.0 r device task.input in
+      let b = Baselines.Cublas.best_kernel ~noise:0.0 r device task.input in
+      match (h, b) with
+      | Some (_, hm), Some (_, bm) ->
+        Alcotest.(check bool) "best >= heuristic" true
+          (bm.tflops >= hm.tflops *. 0.999)
+      | _ -> Alcotest.fail "both should pick")
+    all_gemm_tasks
+
+let test_cublas_ica_heuristic_hole () =
+  (* The paper: cuBLAS heuristics fail to apply reduction splitting on the
+     256-channel ICA case, losing an order of magnitude vs the best
+     kernel. *)
+  let r = rng () in
+  let device = Gpu.Device.p100 in
+  let input = GP.input ~b_trans:true 256 256 60000 in
+  let _, hm = Option.get (Baselines.Cublas.heuristic ~noise:0.0 r device input) in
+  let _, bm = Option.get (Baselines.Cublas.best_kernel ~noise:0.0 r device input) in
+  Alcotest.(check bool) "heuristic much slower than best kernel" true
+    (bm.tflops > 2.0 *. hm.tflops)
+
+let test_cublas_square_picks_big_tiles () =
+  let device = Gpu.Device.p100 in
+  let c =
+    Option.get (Baselines.Cublas.heuristic_pick device (GP.input ~b_trans:true 2048 2048 2048))
+  in
+  Alcotest.(check bool) "128-wide tile for big squares" true (c.ml >= 128 && c.nl >= 64)
+
+(* --- cuDNN ----------------------------------------------------------------- *)
+
+let conv_tasks dtype = Workloads.Conv_suites.suite dtype
+
+let test_cudnn_no_crs_splitting () =
+  List.iter
+    (fun device ->
+      List.iter
+        (fun (c : GP.config) ->
+          Alcotest.(check int) "no C_L" 1 c.kl;
+          Alcotest.(check int) "no C_G" 1 c.kg)
+        (Baselines.Cudnn.kernel_set device F32))
+    devices
+
+let test_cudnn_heuristic_always_picks () =
+  List.iter
+    (fun device ->
+      List.iter
+        (fun dtype ->
+          List.iter
+            (fun (task : Workloads.Conv_suites.task) ->
+              match Baselines.Cudnn.heuristic_pick device task.input with
+              | None -> Alcotest.failf "no pick for %s" task.label
+              | Some c ->
+                Alcotest.(check bool) "pick legal" true
+                  (Codegen.Conv_params.structurally_legal task.input c
+                  && Gpu.Executor.legal device
+                       (Codegen.Conv_params.cost task.input c)))
+            (conv_tasks dtype))
+        [ Ptx.Types.F32; Ptx.Types.F16 ])
+    devices
+
+let test_cudnn_best_at_least_heuristic () =
+  let r = rng () in
+  List.iter
+    (fun (task : Workloads.Conv_suites.task) ->
+      let device = Gpu.Device.gtx980ti in
+      let h = Baselines.Cudnn.heuristic ~noise:0.0 r device task.input in
+      let b = Baselines.Cudnn.best_kernel ~noise:0.0 r device task.input in
+      match (h, b) with
+      | Some (_, hm), Some (_, bm) ->
+        Alcotest.(check bool) "best >= heuristic" true
+          (bm.tflops >= hm.tflops *. 0.999)
+      | _ -> Alcotest.fail "both should pick")
+    (conv_tasks Ptx.Types.F32)
+
+let test_determinism () =
+  let device = Gpu.Device.p100 in
+  let input = GP.input 2560 32 2560 in
+  let pick1 = Baselines.Cublas.heuristic_pick device input in
+  let pick2 = Baselines.Cublas.heuristic_pick device input in
+  Alcotest.(check bool) "same pick" true (pick1 = pick2)
+
+let () =
+  Alcotest.run "baselines"
+    [ ("cublas structure",
+       [ quick "NL/KL constraints" test_cublas_set_structure;
+         quick "split kernels exist" test_cublas_has_split_kernels;
+         quick "fp16x2 limited" test_cublas_fp16x2_limited ]);
+      ("cublas selection",
+       [ quick "always picks legally" test_cublas_heuristic_always_picks;
+         quick "best >= heuristic" test_cublas_best_at_least_heuristic;
+         quick "ICA heuristic hole" test_cublas_ica_heuristic_hole;
+         quick "square -> big tiles" test_cublas_square_picks_big_tiles;
+         quick "deterministic" test_determinism ]);
+      ("cudnn",
+       [ quick "no reduction splitting" test_cudnn_no_crs_splitting;
+         quick "always picks legally" test_cudnn_heuristic_always_picks;
+         quick "best >= heuristic" test_cudnn_best_at_least_heuristic ]) ]

@@ -1,0 +1,190 @@
+(* Functional correctness of the CONV generator (implicit GEMM with
+   indirection tables) against a direct-convolution oracle. *)
+
+module P = Codegen.Gemm_params
+module CP = Codegen.Conv_params
+module C = Codegen.Conv
+
+let rng = Util.Rng.create 77
+
+let random_array dtype n =
+  Array.init n (fun _ ->
+      let v = Util.Rng.uniform rng *. 2.0 -. 1.0 in
+      if dtype = Ptx.Types.F16 then Ptx.Types.round_half v else v)
+
+let tolerance dtype crs =
+  let kf = float_of_int crs in
+  match (dtype : Ptx.Types.dtype) with
+  | F64 -> 1e-12 *. kf
+  | F32 -> 1e-13 *. kf +. 1e-9
+  | F16 -> 5e-3 *. sqrt kf +. 1e-3
+
+let cfg ?(ms = 2) ?(ns = 2) ?(ks = 1) ?(ml = 16) ?(nl = 16) ?(u = 8) ?(kl = 1)
+    ?(kg = 1) ?(vec = 1) ?(db = 1) () =
+  { P.ms; ns; ks; ml; nl; u; kl; kg; vec; db }
+
+let check_conv ?bounds (i : CP.input) c =
+  Alcotest.(check bool) "legal" true (CP.structurally_legal i c);
+  let image = random_array i.dtype (i.n * i.c * CP.h i * CP.w i) in
+  let filter = random_array i.dtype (CP.crs i * i.k) in
+  let got = C.run ?bounds i c ~image ~filter in
+  let want = C.reference i ~image ~filter in
+  let tol = tolerance i.dtype (CP.crs i) in
+  Array.iteri
+    (fun idx w ->
+      let g = got.(idx) in
+      if Float.abs (g -. w) > tol *. (1.0 +. Float.abs w) then
+        Alcotest.failf "%s: O[%d] = %.9g, want %.9g (tol %g)"
+          (CP.describe_name i c) idx g w tol)
+    want
+
+let test_basic_3x3 () =
+  check_conv (CP.input ~n:2 ~c:3 ~k:4 ~p:6 ~q:6 ~r:3 ~s:3 ()) (cfg ())
+
+let test_1x1 () =
+  (* RS = 1: degenerates to a plain matrix multiplication (paper's
+     Conv14-style case). *)
+  check_conv (CP.input ~n:2 ~c:8 ~k:16 ~p:5 ~q:5 ~r:1 ~s:1 ()) (cfg ())
+
+let test_single_everything () =
+  (* N = C = K = 1: the signal-processing degenerate case the paper calls
+     out as poorly served by vendor libraries. *)
+  check_conv (CP.input ~n:1 ~c:1 ~k:1 ~p:8 ~q:8 ~r:5 ~s:5 ()) (cfg ())
+
+let test_wide_filter () =
+  check_conv (CP.input ~n:1 ~c:2 ~k:8 ~p:4 ~q:10 ~r:5 ~s:10 ()) (cfg ())
+
+let test_deep_reduction_split () =
+  (* Large CRS with C_G/C_L reduction splitting (Conv7/Conv8 shape
+     class). *)
+  check_conv (CP.input ~n:1 ~c:32 ~k:8 ~p:4 ~q:4 ~r:3 ~s:3 ()) (cfg ~kg:2 ~kl:2 ())
+
+let test_ks_split () =
+  check_conv (CP.input ~n:2 ~c:8 ~k:8 ~p:4 ~q:4 ~r:3 ~s:3 ()) (cfg ~ks:2 ())
+
+let test_ragged_tiles () =
+  check_conv (CP.input ~n:1 ~c:3 ~k:5 ~p:5 ~q:7 ~r:2 ~s:2 ()) (cfg ())
+
+let test_f16 () =
+  check_conv (CP.input ~dtype:F16 ~n:1 ~c:4 ~k:8 ~p:6 ~q:6 ~r:3 ~s:3 ()) (cfg ())
+
+let test_f64 () =
+  check_conv (CP.input ~dtype:F64 ~n:1 ~c:4 ~k:8 ~p:6 ~q:6 ~r:3 ~s:3 ()) (cfg ())
+
+let test_branch_bounds () =
+  check_conv ~bounds:P.Branch (CP.input ~n:1 ~c:3 ~k:5 ~p:5 ~q:7 ~r:2 ~s:2 ()) (cfg ())
+
+let test_strided () =
+  check_conv (CP.input ~stride:2 ~n:2 ~c:3 ~k:4 ~p:5 ~q:5 ~r:3 ~s:3 ()) (cfg ())
+
+let test_padded () =
+  (* "same" convolution: pad 1 with a 3x3 filter. *)
+  check_conv (CP.input ~pad:1 ~n:1 ~c:4 ~k:6 ~p:8 ~q:8 ~r:3 ~s:3 ()) (cfg ())
+
+let test_strided_and_padded () =
+  check_conv (CP.input ~stride:2 ~pad:2 ~n:2 ~c:2 ~k:4 ~p:6 ~q:5 ~r:5 ~s:5 ())
+    (cfg ())
+
+let test_pad_preserves_identity_filter () =
+  (* A centered 1-hot 3x3 filter with pad 1 must reproduce the image. *)
+  let i = CP.input ~pad:1 ~n:1 ~c:1 ~k:1 ~p:6 ~q:6 ~r:3 ~s:3 () in
+  let image = random_array i.dtype (CP.h i * CP.w i) in
+  let filter = Array.make 9 0.0 in
+  filter.(4) <- 1.0;
+  let out = C.run i (cfg ()) ~image ~filter in
+  Array.iteri
+    (fun idx v ->
+      if Float.abs (v -. image.(idx)) > 1e-12 then
+        Alcotest.failf "identity filter: O[%d] = %g, want %g" idx v image.(idx))
+    out
+
+let test_im2col_agrees_with_implicit () =
+  (* The two algorithm families (explicit IM2COL+GEMM vs implicit GEMM
+     with indirection tables) must agree bit-for-bit: same reduction
+     order, same kernels, different A-side plumbing. *)
+  List.iter
+    (fun i ->
+      let c = cfg () in
+      if CP.structurally_legal i c then begin
+        let image = random_array i.CP.dtype (i.n * i.c * CP.h i * CP.w i) in
+        let filter = random_array i.dtype (CP.crs i * i.k) in
+        let implicit = C.run i c ~image ~filter in
+        let explicit = C.run_im2col i c ~image ~filter in
+        Alcotest.(check bool) "identical results" true (implicit = explicit)
+      end)
+    [ CP.input ~n:2 ~c:3 ~k:4 ~p:6 ~q:6 ~r:3 ~s:3 ();
+      CP.input ~stride:2 ~pad:1 ~n:1 ~c:4 ~k:6 ~p:5 ~q:5 ~r:3 ~s:3 ();
+      CP.input ~n:1 ~c:8 ~k:8 ~p:4 ~q:4 ~r:1 ~s:1 () ]
+
+let test_im2col_shape () =
+  let i = CP.input ~n:2 ~c:3 ~k:4 ~p:6 ~q:5 ~r:3 ~s:2 () in
+  let image = random_array i.dtype (i.n * i.c * CP.h i * CP.w i) in
+  Alcotest.(check int) "NPQ x CRS" (CP.npq i * CP.crs i)
+    (Array.length (C.im2col i image))
+
+let test_tables_shape () =
+  let i = CP.input ~n:2 ~c:3 ~k:4 ~p:6 ~q:6 ~r:3 ~s:3 () in
+  let c = cfg () in
+  let lut_row, lut_delta = C.tables i c in
+  let m = CP.npq i in
+  Alcotest.(check int) "row table padded" ((m + c.ml - 1) / c.ml * c.ml)
+    (Array.length lut_row);
+  Alcotest.(check int) "delta table padded" (CP.crs i + c.u) (Array.length lut_delta);
+  (* All addresses must be in range for the image buffer. *)
+  let img_len = i.n * i.c * CP.h i * CP.w i in
+  let max_delta = Array.fold_left Float.max 0.0 lut_delta in
+  Array.iteri
+    (fun idx base ->
+      if idx < m then
+        Alcotest.(check bool)
+          "address in range" true
+          (base +. max_delta < float_of_int img_len))
+    lut_row
+
+let test_random_convs () =
+  let checked = ref 0 in
+  for _ = 1 to 12 do
+    let n = Util.Rng.int_in rng 1 3 in
+    let c = Util.Rng.int_in rng 1 8 in
+    let k = Util.Rng.int_in rng 1 12 in
+    let p = Util.Rng.int_in rng 1 8 in
+    let q = Util.Rng.int_in rng 1 8 in
+    let r = Util.Rng.int_in rng 1 3 in
+    let s = Util.Rng.int_in rng 1 3 in
+    let i = CP.input ~n ~c ~k ~p ~q ~r ~s () in
+    let candidates =
+      [ cfg (); cfg ~ml:8 ~nl:8 ~ms:1 ~ns:2 ~u:4 (); cfg ~kg:2 ();
+        cfg ~ml:32 ~nl:8 ~ms:4 ~ns:1 ~u:4 () ]
+    in
+    List.iter
+      (fun cand ->
+        if CP.structurally_legal i cand then begin
+          incr checked;
+          check_conv i cand
+        end)
+      candidates
+  done;
+  if !checked < 10 then Alcotest.failf "only %d conv cases checked" !checked
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "conv"
+    [ ("shapes", [ quick "3x3" test_basic_3x3;
+                   quick "1x1 (pure gemm)" test_1x1;
+                   quick "N=C=K=1 signal" test_single_everything;
+                   quick "wide filter" test_wide_filter;
+                   quick "ragged tiles" test_ragged_tiles ]);
+      ("splits", [ quick "deep reduction cg*cl" test_deep_reduction_split;
+                   quick "cs split" test_ks_split ]);
+      ("dtypes", [ quick "f16" test_f16; quick "f64" test_f64 ]);
+      ("bounds", [ quick "branch mode" test_branch_bounds ]);
+      ("stride/pad", [ quick "stride 2" test_strided;
+                       quick "same padding" test_padded;
+                       quick "stride 2 + pad 2" test_strided_and_padded;
+                       quick "identity filter under padding"
+                         test_pad_preserves_identity_filter ]);
+      ("im2col", [ quick "agrees with implicit gemm" test_im2col_agrees_with_implicit;
+                   quick "patch matrix shape" test_im2col_shape ]);
+      ("tables", [ quick "shapes and ranges" test_tables_shape ]);
+      ("random", [ Alcotest.test_case "random shapes" `Slow test_random_convs ]) ]

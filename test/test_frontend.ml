@@ -1,0 +1,145 @@
+(* Tests for the einsum front-end: parsing, classification, lowering to
+   GEMM (with layout fast paths), batching, broadcasting, and output
+   permutation — all validated against the naive reference evaluator and,
+   for plain matrix products, against the GEMM oracle. *)
+
+module E = Frontend.Einsum
+let quick name f = Alcotest.test_case name `Quick f
+let rng = Util.Rng.create 97
+
+let arr n = Array.init n (fun _ -> Util.Rng.uniform rng *. 2.0 -. 1.0)
+
+let check_contract ?config text sizes =
+  let spec = E.parse text in
+  let extent idx = List.fold_left (fun acc c -> acc * List.assoc c sizes) 1 idx in
+  let a = arr (extent spec.a_indices) in
+  let b = arr (extent spec.b_indices) in
+  let got = E.contract ?config spec sizes ~a ~b in
+  let want = E.reference spec sizes ~a ~b in
+  Alcotest.(check int) (text ^ " size") (Array.length want) (Array.length got);
+  Array.iteri
+    (fun i w ->
+      if Float.abs (got.(i) -. w) > 1e-9 *. (1.0 +. Float.abs w) then
+        Alcotest.failf "%s: out[%d] = %g, want %g" text i got.(i) w)
+    want
+
+(* --- parsing ------------------------------------------------------------ *)
+
+let test_parse_gemm () =
+  let s = E.parse "mk,kn->mn" in
+  Alcotest.(check string) "roundtrip" "mk,kn->mn" (E.to_string s);
+  Alcotest.(check bool) "k contracted" true (List.assoc 'k' s.roles = E.K);
+  Alcotest.(check bool) "m is M" true (List.assoc 'm' s.roles = E.M);
+  Alcotest.(check bool) "n is N" true (List.assoc 'n' s.roles = E.N)
+
+let test_parse_batch () =
+  let s = E.parse "bmk,bkn->bmn" in
+  Alcotest.(check bool) "b is batch" true (List.assoc 'b' s.roles = E.Batch)
+
+let expect_parse_error text =
+  match E.parse text with
+  | exception E.Parse_error _ -> ()
+  | _ -> Alcotest.failf "%s: expected Parse_error" text
+
+let test_parse_errors () =
+  List.iter expect_parse_error
+    [ "mk,kn"; "mk->mn"; "mk,kn,xy->mn"; "mm,mn->mn"; "mk,kn->mq";
+      "mkq,kn->mn"; "m2,2n->mn"; ",kn->n" ]
+
+let test_gemm_shape () =
+  let s = E.parse "bmk,bkn->bmn" in
+  let shape = E.gemm_shape s [ ('b', 3); ('m', 4); ('n', 5); ('k', 6) ] in
+  Alcotest.(check (list int)) "b,m,n,k" [ 3; 4; 5; 6 ]
+    (let a, b, c, d = shape in [ a; b; c; d ])
+
+(* --- evaluation ----------------------------------------------------------- *)
+
+let sizes = [ ('m', 18); ('n', 13); ('k', 21); ('b', 3); ('i', 7); ('j', 9) ]
+
+let test_plain_gemm () = check_contract "mk,kn->mn" sizes
+
+let test_matches_gemm_oracle () =
+  let spec = E.parse "mk,kn->mn" in
+  let m = 18 and n = 13 and k = 21 in
+  let a = arr (m * k) and b = arr (k * n) in
+  let got = E.contract spec sizes ~a ~b in
+  let want = Codegen.Gemm.reference (Codegen.Gemm_params.input m n k) ~a ~b in
+  Array.iteri
+    (fun i w ->
+      if Float.abs (got.(i) -. w) > 1e-9 then Alcotest.failf "oracle mismatch at %d" i)
+    want
+
+let test_a_transposed () = check_contract "km,kn->mn" sizes
+let test_b_transposed () = check_contract "mk,nk->mn" sizes
+let test_both_transposed () = check_contract "km,nk->mn" sizes
+let test_output_transposed () = check_contract "mk,kn->nm" sizes
+let test_batched () = check_contract "bmk,bkn->bmn" sizes
+let test_batched_transposed () = check_contract "bkm,bkn->bmn" sizes
+let test_broadcast_b () = check_contract "bmk,kn->bmn" sizes
+let test_broadcast_a () = check_contract "mk,bkn->bmn" sizes
+let test_multi_contraction () = check_contract "mij,ijn->mn" sizes
+let test_multi_m () = check_contract "imk,kn->imn" sizes
+let test_inner_product () =
+  check_contract "ik,ik->i" [ ('i', 5); ('k', 40) ]
+let test_outer_ish () = check_contract "mk,kn->mn" [ ('m', 1); ('n', 30); ('k', 2) ]
+
+let test_with_explicit_config () =
+  let config =
+    { Codegen.Gemm_params.ms = 2; ns = 2; ks = 2; ml = 16; nl = 16; u = 8;
+      kl = 1; kg = 2; vec = 1; db = 1 }
+  in
+  check_contract ~config "km,kn->mn" [ ('m', 20); ('n', 20); ('k', 64) ]
+
+let test_bad_sizes_rejected () =
+  let spec = E.parse "mk,kn->mn" in
+  match E.contract spec [ ('m', 4); ('n', 4); ('k', 4) ] ~a:(arr 3) ~b:(arr 16) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for wrong operand size"
+
+(* qcheck: random shapes for the four layout variants. *)
+let prop_layouts =
+  QCheck.Test.make ~name:"random shapes, all layouts" ~count:25
+    QCheck.(quad (int_range 1 12) (int_range 1 12) (int_range 1 16) (int_range 0 3))
+    (fun (m, n, k, layout) ->
+      let text =
+        match layout with
+        | 0 -> "mk,kn->mn"
+        | 1 -> "km,kn->mn"
+        | 2 -> "mk,nk->mn"
+        | _ -> "km,nk->mn"
+      in
+      let sizes = [ ('m', m); ('n', n); ('k', k) ] in
+      let spec = E.parse text in
+      let extent idx = List.fold_left (fun acc c -> acc * List.assoc c sizes) 1 idx in
+      let a = arr (extent spec.a_indices) in
+      let b = arr (extent spec.b_indices) in
+      let got = E.contract spec sizes ~a ~b in
+      let want = E.reference spec sizes ~a ~b in
+      Array.for_all2 (fun x y -> Float.abs (x -. y) <= 1e-9 *. (1.0 +. Float.abs y))
+        got want)
+
+let () =
+  Alcotest.run "frontend"
+    [ ("parse",
+       [ quick "gemm spec" test_parse_gemm;
+         quick "batch spec" test_parse_batch;
+         quick "errors" test_parse_errors;
+         quick "gemm shape" test_gemm_shape ]);
+      ("contract",
+       [ quick "plain gemm" test_plain_gemm;
+         quick "matches gemm oracle" test_matches_gemm_oracle;
+         quick "A transposed" test_a_transposed;
+         quick "B transposed" test_b_transposed;
+         quick "both transposed" test_both_transposed;
+         quick "output transposed" test_output_transposed;
+         quick "batched" test_batched;
+         quick "batched + transposed" test_batched_transposed;
+         quick "broadcast B" test_broadcast_b;
+         quick "broadcast A" test_broadcast_a;
+         quick "multi-index contraction" test_multi_contraction;
+         quick "multi-index M group" test_multi_m;
+         quick "row-wise inner products" test_inner_product;
+         quick "degenerate m=1" test_outer_ish;
+         quick "explicit config" test_with_explicit_config;
+         quick "wrong sizes rejected" test_bad_sizes_rejected;
+         QCheck_alcotest.to_alcotest prop_layouts ]) ]

@@ -1,0 +1,337 @@
+(* Functional correctness of the GEMM kernel generator: generated mini-PTX
+   executed by the interpreter must match the reference triple loop across
+   layouts, data-types, ragged shapes, bounds-checking modes and all three
+   reduction-splitting mechanisms. *)
+
+module P = Codegen.Gemm_params
+module G = Codegen.Gemm
+
+let rng = Util.Rng.create 2024
+
+let random_array rng dtype n =
+  Array.init n (fun _ ->
+      let v = Util.Rng.uniform rng *. 2.0 -. 1.0 in
+      if dtype = Ptx.Types.F16 then Ptx.Types.round_half v else v)
+
+let tolerance dtype k =
+  let kf = float_of_int k in
+  match (dtype : Ptx.Types.dtype) with
+  | F64 -> 1e-12 *. kf
+  | F32 -> 1e-13 *. kf +. 1e-9
+  | F16 -> 5e-3 *. sqrt kf +. 1e-3
+
+let check_gemm ?bounds (i : P.input) (c : P.config) =
+  Alcotest.(check bool)
+    (Printf.sprintf "legal %s" (P.describe c))
+    true
+    (P.structurally_legal i c);
+  let a = random_array rng i.dtype (i.m * i.k) in
+  let b = random_array rng i.dtype (i.k * i.n) in
+  let got = G.run ?bounds i c ~a ~b in
+  let want = G.reference i ~a ~b in
+  let tol = tolerance i.dtype i.k in
+  Array.iteri
+    (fun idx w ->
+      let g = got.(idx) in
+      if Float.abs (g -. w) > tol *. (1.0 +. Float.abs w) then
+        Alcotest.failf "%s %s: C[%d] = %.9g, want %.9g (tol %g)"
+          (P.describe_name i c) (P.describe c) idx g w tol)
+    want
+
+let cfg ?(ms = 2) ?(ns = 2) ?(ks = 1) ?(ml = 16) ?(nl = 16) ?(u = 8) ?(kl = 1)
+    ?(kg = 1) ?(vec = 1) ?(db = 1) () =
+  { P.ms; ns; ks; ml; nl; u; kl; kg; vec; db }
+
+let test_square_exact () =
+  check_gemm (P.input 32 32 32) (cfg ())
+
+let test_ragged_m () = check_gemm (P.input 19 16 24) (cfg ())
+let test_ragged_n () = check_gemm (P.input 16 21 24) (cfg ())
+let test_ragged_k () = check_gemm (P.input 16 16 13) (cfg ())
+let test_ragged_all () = check_gemm (P.input 17 23 29) (cfg ())
+let test_tiny () = check_gemm (P.input 1 1 1) (cfg ())
+let test_row_vector () = check_gemm (P.input 1 40 7) (cfg ())
+let test_col_vector () = check_gemm (P.input 40 1 7) (cfg ())
+
+let test_a_trans () = check_gemm (P.input ~a_trans:true 20 18 25) (cfg ())
+let test_b_trans () = check_gemm (P.input ~b_trans:true 20 18 25) (cfg ())
+let test_ab_trans () =
+  check_gemm (P.input ~a_trans:true ~b_trans:true 20 18 25) (cfg ())
+
+let test_ks_split () = check_gemm (P.input 24 24 40) (cfg ~ks:2 ())
+let test_ks4_split () = check_gemm (P.input 24 24 40) (cfg ~ks:4 ~u:8 ())
+let test_kl_split () = check_gemm (P.input 24 24 40) (cfg ~kl:2 ())
+let test_kl4_split () = check_gemm (P.input 24 24 64) (cfg ~kl:4 ~u:16 ())
+let test_kg_split () = check_gemm (P.input 24 24 64) (cfg ~kg:2 ())
+let test_kg4_split () = check_gemm (P.input 24 24 128) (cfg ~kg:4 ())
+let test_all_splits () =
+  check_gemm (P.input 24 24 160) (cfg ~ks:2 ~kl:2 ~kg:2 ~u:8 ())
+
+let test_k_smaller_than_u () = check_gemm (P.input 16 16 3) (cfg ~u:8 ())
+let test_kg_with_ragged_k () = check_gemm (P.input 16 16 49) (cfg ~kg:2 ~u:8 ())
+
+let test_f64 () = check_gemm (P.input ~dtype:F64 20 20 30) (cfg ())
+let test_f16 () = check_gemm (P.input ~dtype:F16 20 20 30) (cfg ())
+
+let test_bounds_branch () =
+  check_gemm ~bounds:P.Branch (P.input 17 23 29) (cfg ())
+
+let test_bounds_unchecked () =
+  (* Only valid for exactly-divisible shapes. *)
+  check_gemm ~bounds:P.Unchecked (P.input 32 32 32) (cfg ())
+
+let test_big_tiles () =
+  check_gemm (P.input 70 70 40) (cfg ~ms:4 ~ns:4 ~ml:32 ~nl:32 ~u:8 ())
+
+let test_asymmetric_tiles () =
+  check_gemm (P.input 70 20 40) (cfg ~ms:4 ~ns:2 ~ml:32 ~nl:8 ~u:8 ())
+
+(* --- alpha/beta BLAS semantics ------------------------------------------ *)
+
+let check_gemm_alpha_beta ~alpha ~beta (i : P.input) (c : P.config) =
+  let a = random_array rng i.dtype (i.m * i.k) in
+  let b = random_array rng i.dtype (i.k * i.n) in
+  let c_in = random_array rng i.dtype (i.m * i.n) in
+  let got = G.run ~alpha ~beta ~c_in i c ~a ~b in
+  let want = G.reference ~alpha ~beta ~c_in i ~a ~b in
+  let tol = tolerance i.dtype i.k in
+  Array.iteri
+    (fun idx w ->
+      if Float.abs (got.(idx) -. w) > tol *. (1.0 +. Float.abs w) then
+        Alcotest.failf "alpha/beta: C[%d] = %.9g, want %.9g" idx got.(idx) w)
+    want
+
+let test_alpha_scaling () =
+  check_gemm_alpha_beta ~alpha:2.5 ~beta:0.0 (P.input 20 18 24) (cfg ())
+
+let test_beta_accumulate () =
+  check_gemm_alpha_beta ~alpha:1.0 ~beta:1.0 (P.input 20 18 24) (cfg ())
+
+let test_alpha_beta_general () =
+  check_gemm_alpha_beta ~alpha:(-0.5) ~beta:0.25 (P.input 17 23 29) (cfg ())
+
+let test_alpha_beta_with_kg () =
+  (* Grid splitting folds beta on the host; semantics must be unchanged. *)
+  check_gemm_alpha_beta ~alpha:2.0 ~beta:0.5 (P.input 16 16 64) (cfg ~kg:2 ())
+
+let test_alpha_beta_with_kl () =
+  check_gemm_alpha_beta ~alpha:3.0 ~beta:(-1.0) (P.input 24 24 40) (cfg ~kl:2 ())
+
+(* --- fused epilogues -------------------------------------------------------- *)
+
+let check_epilogue ~epilogue ?(alpha = 1.0) ?(beta = 0.0) (i : P.input) (c : P.config) =
+  let a = random_array rng i.dtype (i.m * i.k) in
+  let b = random_array rng i.dtype (i.k * i.n) in
+  let bias =
+    match epilogue with
+    | P.Bias | P.Bias_relu -> Some (random_array rng i.dtype i.n)
+    | P.Plain | P.Relu -> None
+  in
+  let c_in = if beta <> 0.0 then Some (random_array rng i.dtype (i.m * i.n)) else None in
+  let got = G.run ~alpha ~beta ~epilogue ?bias ?c_in i c ~a ~b in
+  let want = G.reference ~alpha ~beta ~epilogue ?bias ?c_in i ~a ~b in
+  let tol = tolerance i.dtype i.k in
+  Array.iteri
+    (fun idx w ->
+      if Float.abs (got.(idx) -. w) > tol *. (1.0 +. Float.abs w) then
+        Alcotest.failf "epilogue: C[%d] = %.9g, want %.9g" idx got.(idx) w)
+    want
+
+let test_epilogue_relu () =
+  check_epilogue ~epilogue:P.Relu (P.input 20 18 24) (cfg ());
+  (* relu must actually clamp: verify some negatives existed. *)
+  let i = P.input 16 16 16 in
+  let a = random_array rng i.dtype (i.m * i.k) in
+  let b = random_array rng i.dtype (i.k * i.n) in
+  let plain = G.run i (cfg ()) ~a ~b in
+  let relu = G.run ~epilogue:P.Relu i (cfg ()) ~a ~b in
+  Alcotest.(check bool) "clamps negatives" true
+    (Array.exists (fun v -> v < 0.0) plain
+    && Array.for_all (fun v -> v >= 0.0) relu)
+
+let test_epilogue_bias () =
+  check_epilogue ~epilogue:P.Bias (P.input 17 23 29) (cfg ())
+
+let test_epilogue_bias_relu () =
+  check_epilogue ~epilogue:P.Bias_relu (P.input 20 18 24) (cfg ())
+
+let test_epilogue_with_alpha_beta () =
+  check_epilogue ~epilogue:P.Bias_relu ~alpha:0.5 ~beta:(-0.25) (P.input 20 18 24)
+    (cfg ())
+
+let test_epilogue_with_kl () =
+  check_epilogue ~epilogue:P.Bias_relu (P.input 24 24 40) (cfg ~kl:2 ())
+
+(* --- strided-batched GEMM ------------------------------------------------- *)
+
+let check_batched ~batch (i : P.input) (c : P.config) =
+  let a = random_array rng i.dtype (batch * i.m * i.k) in
+  let b = random_array rng i.dtype (batch * i.k * i.n) in
+  let got = G.run_batched ~batch i c ~a ~b in
+  let tol = tolerance i.dtype i.k in
+  for bi = 0 to batch - 1 do
+    let want =
+      G.reference i
+        ~a:(Array.sub a (bi * i.m * i.k) (i.m * i.k))
+        ~b:(Array.sub b (bi * i.k * i.n) (i.k * i.n))
+    in
+    Array.iteri
+      (fun idx w ->
+        let g = got.((bi * i.m * i.n) + idx) in
+        if Float.abs (g -. w) > tol *. (1.0 +. Float.abs w) then
+          Alcotest.failf "batched: batch %d C[%d] = %.9g, want %.9g" bi idx g w)
+      want
+  done
+
+let test_batched_basic () = check_batched ~batch:3 (P.input 20 18 24) (cfg ())
+let test_batched_ragged () = check_batched ~batch:4 (P.input 17 23 29) (cfg ())
+let test_batched_transposed () =
+  check_batched ~batch:2 (P.input ~a_trans:true ~b_trans:true 20 18 25) (cfg ())
+let test_batched_with_splits () =
+  check_batched ~batch:3 (P.input 24 24 64) (cfg ~ks:2 ~kl:2 ~kg:2 ~u:8 ())
+let test_batched_one_is_plain () =
+  (* batch = 1 must agree with the unbatched path exactly. *)
+  let i = P.input 20 18 24 in
+  let c = cfg () in
+  let a = random_array rng i.dtype (i.m * i.k) in
+  let b = random_array rng i.dtype (i.k * i.n) in
+  Alcotest.(check bool) "same result" true
+    (G.run_batched ~batch:1 i c ~a ~b = G.run i c ~a ~b)
+
+(* Property test: random legal configurations on random small shapes. *)
+let random_legal_config rng (i : P.input) =
+  let pick values = Util.Rng.choice rng values in
+  let rec go tries =
+    if tries = 0 then None
+    else
+      let c =
+        { P.ms = pick P.values_ms; ns = pick P.values_ns; ks = pick P.values_ks;
+          ml = pick [| 8; 16; 32 |]; nl = pick [| 8; 16; 32 |];
+          u = pick [| 4; 8; 16 |]; kl = pick [| 1; 2; 4 |];
+          kg = pick [| 1; 2; 4 |]; vec = pick P.values_vec; db = pick P.values_db }
+      in
+      if P.structurally_legal i c && P.threads_per_block c <= 256 then Some c
+      else go (tries - 1)
+  in
+  go 200
+
+let test_random_configs () =
+  let checked = ref 0 in
+  for _ = 1 to 25 do
+    let m = Util.Rng.int_in rng 1 48 in
+    let n = Util.Rng.int_in rng 1 48 in
+    let k = Util.Rng.int_in rng 1 64 in
+    let a_trans = Util.Rng.bool rng and b_trans = Util.Rng.bool rng in
+    let i = P.input ~a_trans ~b_trans m n k in
+    match random_legal_config rng i with
+    | None -> ()
+    | Some c ->
+      incr checked;
+      check_gemm i c
+  done;
+  if !checked < 10 then Alcotest.failf "only %d random configs checked" !checked
+
+(* The dynamic FMA count must match the cost model's issued_fmas exactly
+   (scalar kernels): this ties the timing model to the code that runs. *)
+let test_fma_count_matches_cost () =
+  let i = P.input 20 24 37 in
+  let c = cfg ~ms:2 ~ns:2 ~ml:16 ~nl:16 ~u:8 () in
+  let a = random_array rng i.dtype (i.m * i.k) in
+  let b = random_array rng i.dtype (i.k * i.n) in
+  let _, counters = G.run_counted i c ~a ~b () in
+  let cost = P.cost i c in
+  Alcotest.(check int)
+    "issued fmas" (int_of_float cost.issued_fmas) counters.fma
+
+let test_shared_store_count_matches_cost () =
+  (* Staging stores only (no transposes, kl = 1): ml*u + nl*u per block
+     per iteration. *)
+  let i = P.input 32 32 32 in
+  let c = cfg ~ms:2 ~ns:2 ~ml:16 ~nl:16 ~u:8 () in
+  let a = random_array rng i.dtype (i.m * i.k) in
+  let b = random_array rng i.dtype (i.k * i.n) in
+  let _, counters = G.run_counted i c ~a ~b () in
+  let gm, gn, gk = G.grid i c in
+  let iters = (32 + c.u - 1) / c.u in
+  let expect = gm * gn * gk * iters * ((c.ml * c.u) + (c.nl * c.u)) in
+  Alcotest.(check int) "staging stores" expect counters.st_shared
+
+let test_atomics_iff_kg () =
+  let i = P.input 16 16 64 in
+  let a = random_array rng i.dtype (i.m * i.k) in
+  let b = random_array rng i.dtype (i.k * i.n) in
+  let _, c1 = G.run_counted i (cfg ~kg:1 ()) ~a ~b () in
+  let _, c2 = G.run_counted i (cfg ~kg:2 ()) ~a ~b () in
+  Alcotest.(check int) "no atomics when kg=1" 0 c1.atom;
+  Alcotest.(check bool) "atomics when kg=2" true (c2.atom > 0);
+  Alcotest.(check int) "kg=2 atom count" (16 * 16 * 2) c2.atom
+
+let test_program_validates () =
+  let i = P.input ~a_trans:true 33 45 67 in
+  let c = cfg ~ms:4 ~ns:2 ~ml:16 ~nl:16 ~u:8 ~kl:2 ~kg:2 ~ks:2 () in
+  let p = G.generate i c in
+  match Ptx.Program.validate p with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_disasm_nonempty () =
+  let p = G.generate (P.input 16 16 16) (cfg ()) in
+  let text = Ptx.Disasm.program p in
+  Alcotest.(check bool) "has fma" true (contains_substring text "fma.rn.f32");
+  Alcotest.(check bool) "has predication" true (contains_substring text "@%p")
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "gemm"
+    [ ("exact", [ quick "square 32" test_square_exact;
+                  quick "tiny 1x1x1" test_tiny;
+                  quick "row vector" test_row_vector;
+                  quick "col vector" test_col_vector ]);
+      ("ragged", [ quick "ragged m" test_ragged_m;
+                   quick "ragged n" test_ragged_n;
+                   quick "ragged k" test_ragged_k;
+                   quick "ragged all" test_ragged_all;
+                   quick "k < u" test_k_smaller_than_u;
+                   quick "kg with ragged k" test_kg_with_ragged_k ]);
+      ("layouts", [ quick "A transposed" test_a_trans;
+                    quick "B transposed" test_b_trans;
+                    quick "both transposed" test_ab_trans ]);
+      ("splits", [ quick "ks=2" test_ks_split;
+                   quick "ks=4" test_ks4_split;
+                   quick "kl=2" test_kl_split;
+                   quick "kl=4" test_kl4_split;
+                   quick "kg=2" test_kg_split;
+                   quick "kg=4" test_kg4_split;
+                   quick "ks*kl*kg" test_all_splits ]);
+      ("dtypes", [ quick "f64" test_f64; quick "f16" test_f16 ]);
+      ("bounds modes", [ quick "branch" test_bounds_branch;
+                         quick "unchecked" test_bounds_unchecked ]);
+      ("tiles", [ quick "32x32 tiles" test_big_tiles;
+                  quick "asymmetric" test_asymmetric_tiles ]);
+      ("epilogues", [ quick "relu" test_epilogue_relu;
+                      quick "bias" test_epilogue_bias;
+                      quick "bias+relu" test_epilogue_bias_relu;
+                      quick "with alpha/beta" test_epilogue_with_alpha_beta;
+                      quick "with block split" test_epilogue_with_kl ]);
+      ("batched", [ quick "basic" test_batched_basic;
+                    quick "ragged" test_batched_ragged;
+                    quick "transposed" test_batched_transposed;
+                    quick "with splits" test_batched_with_splits;
+                    quick "batch=1 degenerates" test_batched_one_is_plain ]);
+      ("alpha/beta", [ quick "alpha scaling" test_alpha_scaling;
+                       quick "beta accumulate" test_beta_accumulate;
+                       quick "general" test_alpha_beta_general;
+                       quick "with grid split" test_alpha_beta_with_kg;
+                       quick "with block split" test_alpha_beta_with_kl ]);
+      ("random", [ Alcotest.test_case "25 random configs" `Slow test_random_configs ]);
+      ("cost cross-check", [ quick "fma count" test_fma_count_matches_cost;
+                             quick "staging stores" test_shared_store_count_matches_cost;
+                             quick "atomics iff kg>1" test_atomics_iff_kg ]);
+      ("structure", [ quick "program validates" test_program_validates;
+                      quick "disasm" test_disasm_nonempty ]) ]

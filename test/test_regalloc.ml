@@ -1,0 +1,146 @@
+(* Tests for liveness analysis and linear-scan register allocation:
+   pressure bounds, allocation compactness, semantic preservation under
+   the interpreter on full generated GEMM kernels, and agreement with the
+   cost model's register estimates. *)
+
+module GP = Codegen.Gemm_params
+let quick name f = Alcotest.test_case name `Quick f
+let rng = Util.Rng.create 555
+
+let cfg ?(ms = 2) ?(ns = 2) ?(ks = 1) ?(ml = 16) ?(nl = 16) ?(u = 8) ?(kl = 1)
+    ?(kg = 1) ?(vec = 1) ?(db = 1) () =
+  { GP.ms; ns; ks; ml; nl; u; kl; kg; vec; db }
+
+let gemm_program i c = Codegen.Gemm.generate i c
+
+let test_pressure_below_virtual () =
+  let p = gemm_program (GP.input 33 29 41) (cfg ()) in
+  let pr = Ptx.Regalloc.pressure p in
+  Alcotest.(check bool) "fregs" true (pr.fregs <= p.n_fregs);
+  Alcotest.(check bool) "iregs" true (pr.iregs <= p.n_iregs);
+  Alcotest.(check bool) "pregs" true (pr.pregs <= p.n_pregs);
+  Alcotest.(check bool) "nontrivial program" true (p.n_iregs > 50);
+  (* The generator emits fresh registers per unrolled step; a real
+     allocator collapses them by an order of magnitude. *)
+  Alcotest.(check bool) "massive compaction" true (pr.iregs * 4 < p.n_iregs)
+
+let test_allocate_validates_and_compacts () =
+  let p = gemm_program (GP.input 20 24 37) (cfg ~ks:2 ~kl:2 ~kg:2 ~u:8 ()) in
+  let q = Ptx.Regalloc.allocate p in
+  (match Ptx.Program.validate q with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  let pr = Ptx.Regalloc.pressure p in
+  Alcotest.(check bool) "alloc >= pressure" true
+    (q.n_fregs >= pr.fregs && q.n_iregs >= pr.iregs && q.n_pregs >= pr.pregs);
+  Alcotest.(check bool) "alloc far below virtual" true (q.n_iregs * 4 < p.n_iregs)
+
+(* The allocated kernel must compute exactly the same result. *)
+let check_equivalence (i : GP.input) c =
+  let a = Array.init (i.m * i.k) (fun _ -> Util.Rng.uniform rng -. 0.5) in
+  let b = Array.init (i.k * i.n) (fun _ -> Util.Rng.uniform rng -. 0.5) in
+  let run program =
+    let out = Array.make (i.m * i.n) 0.0 in
+    let (_ : Ptx.Interp.counters) =
+      Ptx.Interp.run program
+        ~grid:(Codegen.Gemm.grid i c)
+        ~block:(Codegen.Gemm.block c)
+        ~bufs:[ ("A", a); ("B", b); ("C", out) ]
+        ~iargs:[ ("M", i.m); ("N", i.n); ("K", i.k) ]
+    in
+    out
+  in
+  let p = gemm_program i c in
+  let original = run p in
+  let allocated = run (Ptx.Regalloc.allocate p) in
+  Array.iteri
+    (fun idx v ->
+      if v <> original.(idx) then
+        Alcotest.failf "allocation changed semantics at %d: %g vs %g" idx v
+          original.(idx))
+    allocated
+
+let test_equivalence_basic () = check_equivalence (GP.input 33 29 41) (cfg ())
+
+let test_equivalence_splits () =
+  check_equivalence (GP.input 24 24 160) (cfg ~ks:2 ~kl:2 ~kg:2 ~u:8 ())
+
+let test_equivalence_transposed () =
+  check_equivalence (GP.input ~a_trans:true ~b_trans:true 20 18 25) (cfg ())
+
+let test_equivalence_branch_bounds () =
+  let i = GP.input 17 23 29 in
+  let c = cfg () in
+  let a = Array.init (i.m * i.k) (fun _ -> Util.Rng.uniform rng) in
+  let b = Array.init (i.k * i.n) (fun _ -> Util.Rng.uniform rng) in
+  let p = Codegen.Gemm.generate ~bounds:GP.Branch i c in
+  let run program =
+    let out = Array.make (i.m * i.n) 0.0 in
+    let (_ : Ptx.Interp.counters) =
+      Ptx.Interp.run program ~grid:(Codegen.Gemm.grid i c)
+        ~block:(Codegen.Gemm.block c)
+        ~bufs:[ ("A", a); ("B", b); ("C", out) ]
+        ~iargs:[ ("M", i.m); ("N", i.n); ("K", i.k) ]
+    in
+    out
+  in
+  Alcotest.(check bool) "divergent kernel preserved" true
+    (run p = run (Ptx.Regalloc.allocate p))
+
+(* Accumulators dominate float pressure: for an ms x ns x ks thread tile
+   the measured MaxLive must be at least ms*ns*ks (the accumulators are
+   live across the whole main loop) and in the same ballpark as the cost
+   model's estimate. *)
+let test_pressure_tracks_accumulators () =
+  List.iter
+    (fun (ms, ns, ks) ->
+      let c = cfg ~ms ~ns ~ks ~ml:(ms * 8) ~nl:(ns * 8) () in
+      let i = GP.input 64 64 64 in
+      if GP.structurally_legal i c then begin
+        let pr = Ptx.Regalloc.pressure (gemm_program i c) in
+        let acc = ms * ns * ks in
+        Alcotest.(check bool)
+          (Printf.sprintf "%dx%dx%d >= acc" ms ns ks)
+          true (pr.fregs >= acc);
+        Alcotest.(check bool)
+          (Printf.sprintf "%dx%dx%d within estimate ballpark" ms ns ks)
+          true
+          (pr.fregs + pr.iregs <= 2 * GP.regs_estimate i c + 16)
+      end)
+    [ (1, 1, 1); (2, 2, 1); (2, 2, 4); (4, 4, 1); (8, 8, 1) ]
+
+let test_live_ranges_cover_accumulators () =
+  let i = GP.input 32 32 64 in
+  let c = cfg () in
+  let p = gemm_program i c in
+  let ranges = Ptx.Regalloc.live_ranges p in
+  Alcotest.(check bool) "has ranges" true (Array.length ranges > 0);
+  (* Some float register (an accumulator) must be live across most of the
+     program: from before the main loop to the store epilogue. *)
+  let n = Array.length p.body in
+  let spans_most =
+    Array.exists (fun (_, s, e) -> s < n / 4 && e > (3 * n) / 4) ranges
+  in
+  Alcotest.(check bool) "accumulator-length interval" true spans_most
+
+let test_idempotent_pressure () =
+  (* Allocating twice changes nothing further. *)
+  let p = gemm_program (GP.input 24 24 40) (cfg ~kl:2 ()) in
+  let q = Ptx.Regalloc.allocate p in
+  let r = Ptx.Regalloc.allocate q in
+  Alcotest.(check bool) "second allocation is stable" true
+    (r.n_fregs <= q.n_fregs && r.n_iregs <= q.n_iregs && r.n_pregs <= q.n_pregs)
+
+let () =
+  Alcotest.run "regalloc"
+    [ ("pressure",
+       [ quick "below virtual counts" test_pressure_below_virtual;
+         quick "tracks accumulators" test_pressure_tracks_accumulators;
+         quick "live ranges" test_live_ranges_cover_accumulators ]);
+      ("allocation",
+       [ quick "validates + compacts" test_allocate_validates_and_compacts;
+         quick "semantics: basic" test_equivalence_basic;
+         quick "semantics: all splits" test_equivalence_splits;
+         quick "semantics: transposed" test_equivalence_transposed;
+         quick "semantics: divergent branches" test_equivalence_branch_bounds;
+         quick "idempotent" test_idempotent_pressure ]) ]

@@ -1,0 +1,297 @@
+(* Tests for the tuner: config spaces, the categorical generative model,
+   feature transformation, dataset generation, profiles and the
+   exhaustive runtime search. *)
+
+let quick name f = Alcotest.test_case name `Quick f
+let () = Unix.putenv "ISAAC_SEARCH_CAP" "4000"  (* keep searches fast in tests *)
+
+let rng () = Util.Rng.create 2718
+module GP = Codegen.Gemm_params
+
+(* --- config space -------------------------------------------------------- *)
+
+let test_space_size () =
+  let expected =
+    Array.fold_left
+      (fun acc p -> acc * Array.length p.Tuner.Config_space.values)
+      1 Tuner.Config_space.gemm
+  in
+  Alcotest.(check int) "size = product" expected
+    (Tuner.Config_space.size Tuner.Config_space.gemm);
+  Alcotest.(check int) "table1 grid is 5^10" (5 * 5 * 5 * 5 * 5 * 5 * 5 * 5 * 5 * 5)
+    (Tuner.Config_space.size Tuner.Config_space.table1)
+
+let test_space_iter_count () =
+  let small : Tuner.Config_space.t =
+    [| { name = "a"; values = [| 1; 2 |] }; { name = "b"; values = [| 1; 2; 3 |] } |]
+  in
+  let n = ref 0 in
+  Tuner.Config_space.iter small (fun _ -> incr n);
+  Alcotest.(check int) "2*3 combos" 6 !n
+
+let test_value_index () =
+  let p = { Tuner.Config_space.name = "x"; values = [| 1; 2; 4; 8 |] } in
+  Alcotest.(check int) "index of 4" 2 (Tuner.Config_space.value_index p 4);
+  Alcotest.check_raises "foreign value" Not_found (fun () ->
+      ignore (Tuner.Config_space.value_index p 3))
+
+let test_random_in_grid () =
+  let r = rng () in
+  for _ = 1 to 100 do
+    let cfg = Tuner.Config_space.random r Tuner.Config_space.gemm in
+    Array.iteri
+      (fun i v ->
+        let p = Tuner.Config_space.gemm.(i) in
+        Alcotest.(check bool) "value from grid" true (Array.exists (( = ) v) p.values))
+      cfg
+  done
+
+(* --- sampler -------------------------------------------------------------- *)
+
+(* Toy space where legality = "first parameter >= 4": the fitted marginal
+   must shift mass onto {4, 8}. *)
+let toy_space : Tuner.Config_space.t =
+  [| { name = "a"; values = [| 1; 2; 4; 8 |] };
+     { name = "b"; values = [| 1; 2 |] } |]
+
+let test_sampler_learns_marginals () =
+  let r = rng () in
+  let legal cfg = cfg.(0) >= 4 in
+  let s = Tuner.Sampler.fit ~alpha:1.0 ~warmup:4000 r toy_space ~legal in
+  let m = Tuner.Sampler.marginal s 0 in
+  Alcotest.(check (float 1e-9)) "marginal sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 m);
+  Alcotest.(check bool) "mass concentrates on legal values" true
+    (m.(2) +. m.(3) > 0.9);
+  (* and the acceptance rate improves accordingly *)
+  let uni =
+    Tuner.Sampler.acceptance_rate ~trials:2000
+      ~sample:(fun () -> Tuner.Config_space.random r toy_space)
+      ~legal
+  in
+  let cat =
+    Tuner.Sampler.acceptance_rate ~trials:2000
+      ~sample:(fun () -> Tuner.Sampler.sample r s)
+      ~legal
+  in
+  Alcotest.(check bool) "categorical beats uniform" true (cat > 1.5 *. uni)
+
+let test_sampler_dirichlet_prior_no_zero () =
+  let r = rng () in
+  (* With legality never accepting value 1, the prior still gives it
+     non-zero probability. *)
+  let s = Tuner.Sampler.fit ~alpha:100.0 ~warmup:2000 r toy_space
+      ~legal:(fun cfg -> cfg.(0) >= 4) in
+  let m = Tuner.Sampler.marginal s 0 in
+  Alcotest.(check bool) "no exact zero" true (Array.for_all (fun p -> p > 0.0) m)
+
+let test_sample_legal () =
+  let r = rng () in
+  let legal cfg = cfg.(0) >= 4 in
+  let s = Tuner.Sampler.fit ~warmup:500 r toy_space ~legal in
+  match Tuner.Sampler.sample_legal r s ~legal with
+  | Some cfg -> Alcotest.(check bool) "result legal" true (legal cfg)
+  | None -> Alcotest.fail "should find a legal sample"
+
+(* --- features --------------------------------------------------------------- *)
+
+let test_gemm_features () =
+  let i = GP.input ~a_trans:true 64 128 256 in
+  let cfg = Array.make 10 8 in
+  let f = Tuner.Features.gemm_features ~log:true i cfg in
+  Alcotest.(check int) "dim" Tuner.Features.dim (Array.length f);
+  Alcotest.(check (float 1e-9)) "log2 m" 6.0 f.(0);
+  Alcotest.(check (float 1e-9)) "log2 n" 7.0 f.(1);
+  Alcotest.(check (float 1e-9)) "log2 k" 8.0 f.(2);
+  Alcotest.(check (float 1e-9)) "log2 bytes" 2.0 f.(3);
+  Alcotest.(check (float 1e-9)) "a_trans flag" 1.0 f.(4);
+  Alcotest.(check (float 1e-9)) "b_trans flag" 0.0 f.(5);
+  Alcotest.(check (float 1e-9)) "log2 tuning value" 3.0 f.(6);
+  let raw = Tuner.Features.gemm_features ~log:false i cfg in
+  Alcotest.(check (float 1e-9)) "raw m" 64.0 raw.(0)
+
+let test_target_scaler_roundtrip () =
+  let s = Tuner.Features.fit_target_scaler [| 0.5; 1.0; 2.0; 4.0 |] in
+  List.iter
+    (fun v ->
+      Alcotest.(check (float 1e-9)) "roundtrip" v
+        (Tuner.Features.untarget s (Tuner.Features.target s v)))
+    [ 0.1; 1.0; 7.3 ]
+
+(* --- dataset ----------------------------------------------------------------- *)
+
+let test_dataset_generation () =
+  let r = rng () in
+  let ds = Tuner.Dataset.generate_gemm r Gpu.Device.gtx980ti ~n:50 in
+  Alcotest.(check int) "size" 50 (Tuner.Dataset.size ds);
+  Alcotest.(check int) "feature rows" 50 ds.features_log.Mlp.Tensor.rows;
+  Array.iter
+    (fun v -> Alcotest.(check bool) "positive tflops" true (v > 0.0))
+    ds.tflops;
+  Array.iter
+    (fun v -> Alcotest.(check bool) "finite features" true (Float.is_finite v))
+    ds.features_log.Mlp.Tensor.data
+
+let test_dataset_parallel_generation () =
+  (* Multi-domain generation must produce the right count and the same
+     statistical shape; determinism holds per (seed, domain-count). *)
+  let ds1 =
+    Tuner.Dataset.generate_gemm ~domains:3 (Util.Rng.create 12) Gpu.Device.p100 ~n:90
+  in
+  let ds2 =
+    Tuner.Dataset.generate_gemm ~domains:3 (Util.Rng.create 12) Gpu.Device.p100 ~n:90
+  in
+  Alcotest.(check int) "size" 90 (Tuner.Dataset.size ds1);
+  Alcotest.(check bool) "deterministic for fixed domains" true
+    (ds1.tflops = ds2.tflops);
+  Array.iter (fun v -> Alcotest.(check bool) "positive" true (v > 0.0)) ds1.tflops
+
+let test_dataset_conv_generation () =
+  let r = rng () in
+  let ds = Tuner.Dataset.generate_conv r Gpu.Device.p100 ~n:30 in
+  Alcotest.(check int) "size" 30 (Tuner.Dataset.size ds);
+  Alcotest.(check bool) "tagged conv" true (ds.op = `Conv)
+
+let test_legality_split () =
+  (* gemm_legal must match structural && device legality. *)
+  let r = rng () in
+  let device = Gpu.Device.gtx980ti in
+  let both = ref 0 in
+  for _ = 1 to 2000 do
+    let input = Tuner.Dataset.random_gemm_input r in
+    let cfg = Tuner.Config_space.random r Tuner.Config_space.gemm in
+    let legal = Tuner.Dataset.gemm_legal device input cfg in
+    let expect =
+      GP.structurally_legal input (GP.config_of_array cfg)
+      && Gpu.Executor.legal device (GP.cost input (GP.config_of_array cfg))
+    in
+    if legal then incr both;
+    Alcotest.(check bool) "legality agrees" expect legal
+  done;
+  Alcotest.(check bool) "some legal configs found" true (!both > 0)
+
+(* --- profile / search ---------------------------------------------------------- *)
+
+let tiny_profile r device =
+  let ds = Tuner.Dataset.generate_gemm r device ~n:2000 in
+  Tuner.Profile.train ~arch:[| 32; 32 |] ~epochs:15 r ds
+
+let test_search_parallel_scoring () =
+  let r = rng () in
+  let device = Gpu.Device.gtx980ti in
+  let profile = tiny_profile r device in
+  let input = GP.input 512 512 512 in
+  let run domains =
+    let r = Util.Rng.create 77 in
+    Option.get
+      (Tuner.Search.exhaustive_gemm ~top_k:10 ~cap:5000 ~domains r device ~profile
+         input)
+  in
+  let s1 = run 1 and s3 = run 3 in
+  (* Scoring is deterministic regardless of domains: identical ranking. *)
+  Alcotest.(check bool) "same best config" true
+    (GP.equal_config s1.best s3.best);
+  Alcotest.(check int) "same n_scored" s1.n_scored s3.n_scored
+
+let test_profile_save_load () =
+  let r = rng () in
+  let p = tiny_profile r Gpu.Device.gtx980ti in
+  let path = Filename.temp_file "profile" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Tuner.Profile.save p path;
+      let p2 = Tuner.Profile.load path in
+      Alcotest.(check string) "device" p.device p2.device;
+      let i = GP.input 512 512 512 in
+      let f = Tuner.Features.gemm_features ~log:true i (Array.make 10 8) in
+      Alcotest.(check (float 1e-6)) "same prediction"
+        (Tuner.Profile.predict_tflops p f) (Tuner.Profile.predict_tflops p2 f))
+
+let test_search_returns_legal () =
+  let r = rng () in
+  let device = Gpu.Device.gtx980ti in
+  let profile = tiny_profile r device in
+  let input = GP.input 512 512 512 in
+  match Tuner.Search.exhaustive_gemm ~top_k:20 r device ~profile input with
+  | None -> Alcotest.fail "search found nothing"
+  | Some result ->
+    Alcotest.(check bool) "config legal" true
+      (GP.structurally_legal input result.best
+      && Gpu.Executor.legal device (GP.cost input result.best));
+    Alcotest.(check bool) "positive tflops" true
+      (result.best_measurement.tflops > 0.0);
+    Alcotest.(check bool) "legal space explored" true (result.n_legal > 100);
+    Alcotest.(check int) "top-k candidates" 20 (Array.length result.candidates)
+
+let test_search_beats_median_kernel () =
+  (* Even a tiny model + top-k re-measurement must comfortably beat the
+     median legal configuration (the value of the §6 pipeline). *)
+  let r = rng () in
+  let device = Gpu.Device.gtx980ti in
+  let profile = tiny_profile r device in
+  let input = GP.input 2560 16 2560 in
+  let result =
+    Option.get
+      (Tuner.Search.exhaustive_gemm ~top_k:50 ~cap:20000 r device ~profile input)
+  in
+  let configs = Tuner.Search.legal_gemm_configs device input in
+  let tflops =
+    List.filter_map
+      (fun c ->
+        Option.map
+          (fun (rep : Gpu.Perf_model.report) -> rep.tflops)
+          (Gpu.Perf_model.predict device (GP.cost input c)))
+      configs
+  in
+  let median = Util.Stats.median (Array.of_list tflops) in
+  Alcotest.(check bool) "beats median" true
+    (result.best_measurement.tflops > median)
+
+let test_oracle_is_upper_bound () =
+  let device = Gpu.Device.gtx980ti in
+  let input = GP.input 512 512 512 in
+  let _, oracle_report = Option.get (Tuner.Search.oracle_gemm device input) in
+  (* The oracle beats every cuBLAS kernel (it searches a superset). *)
+  let r = rng () in
+  match Baselines.Cublas.best_kernel ~noise:0.0 r device input with
+  | None -> Alcotest.fail "cublas found nothing"
+  | Some (_, m) ->
+    Alcotest.(check bool) "oracle >= cublas best" true
+      (oracle_report.tflops >= m.tflops *. 0.999)
+
+let test_subsample_cap () =
+  let r = rng () in
+  let device = Gpu.Device.gtx980ti in
+  let profile = tiny_profile r device in
+  let input = GP.input 512 512 512 in
+  let result =
+    Option.get (Tuner.Search.exhaustive_gemm ~cap:500 r device ~profile input)
+  in
+  Alcotest.(check bool) "scored at most ~cap" true (result.n_scored <= 600)
+
+let () =
+  Alcotest.run "tuner"
+    [ ("config space",
+       [ quick "size" test_space_size;
+         quick "iter count" test_space_iter_count;
+         quick "value index" test_value_index;
+         quick "random in grid" test_random_in_grid ]);
+      ("sampler",
+       [ quick "learns marginals" test_sampler_learns_marginals;
+         quick "dirichlet prior" test_sampler_dirichlet_prior_no_zero;
+         quick "sample_legal" test_sample_legal ]);
+      ("features",
+       [ quick "gemm features" test_gemm_features;
+         quick "target scaler" test_target_scaler_roundtrip ]);
+      ("dataset",
+       [ quick "gemm generation" test_dataset_generation;
+         quick "conv generation" test_dataset_conv_generation;
+         quick "parallel generation" test_dataset_parallel_generation;
+         quick "legality consistency" test_legality_split ]);
+      ("profile+search",
+       [ Alcotest.test_case "profile save/load" `Slow test_profile_save_load;
+         Alcotest.test_case "parallel scoring" `Slow test_search_parallel_scoring;
+         Alcotest.test_case "search returns legal" `Slow test_search_returns_legal;
+         Alcotest.test_case "search beats median" `Slow test_search_beats_median_kernel;
+         Alcotest.test_case "oracle upper bound" `Slow test_oracle_is_upper_bound;
+         Alcotest.test_case "cap subsampling" `Slow test_subsample_cap ]) ]

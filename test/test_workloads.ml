@@ -1,0 +1,166 @@
+(* Tests pinning the evaluation suites to the paper's Tables 4 and 5. *)
+
+let quick name f = Alcotest.test_case name `Quick f
+
+module WS = Workloads.Gemm_suites
+module CS = Workloads.Conv_suites
+module CP = Codegen.Conv_params
+
+let test_fp32_suite_shape () =
+  let tasks = WS.fp32_suite ~mk:2560 in
+  Alcotest.(check int) "17 tasks (3+4+4+3+3)" 17 (List.length tasks);
+  List.iter
+    (fun (t : WS.task) ->
+      Alcotest.(check bool) "fp32" true (t.input.dtype = Ptx.Types.F32))
+    tasks
+
+let test_mixed_suite_dtypes () =
+  List.iter
+    (fun (t : WS.task) ->
+      let expect : Ptx.Types.dtype =
+        match t.group with
+        | "LINPACK" | "DeepBench [F]" | "DeepBench [B]" -> F16
+        | _ -> F64
+      in
+      Alcotest.(check bool) (t.group ^ " dtype") true (t.input.dtype = expect))
+    (WS.mixed_suite ~mk:2560)
+
+let test_linpack_is_square_nt () =
+  List.iter
+    (fun (t : WS.task) ->
+      Alcotest.(check bool) "square" true (t.input.m = t.input.n && t.input.n = t.input.k);
+      Alcotest.(check bool) "N^T layout" true
+        ((not t.input.a_trans) && t.input.b_trans))
+    (WS.linpack F32)
+
+let test_deepbench_layouts () =
+  List.iter
+    (fun (t : WS.task) ->
+      Alcotest.(check bool) "forward has no transposes" true
+        ((not t.input.a_trans) && not t.input.b_trans))
+    (WS.deepbench_forward ~mk:1760 F32);
+  List.iter
+    (fun (t : WS.task) ->
+      Alcotest.(check bool) "backward transposes A" true t.input.a_trans)
+    (WS.deepbench_backward ~mk:1760 F32)
+
+let test_ica_shape () =
+  List.iter
+    (fun (t : WS.task) ->
+      Alcotest.(check int) "K = 60000" 60000 t.input.k;
+      Alcotest.(check bool) "M = N" true (t.input.m = t.input.n))
+    (WS.ica F32)
+
+let test_svd_k32 () =
+  List.iter
+    (fun (t : WS.task) -> Alcotest.(check int) "K = 32 panel" 32 t.input.k)
+    (WS.blocked_svd F64)
+
+let test_table6_has_ten_rows () =
+  Alcotest.(check int) "10 problems" 10 (List.length WS.table6_problems)
+
+(* Table 5 prints NPQ and CRS for every layer; pin a few against the
+   paper's numbers. *)
+let test_conv_suite_matches_table5 () =
+  let tasks = CS.suite Ptx.Types.F32 in
+  Alcotest.(check int) "14 layers" 14 (List.length tasks);
+  let check label npq crs =
+    let t = CS.find label Ptx.Types.F32 in
+    Alcotest.(check int) (label ^ " NPQ") npq (CP.npq t.input);
+    Alcotest.(check int) (label ^ " CRS") crs (CP.crs t.input)
+  in
+  check "Conv1" 431024 100;
+  check "Conv2" 100928 1600;
+  check "Conv5" 23328 576;
+  check "Conv8" 784 20800;
+  check "Conv11" 79872 1600;
+  check "Conv13" 784 4608;
+  check "Conv14" 784 1024
+
+let test_conv_find_missing () =
+  Alcotest.check_raises "unknown layer" Not_found (fun () ->
+      ignore (CS.find "Conv99" Ptx.Types.F32))
+
+let test_conv_groups () =
+  let groups =
+    List.sort_uniq compare
+      (List.map (fun (t : CS.task) -> t.group) (CS.suite Ptx.Types.F32))
+  in
+  Alcotest.(check int) "6 applications" 6 (List.length groups)
+
+(* --- network stacks -------------------------------------------------------- *)
+
+module NW = Workloads.Networks
+
+let test_network_shapes () =
+  let alex = NW.alexnet Ptx.Types.F32 in
+  Alcotest.(check int) "AlexNet layers" 8 (List.length alex.layers);
+  let resnet = NW.resnet50_excerpt Ptx.Types.F32 in
+  Alcotest.(check int) "ResNet excerpt layers" 13 (List.length resnet.layers);
+  let lstm = NW.lstm ~steps:5 Ptx.Types.F32 in
+  Alcotest.(check int) "LSTM steps" 5 (List.length lstm.layers)
+
+let test_network_flops () =
+  (* fc8: 1000 x batch x 4096 at batch 16. *)
+  let alex = NW.alexnet ~batch:16 Ptx.Types.F32 in
+  let _, fc8 = List.nth alex.layers 7 in
+  Alcotest.(check (float 1.0)) "fc8 flops"
+    (2.0 *. 1000.0 *. 16.0 *. 4096.0)
+    (NW.flops fc8);
+  (* conv3: N16 C192 K384 P=Q=13 R=S=3. *)
+  let _, conv3 = List.nth alex.layers 2 in
+  Alcotest.(check (float 1.0)) "conv3 flops"
+    (2.0 *. (16.0 *. 13.0 *. 13.0) *. 384.0 *. (192.0 *. 9.0))
+    (NW.flops conv3)
+
+let test_networks_plannable () =
+  (* Every layer must have at least one legal configuration on both
+     devices (otherwise the networks bench would fail). *)
+  List.iter
+    (fun device ->
+      List.iter
+        (fun (net : NW.network) ->
+          List.iter
+            (fun (label, layer) ->
+              let ok =
+                match layer with
+                | NW.Gemm i ->
+                  Baselines.Cublas.heuristic_pick device i <> None
+                | NW.Conv i -> Baselines.Cudnn.heuristic_pick device i <> None
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s plannable" net.name label)
+                true ok)
+            net.layers)
+        (NW.all Ptx.Types.F32))
+    [ Gpu.Device.gtx980ti; Gpu.Device.p100 ]
+
+let test_alexnet_padding_consistent () =
+  (* conv1 has stride 4, pad 2: the derived input extent must be the
+     AlexNet 223x223-ish input. *)
+  let alex = NW.alexnet Ptx.Types.F32 in
+  match List.assoc "conv1" alex.layers with
+  | NW.Conv i ->
+    Alcotest.(check int) "input height" 223 (Codegen.Conv_params.h i);
+    Alcotest.(check int) "padded height" 227 (Codegen.Conv_params.h_padded i)
+  | NW.Gemm _ -> Alcotest.fail "conv1 should be a convolution"
+
+let () =
+  Alcotest.run "workloads"
+    [ ("gemm suites",
+       [ quick "fp32 suite shape" test_fp32_suite_shape;
+         quick "mixed suite dtypes" test_mixed_suite_dtypes;
+         quick "linpack square NT" test_linpack_is_square_nt;
+         quick "deepbench layouts" test_deepbench_layouts;
+         quick "ica deep K" test_ica_shape;
+         quick "svd K=32" test_svd_k32;
+         quick "table 6 rows" test_table6_has_ten_rows ]);
+      ("conv suite",
+       [ quick "matches table 5" test_conv_suite_matches_table5;
+         quick "find missing" test_conv_find_missing;
+         quick "6 applications" test_conv_groups ]);
+      ("networks",
+       [ quick "layer counts" test_network_shapes;
+         quick "flops accounting" test_network_flops;
+         quick "all layers plannable" test_networks_plannable;
+         quick "alexnet padding" test_alexnet_padding_consistent ]) ]
