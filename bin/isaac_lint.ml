@@ -1,0 +1,188 @@
+(* isaac_lint: static verification sweep over sampled kernel
+   configurations — the verifier as the tuner's legality oracle, run as a
+   standalone report.
+
+     isaac_lint --seed 42 --count 3
+     isaac_lint --op gemm --device "Tesla P100" --verbose
+
+   For every task of the GEMM and CONV evaluation suites it draws legal
+   configurations from the fitted generative model, generates the kernel,
+   and runs Ptx.Verify; the exit status is non-zero if any kernel fails
+   verification, which is what CI asserts. *)
+
+open Cmdliner
+module GP = Codegen.Gemm_params
+module CP = Codegen.Conv_params
+
+type stats = {
+  mutable checked : int;
+  mutable failed : int;
+  mutable warned : int;
+  mutable factor_sum : float;
+}
+
+let new_stats () = { checked = 0; failed = 0; warned = 0; factor_sum = 0.0 }
+
+let lint_one ~verbose ~stats name program ~iargs ~block =
+  let r = Ptx.Verify.run program ~iargs ~block in
+  stats.checked <- stats.checked + 1;
+  stats.factor_sum <- stats.factor_sum +. r.Ptx.Verify.bank.conflict_factor;
+  if r.warnings <> [] then stats.warned <- stats.warned + 1;
+  if not (Ptx.Verify.ok r) then begin
+    stats.failed <- stats.failed + 1;
+    Printf.printf "FAIL %s\n%s\n" name (Ptx.Verify.to_string r)
+  end
+  else if verbose then
+    Printf.printf "ok   %s (bank factor %.2f, %d warnings)\n" name
+      r.Ptx.Verify.bank.conflict_factor
+      (List.length r.warnings)
+
+let sample_configs rng sampler ~count ~legal =
+  let rec go n acc =
+    if n = 0 then acc
+    else
+      match Tuner.Sampler.sample_legal rng sampler ~legal with
+      | None -> acc
+      | Some cfg -> go (n - 1) (cfg :: acc)
+  in
+  go count []
+
+let lint_gemm ~verbose ~count ~warmup rng device =
+  let sampler =
+    Tuner.Dataset.fit_gemm_sampler ~warmup ~dtypes:[ Ptx.Types.F32 ] rng device
+  in
+  let stats = new_stats () in
+  let rows = ref [] in
+  List.iter
+    (fun (t : Workloads.Gemm_suites.task) ->
+      let i = t.input in
+      let before = stats.failed in
+      let factor0 = stats.factor_sum and checked0 = stats.checked in
+      let configs =
+        sample_configs rng sampler ~count
+          ~legal:(Tuner.Dataset.gemm_legal device i)
+      in
+      List.iter
+        (fun cfg_array ->
+          let c = GP.config_of_array cfg_array in
+          lint_one ~verbose ~stats
+            (Printf.sprintf "%s [%s]" (GP.describe_name i c)
+               (Tuner.Config_space.describe Tuner.Config_space.gemm cfg_array))
+            (Codegen.Gemm.generate i c)
+            ~iargs:[ ("M", i.m); ("N", i.n); ("K", i.k) ]
+            ~block:(GP.threads_per_block c, 1, 1))
+        configs;
+      let n = stats.checked - checked0 in
+      rows :=
+        [| t.group ^ " " ^ t.label;
+           string_of_int n;
+           string_of_int (stats.failed - before);
+           Printf.sprintf "%.2f"
+             (if n = 0 then 1.0 else (stats.factor_sum -. factor0) /. float_of_int n)
+        |]
+        :: !rows)
+    (Workloads.Gemm_suites.fp32_suite ~mk:2560);
+  (stats, List.rev !rows)
+
+let lint_conv ~verbose ~count ~warmup rng device =
+  let sampler =
+    Tuner.Dataset.fit_conv_sampler ~warmup ~dtypes:[ Ptx.Types.F32 ] rng device
+  in
+  let stats = new_stats () in
+  let rows = ref [] in
+  List.iter
+    (fun (t : Workloads.Conv_suites.task) ->
+      let i = t.input in
+      let gi = CP.gemm_input i in
+      let before = stats.failed in
+      let factor0 = stats.factor_sum and checked0 = stats.checked in
+      let configs =
+        sample_configs rng sampler ~count
+          ~legal:(Tuner.Dataset.conv_legal device i)
+      in
+      List.iter
+        (fun cfg_array ->
+          let c = GP.config_of_array cfg_array in
+          lint_one ~verbose ~stats
+            (Printf.sprintf "%s [%s]" (CP.describe_name i c)
+               (Tuner.Config_space.describe Tuner.Config_space.gemm cfg_array))
+            (Codegen.Conv.generate i c)
+            ~iargs:[ ("M", gi.GP.m); ("N", gi.GP.n); ("K", gi.GP.k) ]
+            ~block:(GP.threads_per_block c, 1, 1))
+        configs;
+      let n = stats.checked - checked0 in
+      rows :=
+        [| t.group ^ " " ^ t.label;
+           string_of_int n;
+           string_of_int (stats.failed - before);
+           Printf.sprintf "%.2f"
+             (if n = 0 then 1.0 else (stats.factor_sum -. factor0) /. float_of_int n)
+        |]
+        :: !rows)
+    (Workloads.Conv_suites.suite Ptx.Types.F32);
+  (stats, List.rev !rows)
+
+let run op device_name seed count warmup verbose =
+  let device =
+    match
+      List.find_opt (fun (d : Gpu.Device.t) -> d.name = device_name) Gpu.Device.all
+    with
+    | Some d -> d
+    | None ->
+      Printf.eprintf "unknown device %S\n" device_name;
+      exit 2
+  in
+  let rng = Util.Rng.create seed in
+  let sections =
+    (if op = "conv" then [] else [ ("GEMM", lint_gemm ~verbose ~count ~warmup rng device) ])
+    @
+    if op = "gemm" then []
+    else [ ("CONV", lint_conv ~verbose ~count ~warmup rng device) ]
+  in
+  let any_failed = ref false in
+  List.iter
+    (fun (title, (stats, rows)) ->
+      Printf.printf "%s suite on %s: %d kernels, %d failed, %d with warnings\n"
+        title device.name stats.checked stats.failed stats.warned;
+      Util.Table.print
+        ~header:[| "task"; "kernels"; "failed"; "mean bank factor" |]
+        rows;
+      if stats.failed > 0 then any_failed := true)
+    sections;
+  if !any_failed then begin
+    print_endline "lint: FAILED (verifier errors above)";
+    exit 1
+  end
+  else print_endline "lint: all sampled kernels verified clean"
+
+let cmd =
+  let op =
+    Arg.(
+      value
+      & opt (enum [ ("both", "both"); ("gemm", "gemm"); ("conv", "conv") ]) "both"
+      & info [ "op" ] ~doc:"Which generator to lint: gemm, conv or both.")
+  in
+  let device =
+    Arg.(
+      value
+      & opt string "Tesla P100"
+      & info [ "device" ] ~doc:"Device model the legality filter uses.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let count =
+    Arg.(
+      value & opt int 3
+      & info [ "count" ] ~doc:"Sampled configurations per suite task.")
+  in
+  let warmup =
+    Arg.(
+      value & opt int 2000
+      & info [ "warmup" ] ~doc:"Sampler warm-up draws (generative model fit).")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-kernel lines.") in
+  Cmd.v
+    (Cmd.info "isaac_lint"
+       ~doc:"Statically verify sampled GEMM/CONV kernels and report")
+    Term.(const run $ op $ device $ seed $ count $ warmup $ verbose)
+
+let () = exit (Cmd.eval cmd)

@@ -285,7 +285,22 @@ let generate_gen ?(bounds = P.Predicated) ?(alpha = 1.0) ?(beta = 0.0) ?(batch =
       else B.emit b ~guard:(p, true) (I.St_global (c_slot, Ireg addr, Freg value))
     done
   done;
-  B.finish b
+  let prog = B.finish b in
+  (* Debug path: with ISAAC_VERIFY=1 every emitted kernel must pass the
+     static verifier — the generator invariant the tuner relies on. *)
+  if Util.Env_config.bool "ISAAC_VERIFY" false then begin
+    let report =
+      Ptx.Verify.run prog
+        ~iargs:[ ("M", i.m); ("N", i.n); ("K", i.k) ]
+        ~block:(threads, 1, 1)
+    in
+    if not (Ptx.Verify.ok report) then
+      invalid_arg
+        (Printf.sprintf "Gemm.generate: %s fails static verification:\n%s"
+           prog.Ptx.Program.name
+           (Ptx.Verify.to_string report))
+  end;
+  prog
 
 let generate ?bounds ?alpha ?beta ?epilogue i c =
   generate_gen ?bounds ?alpha ?beta ?epilogue ~gather:false i c

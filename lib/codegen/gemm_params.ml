@@ -191,12 +191,18 @@ let cost ?(bounds = Predicated) (i : input) (c : config) =
         +. float_of_int (c.nl * c.u) *. stage_factor trans_b)
     *. bytes_f
   in
-  let fragment_bytes =
-    blocks_f *. k_iters
-    *. float_of_int (c.ml * c.nl * c.u)
-    *. (1.0 /. float_of_int c.ms +. 1.0 /. float_of_int c.ns)
-    *. bytes_f
+  (* Fragment loads: per iteration each of the mn_threads·kl threads
+     loads ms A-words and ns B-words uc times, i.e. ml·nl·u/ns A-words
+     and ml·nl·u/ms B-words per block-iteration. *)
+  let fragment_a_bytes =
+    blocks_f *. k_iters *. float_of_int (c.ml * c.nl * c.u)
+    /. float_of_int c.ns *. bytes_f
   in
+  let fragment_b_bytes =
+    blocks_f *. k_iters *. float_of_int (c.ml * c.nl * c.u)
+    /. float_of_int c.ms *. bytes_f
+  in
+  let fragment_bytes = fragment_a_bytes +. fragment_b_bytes in
   let kl_epilogue_bytes =
     if c.kl > 1 then
       blocks_f *. float_of_int ((c.kl - 1) * 2 * c.ml * c.nl) *. bytes_f
@@ -205,6 +211,35 @@ let cost ?(bounds = Predicated) (i : input) (c : config) =
   (* Vectorized (≥64-bit) shared accesses halve bank-transaction overhead,
      doubling sustainable shared bandwidth. *)
   let shared_vec_discount = if c.vec >= 2 then 0.5 else 1.0 in
+  (* Bank-conflict serialization, per access pattern (32 banks, one word
+     wide; same-word lanes broadcast):
+     - staging stores walk flat addresses at stride 1: conflict-free;
+     - A-fragment loads step [ms] words per lane over the ml/ms distinct
+       row groups (lanes of equal tm broadcast);
+     - B-fragment loads step [ns] words per lane across the tn groups,
+       which change once per ml/ms lanes;
+     - the K_L scratch is an [ml][nl] tile addressed at stride ms·nl,
+       which for the usual power-of-two nl lands every lane on the same
+       bank.
+     The factor is the traffic-weighted mean degree, and multiplies the
+     shared-pipeline time in {!Gpu.Perf_model}. *)
+  let shared_conflict_factor =
+    let deg ~distinct ~stride =
+      float_of_int (Gpu.Memory_model.stride_conflict_degree ~distinct ~stride)
+    in
+    let tm_groups = c.ml / c.ms in
+    let deg_a = deg ~distinct:(min 32 tm_groups) ~stride:c.ms in
+    let deg_b =
+      deg ~distinct:(min (c.nl / c.ns) (max 1 (32 / tm_groups))) ~stride:c.ns
+    in
+    let deg_kl = deg ~distinct:(min 32 tm_groups) ~stride:(c.ms * c.nl) in
+    let weighted =
+      staging_bytes +. (fragment_a_bytes *. deg_a) +. (fragment_b_bytes *. deg_b)
+      +. (kl_epilogue_bytes *. deg_kl)
+    in
+    let total = staging_bytes +. fragment_bytes +. kl_epilogue_bytes in
+    if total > 0.0 then weighted /. total else 1.0
+  in
   let barriers =
     (if c.db = 2 then 1.0 else 2.0) *. k_iters +. (2.0 *. float_of_int (c.kl - 1))
   in
@@ -232,6 +267,7 @@ let cost ?(bounds = Predicated) (i : input) (c : config) =
     coalescing = coalescing i c;
     shared_traffic_bytes =
       (staging_bytes +. fragment_bytes +. kl_epilogue_bytes) *. shared_vec_discount;
+    shared_conflict_factor;
     ilp = float_of_int (c.ms * c.ns * c.ks) /. float_of_int width;
     mlp = Float.min 16.0 (float_of_int ((la + lb) / c.vec));
     barriers_per_block = barriers;

@@ -22,6 +22,7 @@ type t = {
   atom_ops : float;
   coalescing : float;
   shared_traffic_bytes : float;
+  shared_conflict_factor : float;
   ilp : float;
   mlp : float;
   barriers_per_block : float;

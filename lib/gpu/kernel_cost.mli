@@ -37,6 +37,10 @@ type t = {
   atom_ops : float;           (** global atomic reductions (K_G > 1) *)
   coalescing : float;         (** DRAM transaction efficiency in (0,1] *)
   shared_traffic_bytes : float;
+  shared_conflict_factor : float;
+                              (** mean bank-serialization degree of the
+                                  kernel's shared transactions (≥ 1);
+                                  multiplies the shared-pipeline time *)
   (* schedule structure *)
   ilp : float;                (** independent FMA chains per thread (M_S·N_S·K_S) *)
   mlp : float;                (** outstanding global loads per thread in the

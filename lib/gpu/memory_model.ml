@@ -32,6 +32,21 @@ let l2_hits (d : Device.t) ~concurrent_blocks ~grid_m ~grid_n ~tile_m ~tile_n ~u
     hit_b = share_b *. capacity *. sync;
     working_set_bytes = working_set }
 
+let shared_banks = 32
+
+(* Classic banked-shared-memory serialization: lanes touching [distinct]
+   words at a constant [stride] hit 32/gcd(stride,32) distinct banks, so
+   the transaction replays ceil(words/banks) times (a degenerate stride
+   that keeps all lanes on one word broadcasts: degree 1). *)
+let stride_conflict_degree ~distinct ~stride =
+  if distinct <= 1 then 1
+  else begin
+    let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+    let s = max 1 (abs stride) in
+    let banks_hit = shared_banks / gcd s shared_banks in
+    (min distinct shared_banks + banks_hit - 1) / banks_hit
+  end
+
 let latency_limited_bw_gbs (d : Device.t) ~warps_per_sm ~mlp =
   let transactions_in_flight = float_of_int warps_per_sm *. Float.max 1.0 mlp in
   let bytes_per_cycle_per_sm = transactions_in_flight *. 128.0 /. d.mem_latency in

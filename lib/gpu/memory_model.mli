@@ -30,6 +30,15 @@ val l2_hits :
     row-major block scheduling: blocks sharing a row re-load the same
     B panel, blocks sharing a column the same A panel. *)
 
+val shared_banks : int
+(** Number of shared-memory banks (32, one word wide). *)
+
+val stride_conflict_degree : distinct:int -> stride:int -> int
+(** Serialization degree of a warp-wide shared access touching
+    [distinct] words spaced [stride] apart: [ceil (min distinct 32 /
+    (32 / gcd stride 32))], i.e. 1 when conflict-free or broadcast,
+    up to 32 when every lane maps to the same bank. *)
+
 val latency_limited_bw_gbs :
   Device.t -> warps_per_sm:int -> mlp:float -> float
 (** Little's-law bandwidth ceiling: bytes in flight / memory latency,

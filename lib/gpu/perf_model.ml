@@ -84,7 +84,9 @@ let predict (d : Device.t) (c : Kernel_cost.t) =
 
     (* --- shared-memory pipeline ----------------------------------------- *)
     let shared_bw = float_of_int d.shared_bw_bytes_per_clk *. sm *. clock_hz in
-    let shared_seconds = c.shared_traffic_bytes /. shared_bw in
+    let shared_seconds =
+      c.shared_traffic_bytes *. Float.max 1.0 c.shared_conflict_factor /. shared_bw
+    in
 
     (* --- overheads ------------------------------------------------------ *)
     (* Barrier cost: pipeline-drain bubble, hidden when other resident

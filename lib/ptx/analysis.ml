@@ -55,15 +55,22 @@ let of_program (p : Program.t) = Array.fold_left count_instr zero p.body
 
 let between_labels (p : Program.t) ~start ~stop =
   let labels = Program.find_labels p in
-  let i0 =
-    match Hashtbl.find_opt labels start with Some i -> i | None -> raise Not_found
+  let find name =
+    match Hashtbl.find_opt labels name with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "%s: no label %S" p.name name)
   in
-  let i1 =
-    match Hashtbl.find_opt labels stop with Some i -> i | None -> raise Not_found
-  in
-  if i1 < i0 then raise Not_found;
-  let m = ref zero in
-  for i = i0 + 1 to i1 - 1 do
-    m := count_instr !m p.body.(i)
-  done;
-  !m
+  match (find start, find stop) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok i0, Ok i1 ->
+    if i1 < i0 then
+      Error
+        (Printf.sprintf "%s: label %S (pc %d) precedes %S (pc %d)" p.name stop
+           i1 start i0)
+    else begin
+      let m = ref zero in
+      for i = i0 + 1 to i1 - 1 do
+        m := count_instr !m p.body.(i)
+      done;
+      Ok !m
+    end

@@ -26,8 +26,9 @@ val of_program : Program.t -> mix
 (** Static (per-occurrence, not per-execution) instruction mix of the whole
     body. *)
 
-val between_labels : Program.t -> start:string -> stop:string -> mix
-(** Mix of the instructions strictly between two labels. Raises
-    [Not_found] if either label is absent or they are out of order.
-    Generators bracket their main loop with labels so tests and the timing
-    model can inspect the loop body in isolation. *)
+val between_labels :
+  Program.t -> start:string -> stop:string -> (mix, string) result
+(** Mix of the instructions strictly between two labels. [Error]
+    describes the failure (absent label, or labels out of order) instead
+    of raising. Generators bracket their main loop with labels so tests
+    and the timing model can inspect the loop body in isolation. *)

@@ -1,0 +1,177 @@
+type block = {
+  id : int;
+  first : int;
+  last : int;
+  succs : int list;
+  mutable preds : int list;
+  to_exit : bool;
+}
+
+type t = {
+  blocks : block array;
+  block_of : int array;
+  may_fall_off_end : bool;
+}
+
+let build (p : Program.t) =
+  let body = p.Program.body in
+  let n = Array.length body in
+  if n = 0 then Error "empty body"
+  else begin
+    let err = ref None in
+    let labels = Hashtbl.create 16 in
+    Array.iteri
+      (fun i instr ->
+        match instr.Instr.op with
+        | Instr.Label name ->
+          if Hashtbl.mem labels name then
+            (if !err = None then err := Some ("duplicate label " ^ name))
+          else Hashtbl.replace labels name i
+        | _ -> ())
+      body;
+    Array.iter
+      (fun instr ->
+        match instr.Instr.op with
+        | Instr.Bra target when not (Hashtbl.mem labels target) ->
+          if !err = None then err := Some ("undefined label " ^ target)
+        | _ -> ())
+      body;
+    match !err with
+    | Some msg -> Error msg
+    | None ->
+      (* Leaders: entry, labels, and whatever follows a branch or return. *)
+      let leader = Array.make n false in
+      leader.(0) <- true;
+      Array.iteri
+        (fun i instr ->
+          match instr.Instr.op with
+          | Instr.Label _ -> leader.(i) <- true
+          | Instr.Bra _ | Instr.Ret -> if i + 1 < n then leader.(i + 1) <- true
+          | _ -> ())
+        body;
+      let block_of = Array.make n 0 in
+      let bounds = ref [] in
+      let start = ref 0 in
+      for i = 1 to n - 1 do
+        if leader.(i) then begin
+          bounds := (!start, i - 1) :: !bounds;
+          start := i
+        end
+      done;
+      bounds := (!start, n - 1) :: !bounds;
+      let bounds = Array.of_list (List.rev !bounds) in
+      Array.iteri
+        (fun id (first, last) ->
+          for i = first to last do
+            block_of.(i) <- id
+          done)
+        bounds;
+      let n_blocks = Array.length bounds in
+      let may_fall_off = ref false in
+      let term_of id =
+        (* successors within the body, plus whether this block has an edge
+           to the virtual exit node (a Ret, guarded or not, or a possible
+           fall past the last instruction). *)
+        let _, last = bounds.(id) in
+        let next () =
+          if last + 1 < n then ([ block_of.(last + 1) ], false)
+          else begin
+            may_fall_off := true;
+            ([], true)
+          end
+        in
+        match body.(last).Instr.op with
+        | Instr.Bra target ->
+          let tgt = block_of.(Hashtbl.find labels target) in
+          (match body.(last).Instr.guard with
+           | None -> ([ tgt ], false)
+           | Some _ ->
+             let fall, exits = next () in
+             (tgt :: fall, exits))
+        | Instr.Ret ->
+          (match body.(last).Instr.guard with
+           | None -> ([], true)
+           | Some _ ->
+             let fall, _ = next () in
+             (fall, true))
+        | _ -> next ()
+      in
+      let blocks =
+        Array.init n_blocks (fun id ->
+            let first, last = bounds.(id) in
+            let succs, to_exit = term_of id in
+            { id; first; last; succs; preds = []; to_exit })
+      in
+      Array.iter
+        (fun b ->
+          List.iter
+            (fun s ->
+              if not (List.mem b.id blocks.(s).preds) then
+                blocks.(s).preds <- b.id :: blocks.(s).preds)
+            b.succs)
+        blocks;
+      Ok { blocks; block_of; may_fall_off_end = !may_fall_off }
+  end
+
+let reachable t =
+  let n = Array.length t.blocks in
+  let seen = Array.make n false in
+  let rec go id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter go t.blocks.(id).succs
+    end
+  in
+  go 0;
+  seen
+
+(* Iterative post-dominator sets over a virtual exit node. Block counts
+   are small (branches are rare in generated kernels), so bitset
+   iteration is plenty fast. [pdom.(b).(j)] = "j post-dominates b". *)
+let postdominators t =
+  let n = Array.length t.blocks in
+  let pdom = Array.init n (fun _ -> Array.make n true) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for id = n - 1 downto 0 do
+      let b = t.blocks.(id) in
+      (* Meet over successors; an exit edge contributes the empty set
+         (pdom of the virtual exit), killing everything but [id]. *)
+      let meet = Array.make n (not b.to_exit && b.succs <> []) in
+      if not b.to_exit then
+        List.iter
+          (fun s -> Array.iteri (fun j v -> meet.(j) <- v && pdom.(s).(j)) meet)
+          b.succs;
+      meet.(id) <- true;
+      if meet <> pdom.(id) then begin
+        pdom.(id) <- meet;
+        changed := true
+      end
+    done
+  done;
+  (* Immediate post-dominator: the strict post-dominator that none of the
+     other strict post-dominators is post-dominated by. *)
+  Array.init n (fun id ->
+      let strict =
+        List.filter (fun j -> j <> id && pdom.(id).(j)) (List.init n Fun.id)
+      in
+      let immediate =
+        List.filter
+          (fun j -> List.for_all (fun k -> k = j || not (pdom.(k).(j))) strict)
+          strict
+      in
+      match immediate with [ j ] -> j | _ -> -1)
+
+let divergence_region t ~ipdom b =
+  let stop = ipdom.(b) in
+  let n = Array.length t.blocks in
+  let seen = Array.make n false in
+  let rec go id =
+    if id <> stop && not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter go t.blocks.(id).succs
+    end
+  in
+  List.iter go t.blocks.(b).succs;
+  List.filter (fun id -> seen.(id)) (List.init n Fun.id)

@@ -1,0 +1,402 @@
+type reg = R_i of int | R_f of int | R_p of int
+
+let pp_reg = function
+  | R_i r -> Printf.sprintf "%%r%d" r
+  | R_f r -> Printf.sprintf "%%f%d" r
+  | R_p r -> Printf.sprintf "%%p%d" r
+
+(* Registers read / written by one instruction. The guard predicate is a
+   read; destination registers are written only. *)
+let uses_defs (instr : Instr.t) =
+  let io acc = function Types.Ireg r -> R_i r :: acc | _ -> acc in
+  let fo acc = function Types.Freg r -> R_f r :: acc | _ -> acc in
+  let uses, defs =
+    match instr.Instr.op with
+    | Instr.Mov (d, a) -> (io [] a, [ R_i d ])
+    | Iadd (d, a, b) | Isub (d, a, b) | Imul (d, a, b) | Idiv (d, a, b)
+    | Irem (d, a, b) | Imin (d, a, b) | Imax (d, a, b) | Ishl (d, a, b)
+    | Ishr (d, a, b) | Iand (d, a, b) | Ior (d, a, b) ->
+      (io (io [] a) b, [ R_i d ])
+    | Imad (d, a, b, c) -> (io (io (io [] a) b) c, [ R_i d ])
+    | Setp (_, p, a, b) -> (io (io [] a) b, [ R_p p ])
+    | And_p (d, a, b) | Or_p (d, a, b) -> ([ R_p a; R_p b ], [ R_p d ])
+    | Not_p (d, a) -> ([ R_p a ], [ R_p d ])
+    | Movf (d, a) -> (fo [] a, [ R_f d ])
+    | Fadd (d, a, b) | Fsub (d, a, b) | Fmul (d, a, b) | Fmax (d, a, b)
+    | Fmin (d, a, b) ->
+      (fo (fo [] a) b, [ R_f d ])
+    | Ffma (d, a, b, c) -> (fo (fo (fo [] a) b) c, [ R_f d ])
+    | Ld_global (d, _, addr) -> (io [] addr, [ R_f d ])
+    | Ld_global_i (d, _, addr) -> (io [] addr, [ R_i d ])
+    | Ld_shared (d, addr) -> (io [] addr, [ R_f d ])
+    | Ld_shared_i (d, addr) -> (io [] addr, [ R_i d ])
+    | St_global (_, addr, v) -> (fo (io [] addr) v, [])
+    | St_shared (addr, v) -> (fo (io [] addr) v, [])
+    | St_shared_i (addr, v) -> (io (io [] addr) v, [])
+    | Atom_global_add (_, addr, v) -> (fo (io [] addr) v, [])
+    | Label _ | Bra _ | Bar | Ret -> ([], [])
+  in
+  let uses =
+    match instr.Instr.guard with Some (p, _) -> R_p p :: uses | None -> uses
+  in
+  (uses, defs)
+
+(* --- definite assignment ------------------------------------------------- *)
+
+type undefined_use = { pc : int; reg : reg }
+
+let def_before_use (p : Program.t) (cfg : Cfg.t) =
+  let ni = p.Program.n_iregs and nf = p.n_fregs in
+  let nregs = ni + nf + p.n_pregs in
+  let idx = function R_i r -> r | R_f r -> ni + r | R_p r -> ni + nf + r in
+  let nb = Array.length cfg.Cfg.blocks in
+  (* Must-analysis: OUT starts at top (all defined) and shrinks. *)
+  let out_ = Array.init nb (fun _ -> Array.make (max 1 nregs) true) in
+  let in_of b =
+    let blk = cfg.blocks.(b) in
+    let acc = Array.make (max 1 nregs) (b <> 0 && blk.Cfg.preds <> []) in
+    if b <> 0 then
+      List.iter
+        (fun pr -> Array.iteri (fun j v -> acc.(j) <- v && out_.(pr).(j)) acc)
+        blk.Cfg.preds;
+    acc
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to nb - 1 do
+      let acc = in_of b in
+      let blk = cfg.blocks.(b) in
+      for i = blk.Cfg.first to blk.Cfg.last do
+        let _, defs = uses_defs p.body.(i) in
+        List.iter (fun d -> acc.(idx d) <- true) defs
+      done;
+      if acc <> out_.(b) then begin
+        out_.(b) <- acc;
+        changed := true
+      end
+    done
+  done;
+  (* Report pass over reachable blocks only. *)
+  let reach = Cfg.reachable cfg in
+  let reports = ref [] in
+  for b = 0 to nb - 1 do
+    if reach.(b) then begin
+      let acc = in_of b in
+      let blk = cfg.blocks.(b) in
+      for i = blk.Cfg.first to blk.Cfg.last do
+        let uses, defs = uses_defs p.body.(i) in
+        List.iter
+          (fun u -> if not acc.(idx u) then reports := { pc = i; reg = u } :: !reports)
+          uses;
+        List.iter (fun d -> acc.(idx d) <- true) defs
+      done
+    end
+  done;
+  List.sort_uniq compare (List.rev !reports)
+
+(* --- symbolic uniformity / affine analysis -------------------------------- *)
+
+module Sym = struct
+  type binop = Add | Sub | Mul | Div | Rem | Min | Max | Shl | Shr | And | Or
+
+  type origin =
+    | At_pc of int
+    | Param of int
+    | Special of Types.special
+    | Widen of int * int
+
+  type expr =
+    | Const of int
+    | Tid of int
+    | Opaque of origin * bool
+    | Bin of binop * expr * expr
+
+  type pexpr =
+    | Pconst of bool
+    | Pcmp of Types.cmp * expr * expr
+    | Pand of pexpr * pexpr
+    | Por of pexpr * pexpr
+    | Pnot of pexpr
+    | Popaque of origin * bool
+
+  let rec uniform = function
+    | Const _ -> true
+    | Tid _ -> false
+    | Opaque (_, u) -> u
+    | Bin (_, a, b) -> uniform a && uniform b
+
+  let rec puniform = function
+    | Pconst _ -> true
+    | Pcmp (_, a, b) -> uniform a && uniform b
+    | Pand (a, b) | Por (a, b) -> puniform a && puniform b
+    | Pnot a -> puniform a
+    | Popaque (_, u) -> u
+
+  let rec closed = function
+    | Const _ | Tid _ -> true
+    | Opaque _ -> false
+    | Bin (_, a, b) -> closed a && closed b
+
+  let rec size = function
+    | Const _ | Tid _ | Opaque _ -> 1
+    | Bin (_, a, b) -> 1 + size a + size b
+
+  let rec psize = function
+    | Pconst _ | Popaque _ -> 1
+    | Pcmp (_, a, b) -> 1 + size a + size b
+    | Pand (a, b) | Por (a, b) -> 1 + psize a + psize b
+    | Pnot a -> 1 + psize a
+
+  let apply op x y =
+    match op with
+    | Add -> Some (x + y)
+    | Sub -> Some (x - y)
+    | Mul -> Some (x * y)
+    | Div -> if y = 0 then None else Some (x / y)
+    | Rem -> if y = 0 then None else Some (x mod y)
+    | Min -> Some (min x y)
+    | Max -> Some (max x y)
+    | Shl -> if y < 0 || y > 62 then None else Some (x lsl y)
+    | Shr -> if y < 0 || y > 62 then None else Some (x asr y)
+    | And -> Some (x land y)
+    | Or -> Some (x lor y)
+
+  (* Smart constructor: constant folding plus the handful of identities
+     the generators rely on (additive zero, multiplicative one). *)
+  let bin op a b =
+    match (op, a, b) with
+    | _, Const x, Const y -> (
+        match apply op x y with Some v -> Const v | None -> Bin (op, a, b))
+    | Add, e, Const 0 | Add, Const 0, e -> e
+    | Sub, e, Const 0 -> e
+    | Mul, _, Const 0 | Mul, Const 0, _ -> Const 0
+    | Mul, e, Const 1 | Mul, Const 1, e -> e
+    | _ -> Bin (op, a, b)
+
+  let rec eval ~tid e =
+    match e with
+    | Const v -> Some v
+    | Tid axis ->
+      let x, y, z = tid in
+      Some (match axis with 0 -> x | 1 -> y | _ -> z)
+    | Opaque _ -> None
+    | Bin (op, a, b) -> (
+        match (eval ~tid a, eval ~tid b) with
+        | Some x, Some y -> apply op x y
+        | _ -> None)
+
+  let rec peval ~tid = function
+    | Pconst b -> Some b
+    | Pcmp (c, a, b) -> (
+        match (eval ~tid a, eval ~tid b) with
+        | Some x, Some y -> Some (Types.eval_cmp c x y)
+        | _ -> None)
+    | Pand (a, b) -> (
+        match (peval ~tid a, peval ~tid b) with
+        | Some false, _ | _, Some false -> Some false
+        | Some true, Some true -> Some true
+        | _ -> None)
+    | Por (a, b) -> (
+        match (peval ~tid a, peval ~tid b) with
+        | Some true, _ | _, Some true -> Some true
+        | Some false, Some false -> Some false
+        | _ -> None)
+    | Pnot a -> Option.map not (peval ~tid a)
+    | Popaque _ -> None
+end
+
+type env = {
+  ints : Sym.expr array;
+  preds : Sym.pexpr array;
+}
+
+let copy_env e = { ints = Array.copy e.ints; preds = Array.copy e.preds }
+
+let expr_cap = 160
+
+type solution = {
+  program : Program.t;
+  params : int option array;
+  bx : int;
+  by : int;
+  bz : int;
+  blocks : Cfg.block array;
+  entries : env option array;
+}
+
+let io_expr sol env = function
+  | Types.Ireg r -> env.ints.(r)
+  | Iimm v -> Sym.Const v
+  | Iparam slot ->
+    if slot >= 0 && slot < Array.length sol.params then
+      (match sol.params.(slot) with
+       | Some v -> Sym.Const v
+       | None -> Sym.Opaque (Sym.Param slot, true))
+    else Sym.Opaque (Sym.Param slot, true)
+  | Ispecial s -> (
+      match s with
+      | Types.Tid_x -> Sym.Tid 0
+      | Tid_y -> Sym.Tid 1
+      | Tid_z -> Sym.Tid 2
+      | Ntid_x -> Sym.Const sol.bx
+      | Ntid_y -> Sym.Const sol.by
+      | Ntid_z -> Sym.Const sol.bz
+      | (Ctaid_x | Ctaid_y | Ctaid_z | Nctaid_x | Nctaid_y | Nctaid_z) as s ->
+        Sym.Opaque (Sym.Special s, true))
+
+let operand_expr sol env o = io_expr sol env o
+
+let guard_pexpr env (instr : Instr.t) =
+  match instr.Instr.guard with
+  | None -> None
+  | Some (p, sense) ->
+    let pe = env.preds.(p) in
+    Some (if sense then pe else Sym.Pnot pe)
+
+(* One instruction's transfer. A guarded write merges old and new value:
+   threads whose guard is false keep the old one, so the result is only
+   known when both sides agree; a varying guard makes even a merge of two
+   uniform values thread-dependent. *)
+let step sol env ~pc (instr : Instr.t) =
+  let open Sym in
+  let cap e = if size e > expr_cap then Opaque (At_pc pc, uniform e) else e in
+  let pcap e = if psize e > expr_cap then Popaque (At_pc pc, puniform e) else e in
+  let guard = guard_pexpr env instr in
+  let set_i r e =
+    let e = cap e in
+    match guard with
+    | None -> env.ints.(r) <- e
+    | Some g ->
+      let old = env.ints.(r) in
+      if old <> e then
+        env.ints.(r) <- Opaque (At_pc pc, uniform old && uniform e && puniform g)
+  in
+  let set_p r pe =
+    let pe = pcap pe in
+    match guard with
+    | None -> env.preds.(r) <- pe
+    | Some g ->
+      let old = env.preds.(r) in
+      if old <> pe then
+        env.preds.(r) <- Popaque (At_pc pc, puniform old && puniform pe && puniform g)
+  in
+  let io = io_expr sol env in
+  match instr.Instr.op with
+  | Instr.Mov (d, a) -> set_i d (io a)
+  | Iadd (d, a, b) -> set_i d (bin Add (io a) (io b))
+  | Isub (d, a, b) -> set_i d (bin Sub (io a) (io b))
+  | Imul (d, a, b) -> set_i d (bin Mul (io a) (io b))
+  | Imad (d, a, b, c) -> set_i d (bin Add (bin Mul (io a) (io b)) (io c))
+  | Idiv (d, a, b) -> set_i d (bin Div (io a) (io b))
+  | Irem (d, a, b) -> set_i d (bin Rem (io a) (io b))
+  | Imin (d, a, b) -> set_i d (bin Min (io a) (io b))
+  | Imax (d, a, b) -> set_i d (bin Max (io a) (io b))
+  | Ishl (d, a, b) -> set_i d (bin Shl (io a) (io b))
+  | Ishr (d, a, b) -> set_i d (bin Shr (io a) (io b))
+  | Iand (d, a, b) -> set_i d (bin And (io a) (io b))
+  | Ior (d, a, b) -> set_i d (bin Or (io a) (io b))
+  | Setp (c, p, a, b) -> set_p p (Pcmp (c, io a, io b))
+  | And_p (d, a, b) -> set_p d (Pand (env.preds.(a), env.preds.(b)))
+  | Or_p (d, a, b) -> set_p d (Por (env.preds.(a), env.preds.(b)))
+  | Not_p (d, a) -> set_p d (Pnot env.preds.(a))
+  | Ld_global_i (d, _, _) | Ld_shared_i (d, _) ->
+    (* Loaded integers are opaque and potentially thread-dependent. *)
+    set_i d (Opaque (At_pc pc, false))
+  | Movf _ | Fadd _ | Fsub _ | Fmul _ | Ffma _ | Fmax _ | Fmin _
+  | Ld_global _ | Ld_shared _ | St_global _ | St_shared _ | St_shared_i _
+  | Atom_global_add _ | Label _ | Bra _ | Bar | Ret ->
+    ()
+
+(* Join [incoming] into [entry] for block [bid]. Unequal values widen to
+   an opaque unknown keyed by (block, register) so re-joining is stable
+   and the fixpoint terminates; the uniformity flag can only drop. *)
+let join_into ~bid ~ni entry incoming =
+  let changed = ref false in
+  Array.iteri
+    (fun r old ->
+      let inc = incoming.ints.(r) in
+      if old <> inc then begin
+        let widened =
+          Sym.Opaque (Sym.Widen (bid, r), Sym.uniform old && Sym.uniform inc)
+        in
+        if widened <> old then begin
+          entry.ints.(r) <- widened;
+          changed := true
+        end
+      end)
+    entry.ints;
+  Array.iteri
+    (fun r old ->
+      let inc = incoming.preds.(r) in
+      if old <> inc then begin
+        let widened =
+          Sym.Popaque (Sym.Widen (bid, ni + r), Sym.puniform old && Sym.puniform inc)
+        in
+        if widened <> old then begin
+          entry.preds.(r) <- widened;
+          changed := true
+        end
+      end)
+    entry.preds;
+  !changed
+
+let symbolic ?int_params ~block (p : Program.t) (cfg : Cfg.t) =
+  let bx, by, bz = block in
+  let params =
+    match int_params with
+    | Some a -> a
+    | None -> Array.make (Array.length p.Program.int_params) None
+  in
+  let nb = Array.length cfg.Cfg.blocks in
+  let sol =
+    { program = p; params; bx; by; bz; blocks = cfg.blocks;
+      entries = Array.make nb None }
+  in
+  let bottom () =
+    { ints = Array.make (max 1 p.n_iregs) (Sym.Const 0);
+      preds = Array.make (max 1 p.n_pregs) (Sym.Pconst false) }
+  in
+  sol.entries.(0) <- Some (bottom ());
+  let ni = p.n_iregs in
+  let changed = ref true in
+  let passes = ref 0 in
+  while !changed && !passes < 64 do
+    changed := false;
+    incr passes;
+    for b = 0 to nb - 1 do
+      match sol.entries.(b) with
+      | None -> ()
+      | Some entry ->
+        let env = copy_env entry in
+        let blk = cfg.blocks.(b) in
+        for i = blk.Cfg.first to blk.Cfg.last do
+          step sol env ~pc:i p.body.(i)
+        done;
+        List.iter
+          (fun s ->
+            match sol.entries.(s) with
+            | None ->
+              sol.entries.(s) <- Some (copy_env env);
+              changed := true
+            | Some se -> if join_into ~bid:s ~ni se env then changed := true)
+          blk.Cfg.succs
+    done
+  done;
+  sol
+
+let entry_env sol b =
+  match sol.entries.(b) with
+  | Some e -> copy_env e
+  | None ->
+    (* unreachable block: conservative bottom *)
+    { ints = Array.make (max 1 sol.program.Program.n_iregs) (Sym.Const 0);
+      preds = Array.make (max 1 sol.program.n_pregs) (Sym.Pconst false) }
+
+let walk_block sol b ~f =
+  let env = entry_env sol b in
+  let blk = sol.blocks.(b) in
+  for i = blk.Cfg.first to blk.Cfg.last do
+    f ~pc:i env;
+    step sol env ~pc:i sol.program.body.(i)
+  done

@@ -29,6 +29,21 @@ exception Trap of string
 
 let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
 
+(* Describe a pc as "pc N (k after label L)" so trap messages locate the
+   faulting instruction in generator output without a disassembly. *)
+let describe_pc (body : Instr.t array) pc =
+  let rec nearest i =
+    if i < 0 then None
+    else
+      match body.(i) with
+      | { Instr.op = Instr.Label l; _ } -> Some (l, i)
+      | _ -> nearest (i - 1)
+  in
+  match nearest (min pc (Array.length body - 1)) with
+  | Some (l, lpc) when pc = lpc -> Printf.sprintf "pc %d (label %s)" pc l
+  | Some (l, lpc) -> Printf.sprintf "pc %d (label %s + %d)" pc l (pc - lpc)
+  | None -> Printf.sprintf "pc %d" pc
+
 (* Per-thread architectural state. *)
 type thread = {
   fregs : float array;
@@ -65,6 +80,11 @@ let run ?(max_dynamic = 200_000_000) (p : Program.t) ~grid ~block ~bufs ~iargs =
   let labels = Program.find_labels p in
   let body = p.body in
   let n_body = Array.length body in
+  let trap_at pc fmt =
+    Printf.ksprintf
+      (fun s -> raise (Trap (Printf.sprintf "%s at %s" s (describe_pc body pc))))
+      fmt
+  in
   let counters = zero_counters () in
   let budget = ref max_dynamic in
   let charge () =
@@ -107,44 +127,49 @@ let run ?(max_dynamic = 200_000_000) (p : Program.t) ~grid ~block ~bufs ~iargs =
       | Ispecial s -> special th s
     in
     let fval th = function Freg r -> th.fregs.(r) | Fimm v -> v in
-    let global_get slot addr =
+    let global_get ~pc slot addr =
       let buf = buffers.(slot) in
       if addr < 0 || addr >= Array.length buf then
-        trap "%s: global load out of bounds: %s[%d] (len %d)" p.name
+        trap_at pc "%s: global load out of bounds: %s[%d] (len %d)" p.name
           p.buf_params.(slot) addr (Array.length buf);
       buf.(addr)
     in
-    let global_set slot addr v =
+    let global_set ~pc slot addr v =
       let buf = buffers.(slot) in
       if addr < 0 || addr >= Array.length buf then
-        trap "%s: global store out of bounds: %s[%d] (len %d)" p.name
+        trap_at pc "%s: global store out of bounds: %s[%d] (len %d)" p.name
           p.buf_params.(slot) addr (Array.length buf);
       buf.(addr) <- v
     in
-    let shared_get addr =
+    let shared_get ~pc addr =
       if addr < 0 || addr >= p.shared_words then
-        trap "%s: shared load out of bounds: [%d] (size %d)" p.name addr p.shared_words;
+        trap_at pc "%s: shared load out of bounds: [%d] (size %d)" p.name addr
+          p.shared_words;
       shared.(addr)
     in
-    let shared_set addr v =
+    let shared_set ~pc addr v =
       if addr < 0 || addr >= p.shared_words then
-        trap "%s: shared store out of bounds: [%d] (size %d)" p.name addr p.shared_words;
+        trap_at pc "%s: shared store out of bounds: [%d] (size %d)" p.name addr
+          p.shared_words;
       shared.(addr) <- v
     in
-    let shared_i_get addr =
+    let shared_i_get ~pc addr =
       if addr < 0 || addr >= p.shared_int_words then
-        trap "%s: shared int load out of bounds: [%d]" p.name addr;
+        trap_at pc "%s: shared int load out of bounds: [%d] (size %d)" p.name
+          addr p.shared_int_words;
       shared_i.(addr)
     in
-    let shared_i_set addr v =
+    let shared_i_set ~pc addr v =
       if addr < 0 || addr >= p.shared_int_words then
-        trap "%s: shared int store out of bounds: [%d]" p.name addr;
+        trap_at pc "%s: shared int store out of bounds: [%d] (size %d)" p.name
+          addr p.shared_int_words;
       shared_i.(addr) <- v
     in
     (* Execute [th] until it reaches a barrier or returns. *)
     let run_to_barrier th =
       let rec step () =
-        if th.pc >= n_body then trap "%s: fell off end of kernel" p.name;
+        if th.pc >= n_body then
+          trap_at (n_body - 1) "%s: fell off end of kernel" p.name;
         let { Instr.op; guard } = body.(th.pc) in
         match op with
         | Instr.Label _ -> th.pc <- th.pc + 1; step ()
@@ -206,13 +231,13 @@ let run ?(max_dynamic = 200_000_000) (p : Program.t) ~grid ~block ~bufs ~iargs =
             | Idiv (d, a, b) ->
               counters.ialu <- counters.ialu + 1;
               let bv = ival th b in
-              if bv = 0 then trap "%s: division by zero" p.name;
+              if bv = 0 then trap_at th.pc "%s: division by zero" p.name;
               th.iregs.(d) <- ival th a / bv;
               th.pc <- th.pc + 1; step ()
             | Irem (d, a, b) ->
               counters.ialu <- counters.ialu + 1;
               let bv = ival th b in
-              if bv = 0 then trap "%s: remainder by zero" p.name;
+              if bv = 0 then trap_at th.pc "%s: remainder by zero" p.name;
               th.iregs.(d) <- ival th a mod bv;
               th.pc <- th.pc + 1; step ()
             | Imin (d, a, b) ->
@@ -281,42 +306,43 @@ let run ?(max_dynamic = 200_000_000) (p : Program.t) ~grid ~block ~bufs ~iargs =
               th.pc <- th.pc + 1; step ()
             | Ld_global (d, slot, addr) ->
               counters.ld_global <- counters.ld_global + 1;
-              th.fregs.(d) <- global_get slot (ival th addr);
+              th.fregs.(d) <- global_get ~pc:th.pc slot (ival th addr);
               th.pc <- th.pc + 1; step ()
             | Ld_global_i (d, slot, addr) ->
               counters.ld_global <- counters.ld_global + 1;
-              th.iregs.(d) <- int_of_float (global_get slot (ival th addr));
+              th.iregs.(d) <- int_of_float (global_get ~pc:th.pc slot (ival th addr));
               th.pc <- th.pc + 1; step ()
             | Ld_shared (d, addr) ->
               counters.ld_shared <- counters.ld_shared + 1;
-              th.fregs.(d) <- shared_get (ival th addr);
+              th.fregs.(d) <- shared_get ~pc:th.pc (ival th addr);
               th.pc <- th.pc + 1; step ()
             | Ld_shared_i (d, addr) ->
               counters.ld_shared <- counters.ld_shared + 1;
-              th.iregs.(d) <- shared_i_get (ival th addr);
+              th.iregs.(d) <- shared_i_get ~pc:th.pc (ival th addr);
               th.pc <- th.pc + 1; step ()
             | St_global (slot, addr, v) ->
               counters.st_global <- counters.st_global + 1;
-              global_set slot (ival th addr) (store_round (fval th v));
+              global_set ~pc:th.pc slot (ival th addr) (store_round (fval th v));
               th.pc <- th.pc + 1; step ()
             | St_shared (addr, v) ->
               counters.st_shared <- counters.st_shared + 1;
-              shared_set (ival th addr) (store_round (fval th v));
+              shared_set ~pc:th.pc (ival th addr) (store_round (fval th v));
               th.pc <- th.pc + 1; step ()
             | St_shared_i (addr, v) ->
               counters.st_shared <- counters.st_shared + 1;
-              shared_i_set (ival th addr) (ival th v);
+              shared_i_set ~pc:th.pc (ival th addr) (ival th v);
               th.pc <- th.pc + 1; step ()
             | Atom_global_add (slot, addr, v) ->
               counters.atom <- counters.atom + 1;
               let a = ival th addr in
-              global_set slot a (store_round (global_get slot a +. fval th v));
+              global_set ~pc:th.pc slot a
+                (store_round (global_get ~pc:th.pc slot a +. fval th v));
               th.pc <- th.pc + 1; step ()
             | Bra target ->
               counters.branch <- counters.branch + 1;
               (match Hashtbl.find_opt labels target with
                | Some idx -> th.pc <- idx
-               | None -> trap "%s: undefined label %s" p.name target);
+               | None -> trap_at th.pc "%s: undefined label %s" p.name target);
               step ()
             | Bar ->
               counters.bar <- counters.bar + 1;
@@ -332,10 +358,18 @@ let run ?(max_dynamic = 200_000_000) (p : Program.t) ~grid ~block ~bufs ~iargs =
     in
     (* Barrier-phase loop: all threads must agree on Hit_bar vs Hit_ret. *)
     let rec phases () =
+      let where stop (th : thread) =
+        (* After Hit_bar the pc has advanced past the Bar; Ret leaves it. *)
+        match stop with
+        | Hit_bar -> Printf.sprintf "hit barrier at %s" (describe_pc body (th.pc - 1))
+        | Hit_ret -> Printf.sprintf "returned at %s" (describe_pc body th.pc)
+      in
       let first = run_to_barrier threads.(0) in
       for i = 1 to n_threads - 1 do
         let stop = run_to_barrier threads.(i) in
-        if stop <> first then trap "%s: barrier divergence across threads" p.name
+        if stop <> first then
+          trap "%s: barrier divergence: thread 0 %s but thread %d %s" p.name
+            (where first threads.(0)) i (where stop threads.(i))
       done;
       match first with Hit_ret -> () | Hit_bar -> phases ()
     in

@@ -36,7 +36,9 @@ val total : counters -> int
 
 exception Trap of string
 (** Raised on runtime errors: out-of-bounds memory access, barrier
-    divergence, instruction budget exhaustion, unknown parameter. *)
+    divergence, instruction budget exhaustion, unknown parameter.
+    Messages for faults inside the body locate the instruction as
+    ["pc N (label L + k)"] using the nearest preceding label. *)
 
 val run :
   ?max_dynamic:int ->

@@ -48,3 +48,8 @@ let iter t f =
   go 0
 
 let random rng t = Array.map (fun p -> Util.Rng.choice rng p.values) t
+
+let describe (t : t) cfg =
+  String.concat " "
+    (Array.to_list
+       (Array.mapi (fun i p -> Printf.sprintf "%s=%d" p.name cfg.(i)) t))

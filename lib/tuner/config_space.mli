@@ -36,3 +36,7 @@ val iter : t -> (int array -> unit) -> unit
 
 val random : Util.Rng.t -> t -> int array
 (** Uniform sample from the grid (fresh array). *)
+
+val describe : t -> int array -> string
+(** ["name=value ..."] rendering of a flat configuration, in parameter
+    order — used by the lint report. *)

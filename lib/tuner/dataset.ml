@@ -53,6 +53,27 @@ let conv_legal device input cfg_array =
   CP.structurally_legal input cfg
   && Gpu.Executor.legal device (CP.cost input cfg)
 
+(* Static-verifier oracles (tentpole wiring): generate the kernel for an
+   already-legal configuration and require a clean {!Ptx.Verify} report.
+   Orders of magnitude cheaper than an interpreter run, and the only
+   check that sees barrier divergence, shared races or OOB statically. *)
+let gemm_static_ok (input : GP.input) cfg_array =
+  let cfg = GP.config_of_array cfg_array in
+  let p = Codegen.Gemm.generate input cfg in
+  Ptx.Verify.ok
+    (Ptx.Verify.run p
+       ~iargs:[ ("M", input.m); ("N", input.n); ("K", input.k) ]
+       ~block:(GP.threads_per_block cfg, 1, 1))
+
+let conv_static_ok (input : CP.input) cfg_array =
+  let cfg = GP.config_of_array cfg_array in
+  let gi = CP.gemm_input input in
+  let p = Codegen.Conv.generate input cfg in
+  Ptx.Verify.ok
+    (Ptx.Verify.run p
+       ~iargs:[ ("M", gi.GP.m); ("N", gi.GP.n); ("K", gi.GP.k) ]
+       ~block:(GP.threads_per_block cfg, 1, 1))
+
 let fit_gemm_sampler ?(warmup = 10_000) ?dtypes rng device =
   Sampler.fit ~warmup rng Config_space.gemm ~legal:(fun cfg ->
       gemm_legal device (random_gemm_input ?dtypes rng) cfg)
@@ -61,8 +82,8 @@ let fit_conv_sampler ?(warmup = 10_000) ?dtypes rng device =
   Sampler.fit ~warmup rng Config_space.gemm ~legal:(fun cfg ->
       conv_legal device (random_conv_input ?dtypes rng) cfg)
 
-let generate_chunk ~noise ~sampler rng device ~n ~random_input ~legal ~features
-    ~measure =
+let generate_chunk ~noise ~sampler ~static_ok rng device ~n ~random_input ~legal
+    ~features ~measure =
   let dim = Features.dim in
   let flog = Mlp.Tensor.create n dim in
   let fraw = Mlp.Tensor.create n dim in
@@ -70,7 +91,14 @@ let generate_chunk ~noise ~sampler rng device ~n ~random_input ~legal ~features
   let filled = ref 0 in
   while !filled < n do
     let input = random_input rng in
-    match Sampler.sample_legal rng sampler ~legal:(fun c -> legal device input c) with
+    let draw =
+      let legal c = legal device input c in
+      match static_ok with
+      | None -> Sampler.sample_legal rng sampler ~legal
+      | Some ok ->
+        Sampler.sample_verified rng sampler ~legal ~verify:(fun c -> ok input c)
+    in
+    match draw with
     | None -> ()
     | Some cfg_array ->
       (match measure rng device input cfg_array ~noise with
@@ -89,14 +117,14 @@ let generate_chunk ~noise ~sampler rng device ~n ~random_input ~legal ~features
 (* Benchmarking sampled kernels is embarrassingly parallel: each domain
    gets an independent PRNG split off the caller's and fills its own
    chunk (the sampler's fitted marginals are shared read-only). *)
-let generate_generic ?(domains = 1) ~op ~noise ~sampler rng device ~n ~random_input
-    ~legal ~features ~measure () =
+let generate_generic ?(domains = 1) ?static_ok ~op ~noise ~sampler rng device ~n
+    ~random_input ~legal ~features ~measure () =
   let dim = Features.dim in
   let rngs = Array.init (max 1 domains) (fun _ -> Util.Rng.split rng) in
   let chunks =
     Util.Parallel.run_chunks ~domains ~total:n (fun ~chunk ~size ->
-        generate_chunk ~noise ~sampler rngs.(chunk) device ~n:size ~random_input
-          ~legal ~features ~measure)
+        generate_chunk ~noise ~sampler ~static_ok rngs.(chunk) device ~n:size
+          ~random_input ~legal ~features ~measure)
   in
   let flog = Mlp.Tensor.create n dim in
   let fraw = Mlp.Tensor.create n dim in
@@ -126,20 +154,22 @@ let measure_conv rng device input cfg_array ~noise =
   | _ -> None
 
 let generate_gemm ?(domains = 1) ?dtypes ?(noise = Gpu.Executor.default_noise)
-    ?sampler rng device ~n =
+    ?sampler ?(verify = false) rng device ~n =
   let sampler =
     match sampler with Some s -> s | None -> fit_gemm_sampler ?dtypes rng device
   in
-  generate_generic ~domains ~op:`Gemm ~noise ~sampler rng device ~n
+  let static_ok = if verify then Some gemm_static_ok else None in
+  generate_generic ~domains ?static_ok ~op:`Gemm ~noise ~sampler rng device ~n
     ~random_input:(random_gemm_input ?dtypes)
     ~legal:gemm_legal ~features:Features.gemm_features ~measure:measure_gemm ()
 
 let generate_conv ?(domains = 1) ?dtypes ?(noise = Gpu.Executor.default_noise)
-    ?sampler rng device ~n =
+    ?sampler ?(verify = false) rng device ~n =
   let sampler =
     match sampler with Some s -> s | None -> fit_conv_sampler ?dtypes rng device
   in
-  generate_generic ~domains ~op:`Conv ~noise ~sampler rng device ~n
+  let static_ok = if verify then Some conv_static_ok else None in
+  generate_generic ~domains ?static_ok ~op:`Conv ~noise ~sampler rng device ~n
     ~random_input:(random_conv_input ?dtypes)
     ~legal:conv_legal ~features:Features.conv_features ~measure:measure_conv ()
 

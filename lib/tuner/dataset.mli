@@ -32,6 +32,14 @@ val gemm_legal :
 
 val conv_legal : Gpu.Device.t -> Codegen.Conv_params.input -> int array -> bool
 
+val gemm_static_ok : Codegen.Gemm_params.input -> int array -> bool
+(** Static legality oracle: generate the kernel and accept iff
+    {!Ptx.Verify.run} reports no errors. Requires the configuration to
+    already be structurally legal (pair with {!gemm_legal} or use
+    {!Sampler.sample_verified}). *)
+
+val conv_static_ok : Codegen.Conv_params.input -> int array -> bool
+
 val fit_gemm_sampler :
   ?warmup:int -> ?dtypes:Ptx.Types.dtype list -> Util.Rng.t -> Gpu.Device.t ->
   Sampler.t
@@ -48,6 +56,7 @@ val generate_gemm :
   ?dtypes:Ptx.Types.dtype list ->
   ?noise:float ->
   ?sampler:Sampler.t ->
+  ?verify:bool ->
   Util.Rng.t ->
   Gpu.Device.t ->
   n:int ->
@@ -55,13 +64,15 @@ val generate_gemm :
 (** Generate [n] measured samples. A pre-fitted sampler can be supplied
     to skip the warm-up. [domains > 1] fans the benchmarking loop out
     over OCaml 5 domains (deterministic for fixed seed and domain
-    count). *)
+    count). [verify] (default false) additionally gates every accepted
+    configuration on the static verifier ({!gemm_static_ok}). *)
 
 val generate_conv :
   ?domains:int ->
   ?dtypes:Ptx.Types.dtype list ->
   ?noise:float ->
   ?sampler:Sampler.t ->
+  ?verify:bool ->
   Util.Rng.t ->
   Gpu.Device.t ->
   n:int ->

@@ -43,6 +43,17 @@ let sample_legal ?(max_tries = 1000) rng t ~legal =
   in
   go max_tries
 
+let sample_verified ?(max_tries = 1000) rng t ~legal ~verify =
+  let rec go tries =
+    if tries = 0 then None
+    else
+      let cfg = sample rng t in
+      (* Legality is the cheap structural filter; the static verifier
+         only runs on configurations that survive it. *)
+      if legal cfg && verify cfg then Some cfg else go (tries - 1)
+  in
+  go max_tries
+
 let acceptance_rate ~trials ~sample ~legal =
   let accepted = ref 0 in
   for _ = 1 to trials do

@@ -44,6 +44,19 @@ val sample_legal :
   ?max_tries:int -> Util.Rng.t -> t -> legal:(int array -> bool) -> int array option
 (** Rejection-sample until [legal] accepts (default 1000 tries). *)
 
+val sample_verified :
+  ?max_tries:int ->
+  Util.Rng.t ->
+  t ->
+  legal:(int array -> bool) ->
+  verify:(int array -> bool) ->
+  int array option
+(** Like {!sample_legal}, but additionally requires [verify] — intended
+    to be a static-verifier oracle (e.g. {!Dataset.gemm_static_ok}),
+    which runs only on configurations [legal] already accepted, so the
+    expensive kernel generation + analysis is paid ~1 time per accepted
+    draw rather than per rejection. *)
+
 val acceptance_rate :
   trials:int -> sample:(unit -> int array) -> legal:(int array -> bool) -> float
 (** Monte-Carlo acceptance estimate used by the Table 1 reproduction. *)

@@ -113,6 +113,35 @@ let test_conv_cost_matches_gemm_view () =
       (conv.coalescing < gemm.coalescing)
   end
 
+let test_bank_conflicts_change_shared_cost () =
+  (* A stride-1 fragment tiling (ms=1) is bank-conflict-free; widening the
+     per-thread tile to ms=8 makes A-fragment loads step 8 words per lane,
+     which the analyzer must flag and the timing model must charge for. *)
+  let device =
+    List.find (fun (d : Gpu.Device.t) -> d.name = "Tesla P100") Gpu.Device.all
+  in
+  let input = GP.input 256 256 256 in
+  let free = { GP.ms = 1; ns = 4; ks = 1; ml = 8; nl = 32; u = 8; kl = 1;
+               kg = 1; vec = 1; db = 1 } in
+  let conf = { free with GP.ms = 8; ml = 64 } in
+  Alcotest.(check bool) "both tilings legal" true
+    (GP.structurally_legal input free && GP.structurally_legal input conf);
+  let c_free = GP.cost input free and c_conf = GP.cost input conf in
+  Alcotest.(check (float 1e-9)) "stride-1 tiling is conflict-free" 1.0
+    c_free.shared_conflict_factor;
+  Alcotest.(check bool) "stride-8 fragments conflict" true
+    (c_conf.shared_conflict_factor > 1.2);
+  match
+    ( Gpu.Perf_model.predict device c_conf,
+      Gpu.Perf_model.predict device { c_conf with shared_conflict_factor = 1.0 } )
+  with
+  | Some r, Some r0 ->
+    Alcotest.(check (float 1e-12))
+      "shared-pipe time scales by the conflict factor"
+      (r0.shared_seconds *. c_conf.shared_conflict_factor)
+      r.shared_seconds
+  | _ -> Alcotest.fail "predict returned None"
+
 let () =
   Alcotest.run "cost-model"
     [ ("invariants (300 random legal pairs)",
@@ -126,4 +155,6 @@ let () =
       ("scaling",
        [ quick "work scales with K" test_bigger_problem_more_work;
          quick "fp16x2 packing" test_fp16_packs;
-         quick "conv = gemm view + gather" test_conv_cost_matches_gemm_view ]) ]
+         quick "conv = gemm view + gather" test_conv_cost_matches_gemm_view;
+         quick "bank conflicts change shared cost"
+           test_bank_conflicts_change_shared_cost ]) ]

@@ -235,6 +235,32 @@ let test_trap_budget () =
       Ptx.Interp.run ~max_dynamic:10_000 p ~grid:(1, 1, 1) ~block:(1, 1, 1)
         ~bufs:[ ("C", Array.make 1 0.0) ] ~iargs:[])
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let expect_trap_msg name f check =
+  match f () with
+  | exception Ptx.Interp.Trap msg ->
+    if not (check msg) then Alcotest.failf "%s: unexpected trap message %S" name msg
+  | _ -> Alcotest.failf "%s: expected Trap" name
+
+(* Trap messages locate the fault by pc and nearest preceding label. *)
+let test_trap_message_location () =
+  let b = B.create ~name:"locmsg" ~dtype:F32 in
+  let (_ : int) = B.buf_param b "C" in
+  B.set_shared b ~words:4 ~int_words:0;
+  let l = B.fresh_label b "body" in
+  B.place_label b l;
+  B.emit b (I.Mov (B.fresh_i b, Iimm 0));
+  B.emit b (I.St_shared (Iimm 9, Fimm 1.0));
+  let p = B.finish b in
+  expect_trap_msg "oob shared store" (fun () ->
+      Ptx.Interp.run p ~grid:(1, 1, 1) ~block:(1, 1, 1)
+        ~bufs:[ ("C", Array.make 1 0.0) ] ~iargs:[])
+    (fun msg -> contains msg "pc " && contains msg ("label " ^ l))
+
 let test_trap_barrier_divergence () =
   (* Threads disagree on whether they hit the barrier: tid 0 jumps over
      it. *)
@@ -248,9 +274,10 @@ let test_trap_barrier_divergence () =
   B.emit b I.Bar;
   B.place_label b skip;
   let p = B.finish b in
-  expect_trap "barrier divergence" (fun () ->
+  expect_trap_msg "barrier divergence" (fun () ->
       Ptx.Interp.run p ~grid:(1, 1, 1) ~block:(2, 1, 1)
         ~bufs:[ ("C", Array.make 1 0.0) ] ~iargs:[])
+    (fun msg -> contains msg "barrier divergence" && contains msg "thread")
 
 (* --- validation -------------------------------------------------------- *)
 
@@ -295,6 +322,30 @@ let test_analysis_counts () =
   Alcotest.(check int) "2 global loads" 2 mix.ld_global;
   Alcotest.(check int) "1 global store" 1 mix.st_global;
   Alcotest.(check int) "1 fp add" 1 mix.fp_other
+
+let test_between_labels_result () =
+  let b = B.create ~name:"bl" ~dtype:F32 in
+  let c_slot = B.buf_param b "C" in
+  let l0 = B.fresh_label b "first" in
+  let l1 = B.fresh_label b "second" in
+  B.place_label b l0;
+  let x = B.mov_i b (Iimm 1) in
+  B.emit b (I.Iadd (x, Ireg x, Iimm 2));
+  B.place_label b l1;
+  B.emit b (I.St_global (c_slot, Iimm 0, Fimm 0.0));
+  let p = B.finish b in
+  (match Ptx.Analysis.between_labels p ~start:l0 ~stop:l1 with
+   | Ok m ->
+     Alcotest.(check int) "mov between" 1 m.Ptx.Analysis.mov;
+     Alcotest.(check int) "ialu between" 1 m.Ptx.Analysis.ialu;
+     Alcotest.(check int) "no store between" 0 m.Ptx.Analysis.st_global
+   | Error e -> Alcotest.failf "expected Ok, got %s" e);
+  (match Ptx.Analysis.between_labels p ~start:"nowhere" ~stop:l1 with
+   | Error e -> Alcotest.(check bool) "names label" true (contains e "nowhere")
+   | Ok _ -> Alcotest.fail "missing label accepted");
+  match Ptx.Analysis.between_labels p ~start:l1 ~stop:l0 with
+  | Error e -> Alcotest.(check bool) "says precedes" true (contains e "precedes")
+  | Ok _ -> Alcotest.fail "reversed labels accepted"
 
 let test_disasm_roundtrip_markers () =
   let p = vector_add 4 in
@@ -452,6 +503,7 @@ let () =
        [ quick "oob global" test_trap_oob_global;
          quick "missing buffer" test_trap_missing_buffer;
          quick "instruction budget" test_trap_budget;
+         quick "trap message locates pc/label" test_trap_message_location;
          quick "barrier divergence" test_trap_barrier_divergence ]);
       ("validate",
        [ quick "undefined label" test_validate_undefined_label;
@@ -459,6 +511,7 @@ let () =
          quick "duplicate label" test_validate_duplicate_label ]);
       ("analysis",
        [ quick "static counts" test_analysis_counts;
+         quick "between_labels result paths" test_between_labels_result;
          quick "disasm markers" test_disasm_roundtrip_markers ]);
       ("assembler",
        [ quick "roundtrip vadd" test_roundtrip_vadd;
