@@ -84,7 +84,8 @@ let bar_chart ~series rows =
 "
 
 let time_section name f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  Printf.printf "[%s completed in %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
-  r
+  Obs.Span.with_ ("bench." ^ name) (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      Printf.printf "[%s completed in %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+      r)

@@ -1,0 +1,268 @@
+(* isaac_profile: replay a JSONL trace recorded under ISAAC_TRACE and
+   print a human-readable profile: per-phase time breakdown (inclusive
+   and self time per span path), counter and histogram summaries, series
+   endpoints, and the top-N hottest benchmarked configurations.
+
+     ISAAC_TRACE=trace.jsonl isaac_tune --samples 500 -o t.profile
+     isaac_profile trace.jsonl --top 10 *)
+
+open Cmdliner
+module J = Obs.Json
+
+let fmt_secs s =
+  if Float.abs s >= 1.0 then Printf.sprintf "%.2f s" s
+  else if Float.abs s >= 1e-3 then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else Printf.sprintf "%.1f us" (s *. 1e6)
+
+let str_field k ev = Option.bind (J.member k ev) J.to_str
+let num_field k ev = Option.bind (J.member k ev) J.to_float
+let int_field k ev = Option.bind (J.member k ev) J.to_int
+
+(* --- span aggregation --------------------------------------------------- *)
+
+type phase = {
+  mutable count : int;
+  mutable incl : float;       (* sum of durations of spans at this path *)
+  mutable child : float;      (* sum of durations of direct children *)
+  mutable errors : int;
+}
+
+let parent_path p =
+  match String.rindex_opt p '/' with
+  | None -> None
+  | Some i -> Some (String.sub p 0 i)
+
+let phase_table events =
+  let tbl : (string, phase) Hashtbl.t = Hashtbl.create 32 in
+  let get path =
+    match Hashtbl.find_opt tbl path with
+    | Some ph -> ph
+    | None ->
+      let ph = { count = 0; incl = 0.0; child = 0.0; errors = 0 } in
+      Hashtbl.add tbl path ph;
+      ph
+  in
+  List.iter
+    (fun ev ->
+      if str_field "ev" ev = Some "span" then
+        match (str_field "path" ev, num_field "dur" ev) with
+        | Some path, Some dur ->
+          let ph = get path in
+          ph.count <- ph.count + 1;
+          ph.incl <- ph.incl +. dur;
+          if J.member "error" ev = Some (J.Bool true) then
+            ph.errors <- ph.errors + 1;
+          (match parent_path path with
+           | Some p -> let pp = get p in pp.child <- pp.child +. dur
+           | None -> ())
+        | _ -> ())
+    events;
+  tbl
+
+let print_phases tbl =
+  let rows =
+    Hashtbl.fold (fun path ph acc -> (path, ph) :: acc) tbl []
+    |> List.sort (fun (_, a) (_, b) -> compare b.incl a.incl)
+  in
+  if rows = [] then print_endline "no span events in trace."
+  else begin
+    let total =
+      List.fold_left
+        (fun acc (path, ph) ->
+          if parent_path path = None then acc +. ph.incl else acc)
+        0.0 rows
+    in
+    Util.Table.print
+      ~header:[| "phase"; "count"; "inclusive"; "self"; "% of total"; "errors" |]
+      (List.map
+         (fun (path, ph) ->
+           let self = Float.max 0.0 (ph.incl -. ph.child) in
+           [| path;
+              string_of_int ph.count;
+              fmt_secs ph.incl;
+              fmt_secs self;
+              (if total > 0.0 then
+                 Printf.sprintf "%.1f%%" (100.0 *. ph.incl /. total)
+               else "-");
+              (if ph.errors = 0 then "" else string_of_int ph.errors) |])
+         rows)
+  end
+
+(* --- counters / histograms / series ------------------------------------- *)
+
+let print_counters events =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun ev ->
+      if str_field "ev" ev = Some "counter" then
+        match (str_field "name" ev, int_field "value" ev) with
+        | Some name, Some v ->
+          Hashtbl.replace tbl name
+            (v + Option.value ~default:0 (Hashtbl.find_opt tbl name))
+        | _ -> ())
+    events;
+  let rows =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  if rows = [] then print_endline "no counter events in trace."
+  else
+    Util.Table.print
+      ~header:[| "counter"; "value" |]
+      (List.map (fun (k, v) -> [| k; string_of_int v |]) rows)
+
+let print_hists events =
+  let rows =
+    List.filter_map
+      (fun ev ->
+        if str_field "ev" ev <> Some "hist" then None
+        else
+          match str_field "name" ev with
+          | None -> None
+          | Some name ->
+            let f k = match num_field k ev with
+              | Some v -> fmt_secs v
+              | None -> "-"
+            in
+            Some
+              [| name;
+                 (match int_field "count" ev with
+                  | Some c -> string_of_int c
+                  | None -> "-");
+                 f "mean"; f "p50"; f "p90"; f "p99"; f "max" |])
+      events
+  in
+  if rows <> [] then begin
+    print_endline "";
+    Util.Table.print
+      ~header:[| "histogram"; "count"; "mean"; "p50"; "p90"; "p99"; "max" |]
+      rows
+  end
+
+let print_series events =
+  let tbl : (string, (float * float) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun ev ->
+      if str_field "ev" ev = Some "point" then
+        match (str_field "series" ev, num_field "x" ev, num_field "y" ev) with
+        | Some s, Some x, Some y ->
+          (match Hashtbl.find_opt tbl s with
+           | Some l -> l := (x, y) :: !l
+           | None ->
+             order := s :: !order;
+             Hashtbl.add tbl s (ref [ (x, y) ]))
+        | _ -> ())
+    events;
+  if !order <> [] then begin
+    print_endline "";
+    Util.Table.print
+      ~header:[| "series"; "points"; "first"; "last"; "min"; "max" |]
+      (List.rev_map
+         (fun s ->
+           let pts = List.rev !(Hashtbl.find tbl s) in
+           let ys = List.map snd pts in
+           let first = List.hd ys and last = List.nth ys (List.length ys - 1) in
+           let mn = List.fold_left Float.min first ys in
+           let mx = List.fold_left Float.max first ys in
+           let g = Printf.sprintf "%.4g" in
+           [| s; string_of_int (List.length pts); g first; g last; g mn; g mx |])
+         !order)
+  end
+
+(* --- hottest configurations --------------------------------------------- *)
+
+let print_configs ~top events =
+  let configs =
+    List.filter_map
+      (fun ev ->
+        if str_field "ev" ev <> Some "config" then None
+        else
+          match (str_field "config" ev, num_field "seconds" ev) with
+          | Some cfg, Some secs ->
+            Some
+              ( cfg,
+                Option.value ~default:"-" (str_field "phase" ev),
+                secs,
+                Option.value ~default:Float.nan (num_field "tflops" ev) )
+          | _ -> None)
+      events
+  in
+  let n = List.length configs in
+  if n = 0 then print_endline "no config events in trace."
+  else begin
+    let sorted =
+      List.sort (fun (_, _, a, _) (_, _, b, _) -> compare b a) configs
+    in
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | hd :: tl -> hd :: take (k - 1) tl
+    in
+    Printf.printf "%d benchmarked configurations; %d slowest:\n" n (min top n);
+    Util.Table.print
+      ~header:[| "config"; "phase"; "bench cost"; "TFLOPS" |]
+      (List.map
+         (fun (cfg, phase, secs, tflops) ->
+           [| cfg; phase; fmt_secs secs; Printf.sprintf "%.2f" tflops |])
+         (take top sorted))
+  end
+
+(* --- driver ------------------------------------------------------------- *)
+
+let section title =
+  Printf.printf "\n-- %s %s\n" title
+    (String.make (max 0 (60 - String.length title)) '-')
+
+let run path top =
+  let events =
+    try Obs.Trace.read_file path
+    with Obs.Json.Parse_error msg ->
+      Printf.eprintf "isaac_profile: %s: not a valid JSONL trace (%s)\n" path msg;
+      exit 1
+  in
+  (match
+     List.find_opt (fun ev -> str_field "ev" ev = Some "trace_start") events
+   with
+   | Some ev ->
+     Printf.printf "trace %s" path;
+     (match Option.bind (J.member "argv" ev) (function
+        | J.List l -> Some (String.concat " " (List.filter_map J.to_str l))
+        | _ -> None)
+      with
+      | Some argv -> Printf.printf " (argv: %s)" argv
+      | None -> ());
+     print_newline ()
+   | None -> Printf.printf "trace %s (no trace_start header)\n" path);
+  (match
+     List.find_opt (fun ev -> str_field "ev" ev = Some "trace_end") events
+   with
+   | Some ev ->
+     (match num_field "ts" ev with
+      | Some ts -> Printf.printf "total traced time: %s\n" (fmt_secs ts)
+      | None -> ())
+   | None -> print_endline "warning: no trace_end event (truncated trace?)");
+  section "time by phase";
+  print_phases (phase_table events);
+  section "counters";
+  print_counters events;
+  print_hists events;
+  print_series events;
+  section "hottest configurations";
+  print_configs ~top events
+
+let cmd =
+  let trace =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
+         ~doc:"JSONL trace recorded with ISAAC_TRACE=$(docv).")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N"
+         ~doc:"How many of the costliest benchmarked configs to list.")
+  in
+  Cmd.v
+    (Cmd.info "isaac_profile"
+       ~doc:"Summarize an ISAAC_TRACE profile: phase times, counters, hot configs")
+    Term.(const run $ trace $ top)
+
+let () = exit (Cmd.eval cmd)

@@ -11,10 +11,14 @@ let legal (d : Device.t) (c : Kernel_cost.t) =
 
 let measure ?(noise = default_noise) rng d c =
   match Perf_model.predict d c with
-  | None -> None
+  | None ->
+    Obs.Metrics.incr "executor.illegal";
+    None
   | Some report ->
     let jitter = exp (noise *. Util.Rng.gaussian rng) in
     let seconds = report.seconds *. jitter in
+    Obs.Metrics.incr "executor.measurements";
+    Obs.Metrics.observe "executor.kernel_seconds" seconds;
     Some { tflops = c.useful_flops /. seconds /. 1e12; seconds; report }
 
 let measure_best_of ?(noise = default_noise) ?(reps = 3) rng d c =

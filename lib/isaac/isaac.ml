@@ -35,17 +35,33 @@ let tune ?samples ?(epochs = 20) ?arch ?dtypes ?(noise = Gpu.Executor.default_no
   let samples =
     match samples with Some s -> s | None -> Util.Env_config.scaled 4000
   in
-  Log.info (fun m ->
-      m "tuning %s on %s: %d samples, %d domains"
-        (match op with `Gemm -> "GEMM" | `Conv -> "CONV")
-        device.Gpu.Device.name samples domains);
-  let dataset =
-    match op with
-    | `Gemm -> Tuner.Dataset.generate_gemm ~domains ?dtypes ~noise rng device ~n:samples
-    | `Conv -> Tuner.Dataset.generate_conv ~domains ?dtypes ~noise rng device ~n:samples
-  in
-  let profile = Tuner.Profile.train ?arch ~epochs rng dataset in
-  of_profile device profile
+  let op_name = match op with `Gemm -> "gemm" | `Conv -> "conv" in
+  Obs.Span.with_ "tune"
+    ~meta:(fun () ->
+      [ ("op", Obs.Json.String op_name);
+        ("device", Obs.Json.String device.Gpu.Device.name);
+        ("samples", Obs.Json.Int samples);
+        ("epochs", Obs.Json.Int epochs) ])
+    (fun () ->
+      Log.info (fun m ->
+          m "tuning %s on %s: %d samples, %d domains"
+            (match op with `Gemm -> "GEMM" | `Conv -> "CONV")
+            device.Gpu.Device.name samples domains);
+      let dataset =
+        Obs.Span.with_ "tune.dataset" (fun () ->
+            match op with
+            | `Gemm ->
+              Tuner.Dataset.generate_gemm ~domains ?dtypes ~noise rng device
+                ~n:samples
+            | `Conv ->
+              Tuner.Dataset.generate_conv ~domains ?dtypes ~noise rng device
+                ~n:samples)
+      in
+      let profile =
+        Obs.Span.with_ "tune.train" (fun () ->
+            Tuner.Profile.train ?arch ~epochs rng dataset)
+      in
+      of_profile device profile)
 
 let profile t = t.profile
 let device t = t.device
@@ -62,10 +78,16 @@ let plan_of_result (r : Tuner.Search.result) =
 
 let plan_gemm ?top_k t (i : GP.input) =
   match Hashtbl.find_opt t.gemm_cache i with
-  | Some cached -> cached
+  | Some cached ->
+    Obs.Metrics.incr "plan.cache_hit";
+    cached
   | None ->
+    Obs.Metrics.incr "plan.cache_miss";
     let result =
-      Tuner.Search.exhaustive_gemm ?top_k t.rng t.device ~profile:t.profile i
+      Obs.Span.with_ "plan"
+        ~meta:(fun () -> [ ("op", Obs.Json.String "gemm") ])
+        (fun () ->
+          Tuner.Search.exhaustive_gemm ?top_k t.rng t.device ~profile:t.profile i)
     in
     let plan = Option.map plan_of_result result in
     Hashtbl.replace t.gemm_cache i plan;
@@ -73,10 +95,16 @@ let plan_gemm ?top_k t (i : GP.input) =
 
 let plan_conv ?top_k t (i : CP.input) =
   match Hashtbl.find_opt t.conv_cache i with
-  | Some cached -> cached
+  | Some cached ->
+    Obs.Metrics.incr "plan.cache_hit";
+    cached
   | None ->
+    Obs.Metrics.incr "plan.cache_miss";
     let result =
-      Tuner.Search.exhaustive_conv ?top_k t.rng t.device ~profile:t.profile i
+      Obs.Span.with_ "plan"
+        ~meta:(fun () -> [ ("op", Obs.Json.String "conv") ])
+        (fun () ->
+          Tuner.Search.exhaustive_conv ?top_k t.rng t.device ~profile:t.profile i)
     in
     let plan = Option.map plan_of_result result in
     Hashtbl.replace t.conv_cache i plan;

@@ -16,6 +16,12 @@ let fit ?(batch_size = 64) ?(epochs = 20) ?(adam = Network.default_adam) ?valida
     rng net ~x ~y =
   let n = x.Tensor.rows in
   assert (Array.length y = n);
+  Obs.Span.with_ "mlp.fit"
+    ~meta:(fun () ->
+      [ ("epochs", Obs.Json.Int epochs);
+        ("batch_size", Obs.Json.Int batch_size);
+        ("n", Obs.Json.Int n) ])
+    (fun () ->
   let cols = x.Tensor.cols in
   let order = Array.init n (fun i -> i) in
   let train_hist = Array.make epochs 0.0 in
@@ -39,11 +45,16 @@ let fit ?(batch_size = 64) ?(epochs = 20) ?(adam = Network.default_adam) ?valida
       i := !i + batch_size
     done;
     train_hist.(epoch) <- (if !batches = 0 then Float.nan else !loss_sum /. float_of_int !batches);
+    let fe = float_of_int epoch in
+    Obs.Metrics.point "mlp.train_mse" ~x:fe ~y:train_hist.(epoch);
+    Obs.Metrics.point "mlp.lr" ~x:fe ~y:adam.Network.lr;
     match validation with
-    | Some (xv, yv) -> val_hist.(epoch) <- Network.mse net ~x:xv ~y:yv
+    | Some (xv, yv) ->
+      val_hist.(epoch) <- Network.mse net ~x:xv ~y:yv;
+      Obs.Metrics.point "mlp.val_mse" ~x:fe ~y:val_hist.(epoch)
     | None -> ()
   done;
-  { epoch_train_mse = train_hist; epoch_val_mse = val_hist }
+  { epoch_train_mse = train_hist; epoch_val_mse = val_hist })
 
 let split rng ~test_fraction ~x ~y =
   let n = x.Tensor.rows in

@@ -1,0 +1,41 @@
+(** Named counters, histograms and time-series points.
+
+    Counters and histograms accumulate in-process (guarded by one global
+    mutex, so OCaml 5 worker domains can report concurrently) and are
+    emitted as [counter] / [hist] summary events when the trace sink
+    closes. Series points ([point] events) are written through
+    immediately — they are low-volume by construction (one per training
+    epoch, not one per sample).
+
+    Every entry point is a no-op returning immediately when the sink is
+    disabled; nothing is accumulated, so an untraced process pays one
+    boolean load per call. *)
+
+val incr : string -> unit
+(** [incr name] adds 1 to counter [name], creating it at 0. *)
+
+val add : string -> int -> unit
+(** [add name n] adds [n] (may be negative) to counter [name]. *)
+
+val observe : string -> float -> unit
+(** [observe name v] records one histogram observation. The summary
+    event carries count/sum/min/max/mean and p50/p90/p99 quantiles
+    estimated from a deterministic decimating reservoir (exact below
+    4096 observations, every 2^k-th sample beyond). *)
+
+val point : ?unit_:string -> string -> x:float -> y:float -> unit
+(** [point series ~x ~y] emits one [point] event immediately (e.g.
+    per-epoch training loss, [x] = epoch). [unit_] annotates the y
+    axis (["mse"], ["s"], …). *)
+
+val counter_value : string -> int option
+(** Current value of a counter, [None] if never written (or disabled
+    throughout). Exposed for tests. *)
+
+val flush : unit -> unit
+(** Emit [counter] and [hist] summary events for everything accumulated
+    and clear the tables. Registered automatically with
+    {!Trace.at_stop}; callable earlier to checkpoint a long run. *)
+
+val reset : unit -> unit
+(** Drop all accumulated state without emitting. For tests. *)

@@ -1,0 +1,40 @@
+(* Reversed stack of open span names, one per domain. *)
+let stack : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let path_of rev_names = String.concat "/" (List.rev rev_names)
+
+let current_path () = path_of (Domain.DLS.get stack)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Float.max 0.0 (Unix.gettimeofday () -. t0))
+
+let with_ ?meta name f =
+  if not (Trace.enabled ()) then f ()
+  else begin
+    let outer = Domain.DLS.get stack in
+    let rev_names = name :: outer in
+    Domain.DLS.set stack rev_names;
+    let start = Trace.now () in
+    let close ~ok =
+      let dur = Trace.now () -. start in
+      Domain.DLS.set stack outer;
+      let fields =
+        [ ("name", Json.String name);
+          ("path", Json.String (path_of rev_names));
+          ("start", Json.Float start);
+          ("dur", Json.Float dur) ]
+      in
+      let fields = if ok then fields else fields @ [ ("error", Json.Bool true) ] in
+      let fields =
+        match meta with
+        | None -> fields
+        | Some m -> fields @ [ ("meta", Json.Obj (m ())) ]
+      in
+      Trace.emit "span" fields
+    in
+    match f () with
+    | v -> close ~ok:true; v
+    | exception e -> close ~ok:false; raise e
+  end

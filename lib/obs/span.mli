@@ -1,0 +1,32 @@
+(** Hierarchical timing spans.
+
+    [with_ "phase" f] times [f ()] on the monotonized clock and, when the
+    trace sink is enabled, emits a [span] event on completion carrying
+    the span's slash-joined ancestry path (["tune/dataset/benchmark"]).
+    Nesting is tracked per domain ({!Domain.DLS}): spans opened inside a
+    parallel worker domain start a fresh path rather than attaching to
+    the spawning domain's open spans, so paths never interleave across
+    domains (the profile report attributes worker time to the worker's
+    own top-level span).
+
+    When the sink is disabled, [with_ name f] is exactly [f ()] — no
+    clock read, no allocation beyond the closure the caller already
+    built. *)
+
+val with_ :
+  ?meta:(unit -> (string * Json.t) list) -> string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f], emitting a [span] event when tracing. The
+    [meta] thunk is forced only when enabled, at span close — use it for
+    fields that are costly to render (config descriptions, counts). If
+    [f] raises, the span is still closed with an ["error":true] field
+    and the exception is re-raised. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** [timed f] is [(f (), elapsed_seconds)] (clamped non-negative),
+    independent of the sink — the building block for callers that want a
+    duration without emitting anything. *)
+
+val current_path : unit -> string
+(** Slash-joined names of the open spans of the calling domain, [""] at
+    top level. Exposed for tests and for custom events that want to
+    attach themselves to the active phase. *)

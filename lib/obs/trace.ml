@@ -1,0 +1,97 @@
+type sink = {
+  oc : out_channel;
+  t0 : float;  (* monotonic origin of the trace *)
+  lock : Mutex.t;
+}
+
+let sink : sink option ref = ref None
+let on = ref false
+let finalizers : (unit -> unit) list ref = ref []
+let exit_hook_installed = ref false
+
+let enabled () = !on
+
+(* This Unix build has no [clock_gettime]; monotonize gettimeofday by
+   clamping to the largest timestamp handed out so far, so a wall-clock
+   step backwards can never produce a negative duration. *)
+let high_water = Atomic.make 0.0
+
+let mono () =
+  let t = Unix.gettimeofday () in
+  let rec clamp () =
+    let hw = Atomic.get high_water in
+    if t <= hw then hw
+    else if Atomic.compare_and_set high_water hw t then t
+    else clamp ()
+  in
+  clamp ()
+
+let now () = match !sink with None -> 0.0 | Some s -> mono () -. s.t0
+
+let emit ev fields =
+  match !sink with
+  | None -> ()
+  | Some s ->
+    let line =
+      Json.to_string
+        (Json.Obj (("ev", Json.String ev) :: ("ts", Json.Float (mono () -. s.t0)) :: fields))
+    in
+    Mutex.lock s.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock s.lock)
+      (fun () ->
+        output_string s.oc line;
+        output_char s.oc '\n')
+
+let stop () =
+  match !sink with
+  | None -> ()
+  | Some s ->
+    List.iter (fun f -> f ()) (List.rev !finalizers);
+    emit "trace_end" [];
+    (* Disable before closing so a finalizer-triggered emit from another
+       domain cannot race a closed channel. *)
+    on := false;
+    sink := None;
+    close_out s.oc
+
+let at_stop f = finalizers := f :: !finalizers
+
+let start ~path =
+  if !sink = None then begin
+    let oc = open_out path in
+    sink := Some { oc; t0 = mono (); lock = Mutex.create () };
+    on := true;
+    if not !exit_hook_installed then begin
+      exit_hook_installed := true;
+      at_exit stop
+    end;
+    emit "trace_start"
+      [ ("version", Json.Int 1);
+        ("unix_time", Json.Float (Unix.gettimeofday ()));
+        ("argv", Json.List (Array.to_list (Array.map (fun a -> Json.String a) Sys.argv))) ]
+  end
+
+(* Honour ISAAC_TRACE as soon as any instrumented code touches this
+   module, so binaries need no explicit initialization. *)
+let () =
+  match Sys.getenv_opt "ISAAC_TRACE" with
+  | Some path when path <> "" -> start ~path
+  | _ -> ()
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go lineno acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line when String.trim line = "" -> go (lineno + 1) acc
+        | line -> (
+          match Json.of_string line with
+          | v -> go (lineno + 1) (v :: acc)
+          | exception Json.Parse_error msg ->
+            raise (Json.Parse_error (Printf.sprintf "line %d: %s" lineno msg)))
+      in
+      go 1 [])

@@ -1,0 +1,45 @@
+(** JSONL trace sink, gated by the [ISAAC_TRACE] environment variable.
+
+    When [ISAAC_TRACE=file.jsonl] is set, every subsystem that calls into
+    {!Obs} appends one JSON object per line to that file; when it is
+    unset, every entry point in this library reduces to a single boolean
+    load, so instrumented hot paths cost nothing measurable (the
+    acceptance bound is < 2% on a full tuning run; the no-op test in
+    [test/test_obs.ml] pins this).
+
+    The sink is safe to use concurrently from multiple OCaml 5 domains —
+    the tuner's benchmarking loops fan out — and event timestamps are
+    monotonized (wall clock clamped to its high-water mark, since this
+    Unix build lacks [clock_gettime]) so a clock step backwards can
+    never yield a negative duration. See DESIGN.md ("Observability")
+    for the field-by-field event schema. *)
+
+val enabled : unit -> bool
+(** Whether a sink is currently open. The one check every instrumented
+    call site performs first. *)
+
+val start : path:string -> unit
+(** Open (truncate) [path] and emit the [trace_start] header event.
+    No-op if a sink is already open. Called automatically at program
+    start when [ISAAC_TRACE] is set; exposed for tests and embedders. *)
+
+val stop : unit -> unit
+(** Flush registered finalizers (metric summaries), emit [trace_end],
+    close the sink. No-op when disabled. Runs automatically [at_exit]. *)
+
+val at_stop : (unit -> unit) -> unit
+(** Register a finalizer to run inside {!stop} before the sink closes
+    (used by {!Metrics} to emit its summary events). *)
+
+val now : unit -> float
+(** Monotonized seconds since the trace started (0.0 when disabled). *)
+
+val emit : string -> (string * Json.t) list -> unit
+(** [emit ev fields] appends [{"ev":ev,"ts":now(),...fields}] as one
+    line. Thread-safe; no-op when disabled. Callers must ensure field
+    names do not collide with ["ev"]/["ts"]. *)
+
+val read_file : string -> Json.t list
+(** Parse a trace file back into one value per line, skipping blank
+    lines. Raises [Json.Parse_error] (with the line number prepended) on
+    malformed input and [Sys_error] on I/O failure. *)

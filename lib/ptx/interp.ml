@@ -14,16 +14,53 @@ type counters = {
   mutable pred : int;
   mutable mov : int;
   mutable predicated_off : int;
+  mutable gld_transactions : int;
+  mutable gst_transactions : int;
+  mutable shared_transactions : int;
 }
 
 let zero_counters () =
   { ialu = 0; fma = 0; fp_other = 0; ld_global = 0; st_global = 0;
     ld_shared = 0; st_shared = 0; atom = 0; bar = 0; branch = 0;
-    pred = 0; mov = 0; predicated_off = 0 }
+    pred = 0; mov = 0; predicated_off = 0;
+    gld_transactions = 0; gst_transactions = 0; shared_transactions = 0 }
 
 let total c =
   c.ialu + c.fma + c.fp_other + c.ld_global + c.st_global + c.ld_shared
   + c.st_shared + c.atom + c.bar + c.branch + c.pred + c.mov
+
+let summary c =
+  Printf.sprintf
+    "dyn: total=%d ialu=%d fma=%d fp=%d ld.g=%d st.g=%d ld.s=%d st.s=%d \
+     atom=%d bar=%d bra=%d pred=%d mov=%d masked=%d gld.txn=%d gst.txn=%d \
+     smem.txn=%d"
+    (total c) c.ialu c.fma c.fp_other c.ld_global c.st_global c.ld_shared
+    c.st_shared c.atom c.bar c.branch c.pred c.mov c.predicated_off
+    c.gld_transactions c.gst_transactions c.shared_transactions
+
+(* Feed the per-run totals into the tracing subsystem (one call per
+   interpreted launch; a handful of no-ops when tracing is off). *)
+let obs_export c =
+  if Obs.Trace.enabled () then begin
+    Obs.Metrics.incr "interp.runs";
+    Obs.Metrics.add "interp.dyn.total" (total c);
+    Obs.Metrics.add "interp.dyn.ialu" c.ialu;
+    Obs.Metrics.add "interp.dyn.fma" c.fma;
+    Obs.Metrics.add "interp.dyn.fp_other" c.fp_other;
+    Obs.Metrics.add "interp.dyn.ld_global" c.ld_global;
+    Obs.Metrics.add "interp.dyn.st_global" c.st_global;
+    Obs.Metrics.add "interp.dyn.ld_shared" c.ld_shared;
+    Obs.Metrics.add "interp.dyn.st_shared" c.st_shared;
+    Obs.Metrics.add "interp.dyn.atom" c.atom;
+    Obs.Metrics.add "interp.dyn.bar_waits" c.bar;
+    Obs.Metrics.add "interp.dyn.branch" c.branch;
+    Obs.Metrics.add "interp.dyn.pred" c.pred;
+    Obs.Metrics.add "interp.dyn.mov" c.mov;
+    Obs.Metrics.add "interp.dyn.predicated_off" c.predicated_off;
+    Obs.Metrics.add "interp.txn.global_load" c.gld_transactions;
+    Obs.Metrics.add "interp.txn.global_store" c.gst_transactions;
+    Obs.Metrics.add "interp.txn.shared" c.shared_transactions
+  end
 
 exception Trap of string
 
@@ -51,11 +88,21 @@ type thread = {
   pregs : bool array;
   mutable pc : int;
   mutable done_ : bool;
+  lin : int;  (* linear thread index within the block (lane = lin mod 32) *)
   tid : int * int * int;
   ctaid : int * int * int;
 }
 
 type stop = Hit_bar | Hit_ret
+
+(* One shared-memory access group of the dynamic bank-conflict replay:
+   the accesses issued by the lanes of one warp for one dynamic
+   execution of one instruction. *)
+type sgroup = {
+  mutable s_addrs : int list;        (* distinct addresses seen *)
+  mutable s_banks : (int * int) list; (* bank -> distinct-address count *)
+  mutable s_passes : int;            (* serialized passes charged so far *)
+}
 
 let run ?(max_dynamic = 200_000_000) (p : Program.t) ~grid ~block ~bufs ~iargs =
   let gx, gy, gz = grid and bx, by, bz = block in
@@ -80,16 +127,28 @@ let run ?(max_dynamic = 200_000_000) (p : Program.t) ~grid ~block ~bufs ~iargs =
   let labels = Program.find_labels p in
   let body = p.body in
   let n_body = Array.length body in
+  let counters = zero_counters () in
+  (* Every trap raised during execution carries the counter totals
+     accumulated up to the fault — the "hardware counter" snapshot that
+     makes divergent or runaway kernels diagnosable post mortem. *)
   let trap_at pc fmt =
     Printf.ksprintf
-      (fun s -> raise (Trap (Printf.sprintf "%s at %s" s (describe_pc body pc))))
+      (fun s ->
+        raise
+          (Trap
+             (Printf.sprintf "%s at %s [%s]" s (describe_pc body pc)
+                (summary counters))))
       fmt
   in
-  let counters = zero_counters () in
+  let trap_run fmt =
+    Printf.ksprintf
+      (fun s -> raise (Trap (Printf.sprintf "%s [%s]" s (summary counters))))
+      fmt
+  in
   let budget = ref max_dynamic in
   let charge () =
     decr budget;
-    if !budget <= 0 then trap "dynamic instruction budget exhausted"
+    if !budget <= 0 then trap_run "dynamic instruction budget exhausted"
   in
   let is_half = p.dtype = F16 in
   let store_round v = if is_half then round_half v else v in
@@ -107,8 +166,84 @@ let run ?(max_dynamic = 200_000_000) (p : Program.t) ~grid ~block ~bufs ~iargs =
           iregs = Array.make (max 1 p.n_iregs) 0;
           pregs = Array.make (max 1 p.n_pregs) false;
           pc = 0; done_ = false;
+          lin = linear;
           tid = (tx, ty, tz);
           ctaid = (cx, cy, cz) })
+    in
+    (* --- memory-transaction replay --------------------------------------
+       Threads execute sequentially (thread 0 runs to the barrier before
+       thread 1 starts), so warp-level coalescing is reconstructed after
+       the fact: each lane's k-th dynamic execution of a memory
+       instruction at a given pc joins access group (pc, warp, k). For
+       global memory a group costs one transaction per distinct 32-word
+       segment; for shared memory a group costs max-over-banks of the
+       distinct-address count (equal addresses broadcast), the same rule
+       as the static analyzer in {!Verify}. Groups are discarded at every
+       barrier so memory stays proportional to one phase's traffic. The
+       per-lane ordinal alignment is exact for warp-uniform trip counts
+       (all kernels our generators emit) and an approximation under
+       intra-warp loop divergence. *)
+    let n_warps = (n_threads + 31) / 32 in
+    let ordinals : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+    let gsegs : (int * int, int list ref) Hashtbl.t = Hashtbl.create 256 in
+    let sgroups : (int * int, sgroup) Hashtbl.t = Hashtbl.create 256 in
+    let access_group pc lin =
+      let key = (pc * n_warps) + (lin lsr 5) in
+      let lanes =
+        match Hashtbl.find_opt ordinals key with
+        | Some a -> a
+        | None ->
+          let a = Array.make 32 0 in
+          Hashtbl.add ordinals key a;
+          a
+      in
+      let lane = lin land 31 in
+      let k = lanes.(lane) in
+      lanes.(lane) <- k + 1;
+      (key, k)
+    in
+    let record_global ~store lin pc addr =
+      let g = access_group pc lin in
+      let seg = addr asr 5 in
+      let segs =
+        match Hashtbl.find_opt gsegs g with
+        | Some s -> s
+        | None ->
+          let s = ref [] in
+          Hashtbl.add gsegs g s;
+          s
+      in
+      if not (List.mem seg !segs) then begin
+        segs := seg :: !segs;
+        if store then counters.gst_transactions <- counters.gst_transactions + 1
+        else counters.gld_transactions <- counters.gld_transactions + 1
+      end
+    in
+    let record_shared lin pc addr =
+      let g = access_group pc lin in
+      let grp =
+        match Hashtbl.find_opt sgroups g with
+        | Some grp -> grp
+        | None ->
+          let grp = { s_addrs = []; s_banks = []; s_passes = 0 } in
+          Hashtbl.add sgroups g grp;
+          grp
+      in
+      if not (List.mem addr grp.s_addrs) then begin
+        grp.s_addrs <- addr :: grp.s_addrs;
+        let bank = addr land 31 in
+        let c = (match List.assoc_opt bank grp.s_banks with Some c -> c | None -> 0) + 1 in
+        grp.s_banks <- (bank, c) :: List.remove_assoc bank grp.s_banks;
+        if c > grp.s_passes then begin
+          grp.s_passes <- c;
+          counters.shared_transactions <- counters.shared_transactions + 1
+        end
+      end
+    in
+    let phase_reset () =
+      Hashtbl.reset ordinals;
+      Hashtbl.reset gsegs;
+      Hashtbl.reset sgroups
     in
     let special th = function
       | Tid_x -> let x, _, _ = th.tid in x
@@ -306,31 +441,45 @@ let run ?(max_dynamic = 200_000_000) (p : Program.t) ~grid ~block ~bufs ~iargs =
               th.pc <- th.pc + 1; step ()
             | Ld_global (d, slot, addr) ->
               counters.ld_global <- counters.ld_global + 1;
-              th.fregs.(d) <- global_get ~pc:th.pc slot (ival th addr);
+              let a = ival th addr in
+              record_global ~store:false th.lin th.pc a;
+              th.fregs.(d) <- global_get ~pc:th.pc slot a;
               th.pc <- th.pc + 1; step ()
             | Ld_global_i (d, slot, addr) ->
               counters.ld_global <- counters.ld_global + 1;
-              th.iregs.(d) <- int_of_float (global_get ~pc:th.pc slot (ival th addr));
+              let a = ival th addr in
+              record_global ~store:false th.lin th.pc a;
+              th.iregs.(d) <- int_of_float (global_get ~pc:th.pc slot a);
               th.pc <- th.pc + 1; step ()
             | Ld_shared (d, addr) ->
               counters.ld_shared <- counters.ld_shared + 1;
-              th.fregs.(d) <- shared_get ~pc:th.pc (ival th addr);
+              let a = ival th addr in
+              record_shared th.lin th.pc a;
+              th.fregs.(d) <- shared_get ~pc:th.pc a;
               th.pc <- th.pc + 1; step ()
             | Ld_shared_i (d, addr) ->
               counters.ld_shared <- counters.ld_shared + 1;
-              th.iregs.(d) <- shared_i_get ~pc:th.pc (ival th addr);
+              let a = ival th addr in
+              record_shared th.lin th.pc a;
+              th.iregs.(d) <- shared_i_get ~pc:th.pc a;
               th.pc <- th.pc + 1; step ()
             | St_global (slot, addr, v) ->
               counters.st_global <- counters.st_global + 1;
-              global_set ~pc:th.pc slot (ival th addr) (store_round (fval th v));
+              let a = ival th addr in
+              record_global ~store:true th.lin th.pc a;
+              global_set ~pc:th.pc slot a (store_round (fval th v));
               th.pc <- th.pc + 1; step ()
             | St_shared (addr, v) ->
               counters.st_shared <- counters.st_shared + 1;
-              shared_set ~pc:th.pc (ival th addr) (store_round (fval th v));
+              let a = ival th addr in
+              record_shared th.lin th.pc a;
+              shared_set ~pc:th.pc a (store_round (fval th v));
               th.pc <- th.pc + 1; step ()
             | St_shared_i (addr, v) ->
               counters.st_shared <- counters.st_shared + 1;
-              shared_i_set ~pc:th.pc (ival th addr) (ival th v);
+              let a = ival th addr in
+              record_shared th.lin th.pc a;
+              shared_i_set ~pc:th.pc a (ival th v);
               th.pc <- th.pc + 1; step ()
             | Atom_global_add (slot, addr, v) ->
               counters.atom <- counters.atom + 1;
@@ -368,9 +517,10 @@ let run ?(max_dynamic = 200_000_000) (p : Program.t) ~grid ~block ~bufs ~iargs =
       for i = 1 to n_threads - 1 do
         let stop = run_to_barrier threads.(i) in
         if stop <> first then
-          trap "%s: barrier divergence: thread 0 %s but thread %d %s" p.name
+          trap_run "%s: barrier divergence: thread 0 %s but thread %d %s" p.name
             (where first threads.(0)) i (where stop threads.(i))
       done;
+      phase_reset ();
       match first with Hit_ret -> () | Hit_bar -> phases ()
     in
     phases ()
@@ -382,4 +532,5 @@ let run ?(max_dynamic = 200_000_000) (p : Program.t) ~grid ~block ~bufs ~iargs =
       done
     done
   done;
+  obs_export counters;
   counters

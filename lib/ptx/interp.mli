@@ -8,9 +8,15 @@
     supports thread-divergent control flow between barriers (needed by the
     branch-based bounds-checking mode of §8.3).
 
-    The interpreter also counts dynamically executed instructions per
-    category; tests cross-check these counts against the static cost
-    profiles the timing model consumes. *)
+    The interpreter doubles as the reproduction's "hardware counter"
+    source: it accumulates the dynamic instruction mix per category,
+    warp-level global/shared memory transactions, barrier waits and
+    predicated-off issue slots, returned per-run and exported to the
+    {!Obs} trace (as [interp.*] counters) when [ISAAC_TRACE] is set.
+    Tests cross-check the instruction mix against the static cost
+    profiles the timing model consumes; DESIGN.md ("Observability")
+    documents how each counter maps onto the cost terms of the paper's
+    Eq. 2–3. *)
 
 type counters = {
   mutable ialu : int;
@@ -21,24 +27,49 @@ type counters = {
   mutable ld_shared : int;
   mutable st_shared : int;
   mutable atom : int;
-  mutable bar : int;        (** barrier executions, per thread *)
+  mutable bar : int;        (** barrier waits (executions, per thread) *)
   mutable branch : int;
   mutable pred : int;       (** setp/predicate logic ops *)
   mutable mov : int;
   mutable predicated_off : int;
       (** instructions whose guard evaluated false (issued but masked) *)
+  mutable gld_transactions : int;
+      (** warp-level global-load transactions: one per distinct 32-word
+          segment touched by an access group (the lanes of one warp
+          executing one memory instruction once). Fully coalesced warp
+          loads cost 1; a stride-32 gather costs up to 32. *)
+  mutable gst_transactions : int;
+      (** warp-level global-store transactions, same grouping *)
+  mutable shared_transactions : int;
+      (** serialized shared-memory passes: per access group, the maximum
+          over the 32 banks of the distinct-address count — 1 when
+          conflict-free, up to 32 under a worst-case bank conflict;
+          equal addresses broadcast, as on real hardware. Transaction
+          grouping reconstructs warp lockstep from each lane's dynamic
+          execution ordinal per pc; this is exact for warp-uniform trip
+          counts (all generated kernels) and approximate under
+          intra-warp loop divergence. *)
 }
 
 val zero_counters : unit -> counters
+
 val total : counters -> int
 (** Total dynamically issued instructions (including masked ones, which
-    GPUs still issue — predication does not skip issue slots). *)
+    GPUs still issue — predication does not skip issue slots). Memory
+    transactions are derived traffic, not issue slots, and are excluded. *)
+
+val summary : counters -> string
+(** One-line [key=value] rendering of every counter (the snapshot format
+    embedded in {!Trap} messages). *)
 
 exception Trap of string
 (** Raised on runtime errors: out-of-bounds memory access, barrier
     divergence, instruction budget exhaustion, unknown parameter.
     Messages for faults inside the body locate the instruction as
-    ["pc N (label L + k)"] using the nearest preceding label. *)
+    ["pc N (label L + k)"] using the nearest preceding label, and every
+    fault raised during execution appends the accumulated counter
+    snapshot as ["[dyn: total=… ialu=… …]"] (see {!summary}) so
+    divergent or runaway kernels can be diagnosed post mortem. *)
 
 val run :
   ?max_dynamic:int ->

@@ -56,11 +56,23 @@ let conv_legal device input cfg_array =
 (* Static-verifier oracles (tentpole wiring): generate the kernel for an
    already-legal configuration and require a clean {!Ptx.Verify} report.
    Orders of magnitude cheaper than an interpreter run, and the only
-   check that sees barrier divergence, shared races or OOB statically. *)
+   check that sees barrier divergence, shared races or OOB statically.
+   When tracing, every rejection is counted per diagnostic kind
+   ([verify.fail.<kind>]), so a trace shows *why* the static filter is
+   discarding configurations, not just how often. *)
+let verified_clean report =
+  let ok = Ptx.Verify.ok report in
+  if not ok && Obs.Trace.enabled () then
+    List.iter
+      (fun (d : Ptx.Verify.diag) ->
+        Obs.Metrics.incr ("verify.fail." ^ Ptx.Verify.kind_name d.kind))
+      report.Ptx.Verify.errors;
+  ok
+
 let gemm_static_ok (input : GP.input) cfg_array =
   let cfg = GP.config_of_array cfg_array in
   let p = Codegen.Gemm.generate input cfg in
-  Ptx.Verify.ok
+  verified_clean
     (Ptx.Verify.run p
        ~iargs:[ ("M", input.m); ("N", input.n); ("K", input.k) ]
        ~block:(GP.threads_per_block cfg, 1, 1))
@@ -69,7 +81,7 @@ let conv_static_ok (input : CP.input) cfg_array =
   let cfg = GP.config_of_array cfg_array in
   let gi = CP.gemm_input input in
   let p = Codegen.Conv.generate input cfg in
-  Ptx.Verify.ok
+  verified_clean
     (Ptx.Verify.run p
        ~iargs:[ ("M", gi.GP.m); ("N", gi.GP.n); ("K", gi.GP.k) ]
        ~block:(GP.threads_per_block cfg, 1, 1))
@@ -119,6 +131,13 @@ let generate_chunk ~noise ~sampler ~static_ok rng device ~n ~random_input ~legal
    chunk (the sampler's fitted marginals are shared read-only). *)
 let generate_generic ?(domains = 1) ?static_ok ~op ~noise ~sampler rng device ~n
     ~random_input ~legal ~features ~measure () =
+  Obs.Span.with_ "dataset.generate"
+    ~meta:(fun () ->
+      [ ("op", Obs.Json.String (match op with `Gemm -> "gemm" | `Conv -> "conv"));
+        ("n", Obs.Json.Int n);
+        ("domains", Obs.Json.Int domains);
+        ("verified", Obs.Json.Bool (static_ok <> None)) ])
+    (fun () ->
   let dim = Features.dim in
   let rngs = Array.init (max 1 domains) (fun _ -> Util.Rng.split rng) in
   let chunks =
@@ -138,19 +157,36 @@ let generate_generic ?(domains = 1) ?static_ok ~op ~noise ~sampler rng device ~n
       Array.blit cy 0 ys !row rows;
       row := !row + rows)
     chunks;
+  Obs.Metrics.add "dataset.samples" n;
   { op; device = device.Gpu.Device.name; features_log = flog; features_raw = fraw;
-    tflops = ys }
+    tflops = ys })
+
+(* Per-configuration benchmark record in the trace: what was measured,
+   how fast it was, and what the (simulated) benchmark run cost — the
+   raw material for isaac_profile's "hottest configs" table. *)
+let config_event ~op ~phase cfg_array (m : Gpu.Executor.measurement) =
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit "config"
+      [ ("op", Obs.Json.String op);
+        ("phase", Obs.Json.String phase);
+        ("config", Obs.Json.String (Config_space.describe Config_space.gemm cfg_array));
+        ("tflops", Obs.Json.Float m.tflops);
+        ("seconds", Obs.Json.Float m.seconds) ]
 
 let measure_gemm rng device input cfg_array ~noise =
   let cfg = GP.config_of_array cfg_array in
   match Gpu.Executor.measure ~noise rng device (GP.cost input cfg) with
-  | Some m when m.tflops > 0.0 -> Some m.tflops
+  | Some m when m.tflops > 0.0 ->
+    config_event ~op:"gemm" ~phase:"dataset" cfg_array m;
+    Some m.tflops
   | _ -> None
 
 let measure_conv rng device input cfg_array ~noise =
   let cfg = GP.config_of_array cfg_array in
   match Gpu.Executor.measure ~noise rng device (CP.cost input cfg) with
-  | Some m when m.tflops > 0.0 -> Some m.tflops
+  | Some m when m.tflops > 0.0 ->
+    config_event ~op:"conv" ~phase:"dataset" cfg_array m;
+    Some m.tflops
   | _ -> None
 
 let generate_gemm ?(domains = 1) ?dtypes ?(noise = Gpu.Executor.default_noise)

@@ -5,7 +5,13 @@
     Inputs (shapes, layouts, data-types) are sampled log-uniformly across
     the ranges the evaluation suites live in, so the MLP must genuinely
     interpolate input-dependence — the system never trains on the
-    benchmark shapes themselves. *)
+    benchmark shapes themselves.
+
+    When [ISAAC_TRACE] is set, generation runs inside a
+    [dataset.generate] span and reports [dataset.samples],
+    per-diagnostic static-verifier rejections ([verify.fail.<kind>]) and
+    one [config] trace event per benchmarked configuration (see
+    DESIGN.md, "Observability"). *)
 
 type t = {
   op : [ `Gemm | `Conv ];
@@ -16,6 +22,7 @@ type t = {
 }
 
 val size : t -> int
+(** Number of measured samples (rows). *)
 
 val random_gemm_input :
   ?dtypes:Ptx.Types.dtype list -> Util.Rng.t -> Codegen.Gemm_params.input
@@ -24,6 +31,8 @@ val random_gemm_input :
 
 val random_conv_input :
   ?dtypes:Ptx.Types.dtype list -> Util.Rng.t -> Codegen.Conv_params.input
+(** Log-uniform N/C/K/P/Q, filter sizes in {1,3,5,7}, random stride and
+    padding — the CONV analogue of {!random_gemm_input}. *)
 
 val gemm_legal :
   Gpu.Device.t -> Codegen.Gemm_params.input -> int array -> bool
@@ -31,6 +40,8 @@ val gemm_legal :
     limits (the X of §4). *)
 
 val conv_legal : Gpu.Device.t -> Codegen.Conv_params.input -> int array -> bool
+(** CONV analogue of {!gemm_legal} (legality is checked on the induced
+    implicit-GEMM problem). *)
 
 val gemm_static_ok : Codegen.Gemm_params.input -> int array -> bool
 (** Static legality oracle: generate the kernel and accept iff
@@ -39,6 +50,7 @@ val gemm_static_ok : Codegen.Gemm_params.input -> int array -> bool
     {!Sampler.sample_verified}). *)
 
 val conv_static_ok : Codegen.Conv_params.input -> int array -> bool
+(** CONV analogue of {!gemm_static_ok}. *)
 
 val fit_gemm_sampler :
   ?warmup:int -> ?dtypes:Ptx.Types.dtype list -> Util.Rng.t -> Gpu.Device.t ->
@@ -50,6 +62,7 @@ val fit_gemm_sampler :
 val fit_conv_sampler :
   ?warmup:int -> ?dtypes:Ptx.Types.dtype list -> Util.Rng.t -> Gpu.Device.t ->
   Sampler.t
+(** CONV analogue of {!fit_gemm_sampler}. *)
 
 val generate_gemm :
   ?domains:int ->
@@ -77,6 +90,7 @@ val generate_conv :
   Gpu.Device.t ->
   n:int ->
   t
+(** CONV analogue of {!generate_gemm}. *)
 
 val throughput_probe :
   Util.Rng.t -> Gpu.Device.t -> n:int -> float

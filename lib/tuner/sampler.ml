@@ -6,19 +6,29 @@ type t = {
 let alpha_default = 100.0
 
 let fit ?(alpha = alpha_default) ?(warmup = 10_000) rng space ~legal =
-  let weights =
-    Array.map (fun p -> Array.make (Array.length p.Config_space.values) alpha) space
-  in
-  for _ = 1 to warmup do
-    let cfg = Config_space.random rng space in
-    if legal cfg then
-      Array.iteri
-        (fun i v ->
-          let j = Config_space.value_index space.(i) v in
-          weights.(i).(j) <- weights.(i).(j) +. 1.0)
-        cfg
-  done;
-  { space; weights }
+  Obs.Span.with_ "sampler.fit"
+    ~meta:(fun () -> [ ("warmup", Obs.Json.Int warmup) ])
+    (fun () ->
+      let weights =
+        Array.map
+          (fun p -> Array.make (Array.length p.Config_space.values) alpha)
+          space
+      in
+      let accepted = ref 0 in
+      for _ = 1 to warmup do
+        let cfg = Config_space.random rng space in
+        if legal cfg then begin
+          incr accepted;
+          Array.iteri
+            (fun i v ->
+              let j = Config_space.value_index space.(i) v in
+              weights.(i).(j) <- weights.(i).(j) +. 1.0)
+            cfg
+        end
+      done;
+      Obs.Metrics.add "sampler.warmup_draws" warmup;
+      Obs.Metrics.add "sampler.warmup_legal" !accepted;
+      { space; weights })
 
 let space t = t.space
 
@@ -36,21 +46,36 @@ let sample rng t =
 
 let sample_legal ?(max_tries = 1000) rng t ~legal =
   let rec go tries =
-    if tries = 0 then None
+    if tries = 0 then (Obs.Metrics.incr "sampler.exhausted"; None)
     else
       let cfg = sample rng t in
-      if legal cfg then Some cfg else go (tries - 1)
+      if legal cfg then (Obs.Metrics.incr "sampler.accepted"; Some cfg)
+      else begin
+        Obs.Metrics.incr "sampler.rejected.legal";
+        go (tries - 1)
+      end
   in
   go max_tries
 
 let sample_verified ?(max_tries = 1000) rng t ~legal ~verify =
   let rec go tries =
-    if tries = 0 then None
+    if tries = 0 then (Obs.Metrics.incr "sampler.exhausted"; None)
     else
       let cfg = sample rng t in
       (* Legality is the cheap structural filter; the static verifier
          only runs on configurations that survive it. *)
-      if legal cfg && verify cfg then Some cfg else go (tries - 1)
+      if not (legal cfg) then begin
+        Obs.Metrics.incr "sampler.rejected.legal";
+        go (tries - 1)
+      end
+      else if not (verify cfg) then begin
+        Obs.Metrics.incr "sampler.rejected.verify";
+        go (tries - 1)
+      end
+      else begin
+        Obs.Metrics.incr "sampler.accepted";
+        Some cfg
+      end
   in
   go max_tries
 

@@ -9,7 +9,12 @@
     no probability is ever exactly zero).
 
     Table 1 reports the resulting acceptance rates; {!acceptance_rate}
-    reproduces that measurement. *)
+    reproduces that measurement.
+
+    Under [ISAAC_TRACE], fitting reports a [sampler.fit] span and the
+    rejection loops count [sampler.accepted],
+    [sampler.rejected.legal]/[.verify] and [sampler.exhausted], so a
+    trace shows the realized acceptance rate of any run. *)
 
 type t
 (** A fitted categorical model over a {!Config_space.t}. *)
@@ -30,6 +35,7 @@ val fit :
     marginals. *)
 
 val space : t -> Config_space.t
+(** The configuration space this model was fitted over. *)
 
 val marginal : t -> int -> float array
 (** [marginal t i] is the fitted probability distribution over parameter

@@ -46,38 +46,46 @@ let subsample cap items =
 let exhaustive ~legal_configs ~features_of ~cost ?(top_k = 100) ?cap ?noise
     ?(domains = 1) rng device ~profile =
   let cap = match cap with Some c -> c | None -> default_cap () in
-  let all = legal_configs device in
+  let all =
+    Obs.Span.with_ "search.enumerate" (fun () -> legal_configs device)
+  in
   let n_legal = List.length all in
   if n_legal = 0 then None
   else begin
     let scored_cfgs = Array.of_list (subsample cap all) in
     let n = Array.length scored_cfgs in
-    let dim = Features.dim in
-    let x = Mlp.Tensor.create n dim in
-    Array.iteri
-      (fun row cfg ->
-        let f = features_of cfg in
-        Array.blit f 0 x.Mlp.Tensor.data (row * dim) dim)
-      scored_cfgs;
-    (* Model scoring is the latency of §6's runtime inference; fan the
-       batch out over domains when asked. *)
     let pred =
-      if domains <= 1 then Profile.predict_std_batch profile x
-      else begin
-        let out = Array.make n 0.0 in
-        let base = n / domains and extra = n mod domains in
-        let offset chunk = (chunk * base) + min chunk extra in
-        let chunks =
-          Util.Parallel.run_chunks ~domains ~total:n (fun ~chunk ~size ->
-              let off = offset chunk in
-              let sub = Mlp.Tensor.create size dim in
-              Array.blit x.Mlp.Tensor.data (off * dim) sub.Mlp.Tensor.data 0
-                (size * dim);
-              (off, Profile.predict_std_batch profile sub))
-        in
-        List.iter (fun (off, p) -> Array.blit p 0 out off (Array.length p)) chunks;
-        out
-      end
+      Obs.Span.with_ "search.score"
+        ~meta:(fun () ->
+          [ ("n_legal", Obs.Json.Int n_legal);
+            ("n_scored", Obs.Json.Int n);
+            ("domains", Obs.Json.Int domains) ])
+        (fun () ->
+          let dim = Features.dim in
+          let x = Mlp.Tensor.create n dim in
+          Array.iteri
+            (fun row cfg ->
+              let f = features_of cfg in
+              Array.blit f 0 x.Mlp.Tensor.data (row * dim) dim)
+            scored_cfgs;
+          (* Model scoring is the latency of §6's runtime inference; fan
+             the batch out over domains when asked. *)
+          if domains <= 1 then Profile.predict_std_batch profile x
+          else begin
+            let out = Array.make n 0.0 in
+            let base = n / domains and extra = n mod domains in
+            let offset chunk = (chunk * base) + min chunk extra in
+            let chunks =
+              Util.Parallel.run_chunks ~domains ~total:n (fun ~chunk ~size ->
+                  let off = offset chunk in
+                  let sub = Mlp.Tensor.create size dim in
+                  Array.blit x.Mlp.Tensor.data (off * dim) sub.Mlp.Tensor.data 0
+                    (size * dim);
+                  (off, Profile.predict_std_batch profile sub))
+            in
+            List.iter (fun (off, p) -> Array.blit p 0 out off (Array.length p)) chunks;
+            out
+          end)
     in
     let order = Array.init n (fun i -> i) in
     Array.sort (fun a b -> compare pred.(b) pred.(a)) order;
@@ -89,17 +97,32 @@ let exhaustive ~legal_configs ~features_of ~cost ?(top_k = 100) ?cap ?noise
             predicted_tflops = Features.untarget profile.Profile.scaler pred.(idx) })
     in
     (* Re-benchmark the short-list on the device and keep the fastest. *)
-    let best = ref None in
-    Array.iter
-      (fun cand ->
-        match Gpu.Executor.measure_best_of ?noise rng device (cost cand.config) with
-        | None -> ()
-        | Some m ->
-          (match !best with
-           | Some (_, bm) when bm.Gpu.Executor.seconds <= m.seconds -> ()
-           | _ -> best := Some (cand.config, m)))
-      candidates;
-    match !best with
+    let best =
+      Obs.Span.with_ "search.rebench"
+        ~meta:(fun () -> [ ("top_k", Obs.Json.Int k) ])
+        (fun () ->
+          let best = ref None in
+          Array.iter
+            (fun cand ->
+              match
+                Gpu.Executor.measure_best_of ?noise rng device (cost cand.config)
+              with
+              | None -> ()
+              | Some m ->
+                if Obs.Trace.enabled () then
+                  Obs.Trace.emit "config"
+                    [ ("phase", Obs.Json.String "rebench");
+                      ("config", Obs.Json.String (GP.describe cand.config));
+                      ("predicted_tflops", Obs.Json.Float cand.predicted_tflops);
+                      ("tflops", Obs.Json.Float m.tflops);
+                      ("seconds", Obs.Json.Float m.seconds) ];
+                (match !best with
+                 | Some (_, bm) when bm.Gpu.Executor.seconds <= m.seconds -> ()
+                 | _ -> best := Some (cand.config, m)))
+            candidates;
+          !best)
+    in
+    match best with
     | None -> None
     | Some (cfg, m) ->
       Some { best = cfg; best_measurement = m; candidates; n_legal; n_scored = n }

@@ -5,7 +5,13 @@
     legal grid — "guaranteed to find the global optimum within the
     specified search range" — followed by re-benchmarking the top-k
     candidates on the device "to smooth out the inherent noise of our
-    predictive model". *)
+    predictive model".
+
+    Under [ISAAC_TRACE] the three stages report as [search.enumerate],
+    [search.score] and [search.rebench] spans, and every re-benchmarked
+    candidate emits a [config] event carrying both its predicted and
+    measured TFLOPS — the data for studying model miscalibration on the
+    short-list. *)
 
 type candidate = {
   config : Codegen.Gemm_params.config;
@@ -26,6 +32,8 @@ val legal_gemm_configs :
 
 val legal_conv_configs :
   Gpu.Device.t -> Codegen.Conv_params.input -> Codegen.Gemm_params.config list
+(** CONV analogue of {!legal_gemm_configs} (CONV reuses the GEMM
+    configuration record via the implicit-GEMM formulation). *)
 
 val exhaustive_gemm :
   ?top_k:int ->
@@ -56,6 +64,7 @@ val exhaustive_conv :
   profile:Profile.t ->
   Codegen.Conv_params.input ->
   result option
+(** CONV analogue of {!exhaustive_gemm}. *)
 
 val oracle_gemm :
   Gpu.Device.t -> Codegen.Gemm_params.input ->
@@ -67,3 +76,4 @@ val oracle_gemm :
 val oracle_conv :
   Gpu.Device.t -> Codegen.Conv_params.input ->
   (Codegen.Gemm_params.config * Gpu.Perf_model.report) option
+(** CONV analogue of {!oracle_gemm}. *)

@@ -1,0 +1,297 @@
+(* Observability layer: JSON round-trips, span nesting and JSONL
+   round-trip through a real sink, metric summaries, interpreter
+   counter correctness on a hand-written kernel with a known
+   instruction mix, zero-cost behaviour when ISAAC_TRACE is unset, and
+   the counter snapshot embedded in interpreter trap messages. *)
+
+open Ptx.Types
+module B = Ptx.Builder
+module I = Ptx.Instr
+module J = Obs.Json
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let tmp_trace () = Filename.temp_file "isaac_obs" ".jsonl"
+
+let str_field k ev = Option.bind (J.member k ev) J.to_str
+let num_field k ev = Option.bind (J.member k ev) J.to_float
+
+let events_of ev list = List.filter (fun e -> str_field "ev" e = Some ev) list
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let samples =
+    [ J.Null;
+      J.Bool true;
+      J.Int (-42);
+      J.Int max_int;
+      J.Float 3.25;
+      J.Float 1e-300;
+      J.String "he\"llo\n\t\\world";
+      J.List [ J.Int 1; J.String "x"; J.Null ];
+      J.Obj
+        [ ("a", J.Int 1);
+          ("nested", J.Obj [ ("b", J.List [ J.Float 0.5 ]) ]);
+          ("s", J.String "\x01\x1f") ] ]
+  in
+  List.iter
+    (fun v ->
+      let s = J.to_string v in
+      if String.contains s '\n' then
+        Alcotest.failf "rendering contains a newline: %s" s;
+      if J.of_string s <> v then Alcotest.failf "round-trip failed: %s" s)
+    samples;
+  (* Non-finite floats round-trip through their string encoding. *)
+  (match J.of_string (J.to_string (J.Float Float.nan)) with
+   | J.String "nan" as v ->
+     (match J.to_float v with
+      | Some f when Float.is_nan f -> ()
+      | _ -> Alcotest.fail "nan did not coerce back to a float")
+   | _ -> Alcotest.fail "nan encoding changed");
+  Alcotest.(check bool) "parse error raised" true
+    (try ignore (J.of_string "{\"a\":}"); false
+     with J.Parse_error _ -> true)
+
+(* --- spans + JSONL round-trip ------------------------------------------- *)
+
+let test_span_roundtrip () =
+  let path = tmp_trace () in
+  Obs.Metrics.reset ();
+  Obs.Trace.start ~path;
+  Alcotest.(check bool) "enabled while open" true (Obs.Trace.enabled ());
+  Obs.Span.with_ "a" (fun () ->
+      Alcotest.(check string) "inner path" "a" (Obs.Span.current_path ());
+      Obs.Span.with_ "b"
+        ~meta:(fun () -> [ ("k", J.Int 7) ])
+        (fun () ->
+          Alcotest.(check string) "nested path" "a/b" (Obs.Span.current_path ());
+          ignore (Sys.opaque_identity (Array.init 100 (fun i -> i)))));
+  Alcotest.(check string) "path restored" "" (Obs.Span.current_path ());
+  Obs.Trace.stop ();
+  Alcotest.(check bool) "disabled after stop" false (Obs.Trace.enabled ());
+  let events = Obs.Trace.read_file path in
+  Sys.remove path;
+  (match events with
+   | first :: _ when str_field "ev" first = Some "trace_start" -> ()
+   | _ -> Alcotest.fail "first event is not trace_start");
+  (match List.rev events with
+   | last :: _ when str_field "ev" last = Some "trace_end" -> ()
+   | _ -> Alcotest.fail "last event is not trace_end");
+  let spans = events_of "span" events in
+  let find p =
+    match List.find_opt (fun e -> str_field "path" e = Some p) spans with
+    | Some e -> e
+    | None -> Alcotest.failf "no span with path %s" p
+  in
+  let outer = find "a" and inner = find "a/b" in
+  Alcotest.(check (option string)) "outer name" (Some "a") (str_field "name" outer);
+  Alcotest.(check (option string)) "inner name" (Some "b") (str_field "name" inner);
+  let dur e = Option.get (num_field "dur" e) in
+  let start e = Option.get (num_field "start" e) in
+  if dur outer < 0.0 || dur inner < 0.0 then Alcotest.fail "negative duration";
+  if start inner < start outer then Alcotest.fail "child started before parent";
+  if dur inner > dur outer +. 1e-9 then Alcotest.fail "child outlived parent";
+  (match Option.bind (J.member "meta" inner) (J.member "k") with
+   | Some (J.Int 7) -> ()
+   | _ -> Alcotest.fail "meta not recorded")
+
+let test_span_error_flag () =
+  let path = tmp_trace () in
+  Obs.Metrics.reset ();
+  Obs.Trace.start ~path;
+  (try Obs.Span.with_ "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Obs.Trace.stop ();
+  let events = Obs.Trace.read_file path in
+  Sys.remove path;
+  match events_of "span" events with
+  | [ sp ] ->
+    Alcotest.(check bool) "error flag" true (J.member "error" sp = Some (J.Bool true))
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+(* --- metrics ------------------------------------------------------------ *)
+
+let test_metrics_flush () =
+  let path = tmp_trace () in
+  Obs.Metrics.reset ();
+  Obs.Trace.start ~path;
+  Obs.Metrics.incr "c.hits";
+  Obs.Metrics.add "c.hits" 4;
+  Obs.Metrics.add "c.other" 2;
+  Alcotest.(check (option int)) "live value" (Some 5)
+    (Obs.Metrics.counter_value "c.hits");
+  for i = 1 to 100 do
+    Obs.Metrics.observe "h.lat" (float_of_int i)
+  done;
+  Obs.Metrics.point "s.loss" ~x:0.0 ~y:1.5;
+  Obs.Trace.stop ();
+  let events = Obs.Trace.read_file path in
+  Sys.remove path;
+  let counter name =
+    List.find_opt (fun e -> str_field "name" e = Some name)
+      (events_of "counter" events)
+  in
+  (match counter "c.hits" with
+   | Some e -> Alcotest.(check (option (float 1e-9))) "c.hits" (Some 5.0) (num_field "value" e)
+   | None -> Alcotest.fail "c.hits not flushed");
+  (match counter "c.other" with
+   | Some e -> Alcotest.(check (option (float 1e-9))) "c.other" (Some 2.0) (num_field "value" e)
+   | None -> Alcotest.fail "c.other not flushed");
+  (match events_of "hist" events with
+   | [ h ] ->
+     Alcotest.(check (option (float 1e-9))) "count" (Some 100.0) (num_field "count" h);
+     Alcotest.(check (option (float 1e-9))) "min" (Some 1.0) (num_field "min" h);
+     Alcotest.(check (option (float 1e-9))) "max" (Some 100.0) (num_field "max" h);
+     Alcotest.(check (option (float 1e-9))) "mean" (Some 50.5) (num_field "mean" h);
+     let p50 = Option.get (num_field "p50" h) in
+     if p50 < 40.0 || p50 > 60.0 then Alcotest.failf "p50 off: %g" p50
+   | l -> Alcotest.failf "expected 1 hist, got %d" (List.length l));
+  (match events_of "point" events with
+   | [ p ] ->
+     Alcotest.(check (option string)) "series" (Some "s.loss") (str_field "series" p);
+     Alcotest.(check (option (float 1e-9))) "y" (Some 1.5) (num_field "y" p)
+   | l -> Alcotest.failf "expected 1 point, got %d" (List.length l));
+  Alcotest.(check (option int)) "cleared after flush" None
+    (Obs.Metrics.counter_value "c.hits")
+
+(* --- interpreter counters on a known kernel ----------------------------- *)
+
+(* One warp (32 threads), straight-line kernel exercising every memory
+   path with a hand-computable transaction count:
+     - coalesced global load  (addr = tid)        -> 1 transaction
+     - strided global load    (addr = tid * 32)   -> 32 transactions
+     - conflict-free shared store (addr = tid)    -> 1 pass
+     - broadcast shared load  (addr = 0)          -> 1 pass
+     - 2-way bank conflict    (addr = tid * 2)    -> 2 passes
+     - coalesced global store (addr = tid)        -> 1 transaction
+   plus a half-masked guarded mov to pin predicated_off. *)
+let test_interp_counters () =
+  let b = B.create ~name:"counters" ~dtype:F64 in
+  let inp = B.buf_param b "IN" in
+  let out = B.buf_param b "OUT" in
+  B.set_shared b ~words:64 ~int_words:0;
+  let tid = B.mov_i b (Ispecial Tid_x) in
+  let f1 = B.fresh_f b in
+  B.emit b (I.Ld_global (f1, inp, Ireg tid));
+  let stride = B.mul_i b (Ireg tid) (Iimm 32) in
+  let f2 = B.fresh_f b in
+  B.emit b (I.Ld_global (f2, inp, Ireg stride));
+  B.emit b (I.St_shared (Ireg tid, Freg f1));
+  B.emit b I.Bar;
+  let f3 = B.fresh_f b in
+  B.emit b (I.Ld_shared (f3, Iimm 0));
+  let conflict = B.mul_i b (Ireg tid) (Iimm 2) in
+  let f4 = B.fresh_f b in
+  B.emit b (I.Ld_shared (f4, Ireg conflict));
+  let p = B.setp b Lt (Ireg tid) (Iimm 16) in
+  let dead = B.fresh_i b in
+  B.emit b ~guard:(p, true) (I.Mov (dead, Iimm 1));
+  B.emit b (I.St_global (out, Ireg tid, Freg f3));
+  let prog = B.finish b in
+  let c =
+    Ptx.Interp.run prog ~grid:(1, 1, 1) ~block:(32, 1, 1)
+      ~bufs:[ ("IN", Array.make 1024 1.0); ("OUT", Array.make 32 0.0) ]
+      ~iargs:[]
+  in
+  let check name exp got = Alcotest.(check int) name exp got in
+  check "ld_global" 64 c.Ptx.Interp.ld_global;
+  check "st_global" 32 c.st_global;
+  check "ld_shared" 64 c.ld_shared;
+  check "st_shared" 32 c.st_shared;
+  check "bar" 32 c.bar;
+  check "pred" 32 c.pred;
+  (* mov tid (32) + guarded mov (32: masked lanes still occupy an issue
+     slot and count in their category) *)
+  check "mov" 64 c.mov;
+  check "predicated_off" 16 c.predicated_off;
+  (* two integer multiplies *)
+  check "ialu" 64 c.ialu;
+  check "gld_transactions" (1 + 32) c.gld_transactions;
+  check "gst_transactions" 1 c.gst_transactions;
+  check "shared_transactions" (1 + 1 + 2) c.shared_transactions;
+  let s = Ptx.Interp.summary c in
+  List.iter
+    (fun needle ->
+      if not (contains ~needle s) then
+        Alcotest.failf "summary misses %s: %s" needle s)
+    [ "gld.txn=33"; "smem.txn=4"; "masked=16" ]
+
+(* Two warps: each warp coalesces independently, so a block of 64
+   threads doing a coalesced load costs 2 transactions, not 1. *)
+let test_interp_counters_two_warps () =
+  let b = B.create ~name:"warps" ~dtype:F64 in
+  let inp = B.buf_param b "IN" in
+  let out = B.buf_param b "OUT" in
+  let tid = B.mov_i b (Ispecial Tid_x) in
+  let f = B.fresh_f b in
+  B.emit b (I.Ld_global (f, inp, Ireg tid));
+  B.emit b (I.St_global (out, Ireg tid, Freg f));
+  let prog = B.finish b in
+  let c =
+    Ptx.Interp.run prog ~grid:(1, 1, 1) ~block:(64, 1, 1)
+      ~bufs:[ ("IN", Array.make 64 1.0); ("OUT", Array.make 64 0.0) ]
+      ~iargs:[]
+  in
+  Alcotest.(check int) "gld" 2 c.Ptx.Interp.gld_transactions;
+  Alcotest.(check int) "gst" 2 c.gst_transactions
+
+let test_trap_snapshot () =
+  let b = B.create ~name:"oob" ~dtype:F64 in
+  let inp = B.buf_param b "IN" in
+  let f = B.fresh_f b in
+  B.emit b (I.Ld_global (f, inp, Iimm 10_000));
+  let prog = B.finish b in
+  match
+    Ptx.Interp.run prog ~grid:(1, 1, 1) ~block:(1, 1, 1)
+      ~bufs:[ ("IN", Array.make 4 0.0) ]
+      ~iargs:[]
+  with
+  | (_ : Ptx.Interp.counters) -> Alcotest.fail "expected a trap"
+  | exception Ptx.Interp.Trap msg ->
+    if not (contains ~needle:"dyn:" msg) then
+      Alcotest.failf "trap message lacks counter snapshot: %s" msg
+
+(* --- zero cost when disabled -------------------------------------------- *)
+
+let test_noop_when_disabled () =
+  (* The test runner never sets ISAAC_TRACE, and every test above closes
+     the sink it opens, so the layer must be off here. *)
+  Alcotest.(check bool) "sink off" false (Obs.Trace.enabled ());
+  Obs.Metrics.reset ();
+  let iters = 200_000 in
+  let (), elapsed =
+    Obs.Span.timed (fun () ->
+        for i = 1 to iters do
+          Obs.Span.with_ "dead" (fun () -> ignore (Sys.opaque_identity i));
+          Obs.Metrics.incr "dead.counter";
+          Obs.Metrics.observe "dead.hist" 1.0
+        done)
+  in
+  Alcotest.(check (option int)) "nothing accumulated" None
+    (Obs.Metrics.counter_value "dead.counter");
+  Alcotest.(check string) "no open spans" "" (Obs.Span.current_path ());
+  (* ~3 no-op calls per iteration; anything near a microsecond each would
+     blow this generous bound and indicate the gate stopped being a
+     single boolean load. *)
+  if elapsed > 2.0 then
+    Alcotest.failf "disabled-path overhead too high: %.3fs for %d iters"
+      elapsed iters
+
+let () =
+  Alcotest.run "obs"
+    [ ("json", [ quick "roundtrip" test_json_roundtrip ]);
+      ( "trace",
+        [ quick "span nesting + jsonl roundtrip" test_span_roundtrip;
+          quick "error flag" test_span_error_flag;
+          quick "metrics flush" test_metrics_flush ] );
+      ( "interp",
+        [ quick "known instruction mix" test_interp_counters;
+          quick "per-warp coalescing" test_interp_counters_two_warps;
+          quick "trap carries counter snapshot" test_trap_snapshot ] );
+      ("overhead", [ quick "no-op when ISAAC_TRACE unset" test_noop_when_disabled ])
+    ]
