@@ -58,11 +58,20 @@ let geomean rows =
   Util.Stats.geomean
     (Array.of_list (List.map (fun r -> r.isaac /. Float.max 1e-9 r.cudnn) rows))
 
+(* Deterministic per-suite aggregates for the benchmark report. *)
+let record_metrics fig rows =
+  Reporting.metric ~experiment:fig ~unit_:"tflops"
+    (fig ^ ".isaac_geomean_tflops")
+    (Util.Stats.geomean (Array.of_list (List.map (fun r -> r.isaac) rows)));
+  Reporting.metric ~experiment:fig ~unit_:"ratio"
+    (fig ^ ".geomean_speedup_vs_cudnn") (geomean rows)
+
 let run_fig9 () =
   Reporting.print_header "Figure 9: SCONV on the GTX 980 Ti (ISAAC vs cuDNN)";
   let rows = run_suite Gpu.Device.gtx980ti Ptx.Types.F32 in
   print_rows rows;
   save_series "fig9_sconv_gtx980ti" rows;
+  record_metrics "fig9" rows;
   [ Reporting.check_min ~claim:"competitive overall (geomean speedup)"
       ~paper:"noticeable but smaller than GEMM" ~value:(geomean rows) ~at_least:1.0;
     Reporting.check_min ~claim:"deep reductions: Conv7" ~paper:"1.5-2x"
@@ -77,6 +86,7 @@ let run_fig10 () =
   let rows = run_suite Gpu.Device.p100 Ptx.Types.F32 in
   print_rows rows;
   save_series "fig10_sconv_p100" rows;
+  record_metrics "fig10" rows;
   [ Reporting.check_min ~claim:"larger gains than Maxwell (geomean speedup)"
       ~paper:"cuDNN tailored to Maxwell" ~value:(geomean rows) ~at_least:1.05;
     Reporting.check_min ~claim:"Conv8 speedup" ~paper:">5x"
@@ -89,6 +99,7 @@ let run_fig11 () =
   let rows = run_suite Gpu.Device.p100 Ptx.Types.F16 in
   print_rows rows;
   save_series "fig11_hconv_p100" rows;
+  record_metrics "fig11" rows;
   let wins = List.length (List.filter (fun r -> r.isaac >= r.cudnn *. 0.98) rows) in
   [ Reporting.check_min ~claim:"fp16 geomean speedup (tiling-scheme flexibility)"
       ~paper:"almost consistently faster" ~value:(geomean rows) ~at_least:1.1;

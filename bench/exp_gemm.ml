@@ -116,12 +116,24 @@ let geomean_speedup rows baseline =
   Util.Stats.geomean
     (Array.of_list (List.map (fun r -> r.isaac /. Float.max 1e-9 (baseline r)) rows))
 
+(* Per-suite aggregates for the benchmark report: deterministic for a
+   fixed seed/scale, so any drift flags a behaviour change in the
+   tuner/model stack rather than machine noise. *)
+let record_metrics fig rows =
+  Reporting.metric ~experiment:fig ~unit_:"tflops"
+    (fig ^ ".isaac_geomean_tflops")
+    (Util.Stats.geomean (Array.of_list (List.map (fun r -> r.isaac) rows)));
+  Reporting.metric ~experiment:fig ~unit_:"ratio"
+    (fig ^ ".geomean_speedup_vs_cublas")
+    (geomean_speedup rows (fun r -> r.cublas))
+
 let run_fig6 () =
   Reporting.print_header "Figure 6: SGEMM on the GTX 980 Ti (ISAAC vs cuBLAS)";
   let rows = run_suite Gpu.Device.gtx980ti (WS.fp32_suite ~mk:1760) in
   print_rows ~best_kernel:false rows;
   save_series "fig6_sgemm_gtx980ti" rows;
   chart ~best_kernel:false rows;
+  record_metrics "fig6" rows;
   let r = find rows in
   [ Reporting.check_min ~claim:"never slower than cuBLAS (geomean speedup)"
       ~paper:">= 1" ~value:(geomean_speedup rows (fun r -> r.cublas)) ~at_least:1.0;
@@ -160,6 +172,7 @@ let run_fig7 () =
   print_rows ~best_kernel:true rows;
   save_series "fig7_sgemm_p100" rows;
   chart ~best_kernel:true rows;
+  record_metrics "fig7" rows;
   let r = find rows in
   [ Reporting.check_min ~claim:"never slower than cuBLAS heuristics (geomean)"
       ~paper:">= 1" ~value:(geomean_speedup rows (fun r -> r.cublas)) ~at_least:1.0;
@@ -186,6 +199,7 @@ let run_fig8 () =
   print_rows ~best_kernel:true rows;
   save_series "fig8_hdgemm_p100" rows;
   chart ~best_kernel:true rows;
+  record_metrics "fig8" rows;
   let r = find rows in
   let deepbench_fp16 =
     List.filter

@@ -82,6 +82,10 @@ let run_table2 () =
        results);
   let mse_at i = let _, _, m, _, _, _ = List.nth results i in m in
   let shallow = mse_at 0 and deep = mse_at 6 in
+  Reporting.metric ~experiment:"table2" ~unit_:"mse"
+    ~direction:Obs.Bench_report.Lower_better "table2.best_mse" deep;
+  Reporting.metric ~experiment:"table2" ~unit_:"ratio" "table2.depth_gain"
+    (shallow /. deep);
   let log_small, nolog_big =
     let _, _, m, nolog, _, _ = List.nth results 2 in
     (m, match nolog with Some x -> x | None -> Float.nan)
@@ -125,6 +129,8 @@ let run_fig5 () =
   let mse_at i = snd (List.nth mses i) in
   let first = mse_at 0 in
   let last = mse_at (List.length mses - 1) in
+  Reporting.metric ~experiment:"fig5" ~unit_:"mse"
+    ~direction:Obs.Bench_report.Lower_better "fig5.final_mse" last;
   let second_last = mse_at (List.length mses - 2) in
   (* Figure 5 plots MSE against dataset size: the curve is steep at first
      and flat at the end. Check the flattening in the same absolute terms

@@ -59,6 +59,14 @@ let run () =
   Printf.printf
     "\nData generation: %.0f valid kernels/s -> 50,000 kernels in %.4f h (paper: < 2 h on real hardware)\n"
     rate to_50k;
+  Reporting.metric ~experiment:"table1" ~unit_:"fraction"
+    "table1.gemm_categorical_acceptance" gemm_cat;
+  Reporting.metric ~experiment:"table1" ~unit_:"fraction"
+    "table1.conv_categorical_acceptance" conv_cat;
+  Reporting.metric ~experiment:"table1" ~unit_:"ratio"
+    "table1.gemm_acceptance_ratio" (gemm_cat /. Float.max 1e-9 gemm_uni);
+  Reporting.metric ~experiment:"table1" ~unit_:"kernels/s"
+    ~kind:Obs.Bench_report.Timing "table1.generation_rate" rate;
   [ Reporting.check_min ~claim:"GEMM: categorical/uniform acceptance ratio"
       ~paper:"20% vs 0.1% (200x)" ~value:(gemm_cat /. Float.max 1e-9 gemm_uni)
       ~at_least:20.0;

@@ -29,6 +29,7 @@ let experiments : (string * string * (unit -> Reporting.check list)) list =
     ("sec8.3", "Section 8.3: predication vs branches", Exp_ptx.run);
     ("ablations", "Ablations: top-k, optimizers, prior, energy", Exp_ablations.run);
     ("networks", "End-to-end network layer stacks", Exp_networks.run);
+    ("attribution", "Perf_model cost terms vs interpreter counters", Exp_attribution.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run) ]
 
 let usage () =
@@ -59,13 +60,17 @@ let () =
     "ISAAC reproduction benchmark harness (seed %d, scale %.2f)\n%!"
     (Util.Env_config.seed ()) (Util.Env_config.scale ());
   let t0 = Unix.gettimeofday () in
-  let all_checks =
-    List.concat_map
+  let sections =
+    List.map
       (fun (key, _, run) ->
-        let checks = Reporting.time_section key run in
+        let checks, wall = Reporting.timed_section key run in
         Reporting.print_checks checks;
-        List.map (fun c -> (key, c)) checks)
+        (key, wall, checks))
       selected
+  in
+  let all_checks =
+    List.concat_map (fun (key, _, checks) -> List.map (fun c -> (key, c)) checks)
+      sections
   in
   Reporting.print_header "Summary of shape checks";
   Util.Table.print
@@ -78,4 +83,8 @@ let () =
   let total = List.length all_checks in
   let passed = List.length (List.filter (fun (_, c) -> c.Reporting.pass) all_checks) in
   Printf.printf "\n%d/%d shape checks passed; total wall time %.1fs\n" passed total
-    (Unix.gettimeofday () -. t0)
+    (Unix.gettimeofday () -. t0);
+  (* Machine-readable observatory record of this run: schema-versioned,
+     regression-gated by isaac_bench_diff against a committed baseline. *)
+  let report = Reporting.build_report ~argv:(Array.to_list Sys.argv) sections in
+  ignore (Reporting.write_report report)

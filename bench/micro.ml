@@ -73,6 +73,21 @@ let tests () =
      Test.make ~name:"frontend: einsum parse + classify"
        (Staged.stage (fun () -> ignore (Frontend.Einsum.parse "bmk,bkn->bmn") |> fun () -> ignore spec))) ]
 
+(* Per-sample ns/op observations extracted from the raw measurements
+   (total ns of a batch divided by its run count): the input to the
+   median + percentile-bootstrap confidence interval the benchmark
+   report records, following the robust-timing methodology bechamel
+   inherits (medians and CIs rather than means over noisy samples). *)
+let ns_samples (b : Benchmark.t) =
+  let label = Measure.label Instance.monotonic_clock in
+  b.Benchmark.lr
+  |> Array.to_list
+  |> List.filter_map (fun m ->
+         let runs = Measurement_raw.run m in
+         if runs > 0.0 then Some (Measurement_raw.get ~label m /. runs)
+         else None)
+  |> Array.of_list
+
 let run () =
   Reporting.print_header "Bechamel micro-benchmarks (one per experiment)";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
@@ -95,11 +110,43 @@ let run () =
       rows := (name, ns) :: !rows)
     results;
   let rows = List.sort compare !rows in
+  let stats =
+    List.filter_map
+      (fun (name, _) ->
+        match Hashtbl.find_opt raw name with
+        | None -> None
+        | Some b ->
+          let samples = ns_samples b in
+          if Array.length samples = 0 then None
+          else begin
+            let rng =
+              Util.Rng.create (Util.Env_config.seed () + Hashtbl.hash name)
+            in
+            let median = Util.Stats.median samples in
+            let ci =
+              Util.Stats.bootstrap_ci ~resamples:500 rng samples
+                ~estimator:Util.Stats.median
+            in
+            Reporting.metric ~experiment:"micro" ~unit_:"ns/op"
+              ~kind:Obs.Bench_report.Timing
+              ~direction:Obs.Bench_report.Lower_better ~ci
+              ~n:(Array.length samples)
+              ("micro." ^ name) median;
+            Some (name, (median, ci, Array.length samples))
+          end)
+      rows
+  in
   Util.Table.print
-    ~header:[| "micro-benchmark"; "ns/op"; "ops/s" |]
+    ~header:[| "micro-benchmark"; "ns/op (OLS)"; "median"; "95% CI"; "ops/s" |]
     (List.map
        (fun (name, ns) ->
-         [| name; Printf.sprintf "%.0f" ns;
+         let median, (lo, hi), _ =
+           match List.assoc_opt name stats with
+           | Some s -> s
+           | None -> (Float.nan, (Float.nan, Float.nan), 0)
+         in
+         [| name; Printf.sprintf "%.0f" ns; Printf.sprintf "%.0f" median;
+            Printf.sprintf "[%.0f, %.0f]" lo hi;
             Printf.sprintf "%.3g" (1e9 /. Float.max 1.0 ns) |])
        rows);
   (* §6 claim: "up to a million different configurations per second can be
@@ -111,6 +158,8 @@ let run () =
     let configs_per_s = 256.0 /. (ns /. 1e9) in
     Printf.printf "\nExhaustive-search scoring rate: %.3g configs/s (paper: ~1e6/s)\n"
       configs_per_s;
+    Reporting.metric ~experiment:"micro" ~unit_:"configs/s"
+      ~kind:Obs.Bench_report.Timing "micro.scoring_rate" configs_per_s;
     [ Reporting.check_min ~claim:"model evaluation throughput (configs/s)"
         ~paper:"~1,000,000/s" ~value:configs_per_s ~at_least:100_000.0 ]
   | _ -> []

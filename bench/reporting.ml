@@ -41,7 +41,7 @@ let fmt_tf = Util.Table.fmt_float ~decimals:2
    results/ so the paper's plots can be regenerated with any plotting
    tool. *)
 let results_dir () =
-  let dir = match Sys.getenv_opt "REPRO_RESULTS_DIR" with Some d -> d | None -> "results" in
+  let dir = Util.Env_config.string "REPRO_RESULTS_DIR" "results" in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   dir
 
@@ -83,9 +83,85 @@ let bar_chart ~series rows =
   Printf.printf "
 "
 
-let time_section name f =
+let timed_section name f =
   Obs.Span.with_ ("bench." ^ name) (fun () ->
       let t0 = Unix.gettimeofday () in
       let r = f () in
-      Printf.printf "[%s completed in %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
-      r)
+      let dur = Unix.gettimeofday () -. t0 in
+      Printf.printf "[%s completed in %.1fs]\n%!" name dur;
+      (r, dur))
+
+let time_section name f = fst (timed_section name f)
+
+(* --- benchmark-report collector ----------------------------------------- *)
+
+(* Experiments push scalar metrics and attribution rows here as they
+   run; main.exe assembles everything into one BENCH_<rev>.json at the
+   end of the run (Obs.Bench_report). *)
+
+let metrics : Obs.Bench_report.metric list ref = ref []
+
+let metric ?ci ?n ?(kind = Obs.Bench_report.Deterministic)
+    ?(direction = Obs.Bench_report.Higher_better) ~experiment ~unit_ name value
+    =
+  metrics :=
+    { Obs.Bench_report.m_name = name; m_experiment = experiment; value; unit_;
+      direction; kind; ci; n }
+    :: !metrics
+
+let attribution : Obs.Bench_report.attribution list ref = ref []
+
+let record_attribution rows =
+  attribution :=
+    !attribution
+    @ List.map
+        (fun (r : Gpu.Attribution.row) ->
+          { Obs.Bench_report.term = r.term; counter = r.counter; a_n = r.n;
+            pearson_r = r.pearson_r; scale = r.scale; drift = r.drift })
+        rows
+
+let git_rev () =
+  match Util.Env_config.string "ISAAC_BENCH_REV" "" with
+  | "" -> (
+    try
+      let ic = Unix.open_process_in "git rev-parse --short=12 HEAD 2>/dev/null" in
+      let line = try String.trim (input_line ic) with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "worktree"
+    with _ -> "worktree")
+  | rev -> rev
+
+let build_report ~argv experiments =
+  let to_check (c : check) =
+    { Obs.Bench_report.claim = c.claim; paper = c.paper; ours = c.ours;
+      pass = c.pass }
+  in
+  { Obs.Bench_report.version = Obs.Bench_report.schema_version;
+    env =
+      { Obs.Bench_report.rev = git_rev ();
+        seed = Util.Env_config.seed ();
+        repro_scale = Util.Env_config.scale ();
+        device =
+          Gpu.Device.gtx980ti.Gpu.Device.name ^ ", " ^ Gpu.Device.p100.name;
+        argv;
+        knobs = Util.Env_config.snapshot ();
+        ocaml_version = Sys.ocaml_version;
+        hostname = (try Unix.gethostname () with _ -> "unknown") };
+    experiments =
+      List.map
+        (fun (key, wall_seconds, checks) ->
+          { Obs.Bench_report.key; wall_seconds;
+            checks = List.map to_check checks })
+        experiments;
+    metrics = List.rev !metrics;
+    attribution = !attribution }
+
+let write_report report =
+  let path =
+    Filename.concat (results_dir ())
+      (Obs.Bench_report.filename ~rev:report.Obs.Bench_report.env.rev)
+  in
+  Obs.Bench_report.write ~path report;
+  Printf.printf "[benchmark report written to %s]\n" path;
+  path

@@ -3,8 +3,13 @@
    and self time per span path), counter and histogram summaries, series
    endpoints, and the top-N hottest benchmarked configurations.
 
+   Given several traces, prints cross-run comparison tables instead —
+   counters and per-phase self times side by side with a delta column
+   (last run minus first), for before/after profiling of a change.
+
      ISAAC_TRACE=trace.jsonl isaac_tune --samples 500 -o t.profile
-     isaac_profile trace.jsonl --top 10 *)
+     isaac_profile trace.jsonl --top 10
+     isaac_profile before.jsonl after.jsonl *)
 
 open Cmdliner
 module J = Obs.Json
@@ -90,7 +95,7 @@ let print_phases tbl =
 
 (* --- counters / histograms / series ------------------------------------- *)
 
-let print_counters events =
+let counter_totals events =
   let tbl : (string, int) Hashtbl.t = Hashtbl.create 32 in
   List.iter
     (fun ev ->
@@ -101,6 +106,10 @@ let print_counters events =
             (v + Option.value ~default:0 (Hashtbl.find_opt tbl name))
         | _ -> ())
     events;
+  tbl
+
+let print_counters events =
+  let tbl = counter_totals events in
   let rows =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -214,13 +223,14 @@ let section title =
   Printf.printf "\n-- %s %s\n" title
     (String.make (max 0 (60 - String.length title)) '-')
 
-let run path top =
-  let events =
-    try Obs.Trace.read_file path
-    with Obs.Json.Parse_error msg ->
-      Printf.eprintf "isaac_profile: %s: not a valid JSONL trace (%s)\n" path msg;
-      exit 1
-  in
+let load_events path =
+  try Obs.Trace.read_file path
+  with Obs.Json.Parse_error msg ->
+    Printf.eprintf "isaac_profile: %s: not a valid JSONL trace (%s)\n" path msg;
+    exit 1
+
+let run_single path top =
+  let events = load_events path in
   (match
      List.find_opt (fun ev -> str_field "ev" ev = Some "trace_start") events
    with
@@ -251,10 +261,100 @@ let run path top =
   section "hottest configurations";
   print_configs ~top events
 
+(* --- cross-run comparison ------------------------------------------------ *)
+
+let union_keys fold_tbls =
+  let seen = Hashtbl.create 64 in
+  List.iter (fun iter -> iter (fun k -> Hashtbl.replace seen k ())) fold_tbls;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+
+let run_many paths =
+  let traces = List.map (fun p -> (p, load_events p)) paths in
+  Printf.printf "comparing %d traces:\n" (List.length traces);
+  List.iteri
+    (fun i (p, events) ->
+      let total =
+        List.find_opt (fun ev -> str_field "ev" ev = Some "trace_end") events
+        |> Fun.flip Option.bind (num_field "ts")
+      in
+      Printf.printf "  [%d] %s%s\n" (i + 1) p
+        (match total with
+         | Some ts -> Printf.sprintf " (total %s)" (fmt_secs ts)
+         | None -> " (no trace_end)"))
+    traces;
+  let run_headers = List.mapi (fun i _ -> Printf.sprintf "[%d]" (i + 1)) traces in
+  (* Counters: one column per run plus last-minus-first delta. *)
+  section "counters across runs";
+  let counters = List.map (fun (_, events) -> counter_totals events) traces in
+  let names =
+    union_keys
+      (List.map (fun tbl f -> Hashtbl.iter (fun k _ -> f k) tbl) counters)
+  in
+  if names = [] then print_endline "no counter events in any trace."
+  else begin
+    let value tbl name = Option.value ~default:0 (Hashtbl.find_opt tbl name) in
+    let last = List.nth counters (List.length counters - 1) in
+    let first = List.hd counters in
+    Util.Table.print
+      ~header:(Array.of_list (("counter" :: run_headers) @ [ "delta" ]))
+      (List.map
+         (fun name ->
+           Array.of_list
+             ((name
+               :: List.map (fun tbl -> string_of_int (value tbl name)) counters)
+             @ [ Printf.sprintf "%+d" (value last name - value first name) ]))
+         names)
+  end;
+  (* Phases: self time per run plus delta, ordered by last run's self time. *)
+  section "phase self time across runs";
+  let self_tbls =
+    List.map
+      (fun (_, events) ->
+        let tbl = phase_table events in
+        let self : (string, float) Hashtbl.t = Hashtbl.create 32 in
+        Hashtbl.iter
+          (fun path ph ->
+            Hashtbl.replace self path (Float.max 0.0 (ph.incl -. ph.child)))
+          tbl;
+        self)
+      traces
+  in
+  let paths_union =
+    union_keys
+      (List.map (fun tbl f -> Hashtbl.iter (fun k _ -> f k) tbl) self_tbls)
+  in
+  if paths_union = [] then print_endline "no span events in any trace."
+  else begin
+    let value tbl p = Option.value ~default:0.0 (Hashtbl.find_opt tbl p) in
+    let last = List.nth self_tbls (List.length self_tbls - 1) in
+    let first = List.hd self_tbls in
+    let ordered =
+      List.sort
+        (fun a b -> compare (value last b) (value last a))
+        paths_union
+    in
+    Util.Table.print
+      ~header:(Array.of_list (("phase" :: run_headers) @ [ "delta" ]))
+      (List.map
+         (fun p ->
+           let d = value last p -. value first p in
+           Array.of_list
+             ((p :: List.map (fun tbl -> fmt_secs (value tbl p)) self_tbls)
+             @ [ Printf.sprintf "%s%s" (if d >= 0.0 then "+" else "-")
+                   (fmt_secs (Float.abs d)) ]))
+         ordered)
+  end
+
+let run paths top =
+  match paths with
+  | [ path ] -> run_single path top
+  | paths -> run_many paths
+
 let cmd =
-  let trace =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
-         ~doc:"JSONL trace recorded with ISAAC_TRACE=$(docv).")
+  let traces =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"TRACE"
+         ~doc:"JSONL trace(s) recorded with ISAAC_TRACE=$(docv); two or \
+               more switch to cross-run comparison.")
   in
   let top =
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"N"
@@ -263,6 +363,6 @@ let cmd =
   Cmd.v
     (Cmd.info "isaac_profile"
        ~doc:"Summarize an ISAAC_TRACE profile: phase times, counters, hot configs")
-    Term.(const run $ trace $ top)
+    Term.(const run $ traces $ top)
 
 let () = exit (Cmd.eval cmd)

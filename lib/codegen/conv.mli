@@ -29,6 +29,16 @@ val run :
     per {!Conv_params.h} / {!Conv_params.w}); it is zero-padded host-side
     when [pad > 0]. [filter] is C×R×S×K; the result is N×P×Q×K. *)
 
+val run_counted :
+  ?bounds:Gemm_params.bounds_mode ->
+  Conv_params.input ->
+  Gemm_params.config ->
+  image:float array ->
+  filter:float array ->
+  float array * Ptx.Interp.counters
+(** Like {!run} but also returns the interpreter's dynamic counters,
+    for cost-model cross-checks and model-vs-counter attribution. *)
+
 val im2col : Conv_params.input -> float array -> float array
 (** Materialize the NPQ×CRS patch matrix (the explicit counterpart of the
     indirection tables). Input is the (unpadded) image. *)

@@ -47,8 +47,22 @@ let cost ?bounds i (cfg : Gemm_params.config) =
     float_of_int (cfg.ms * cfg.ns * uc)
     /. (if base.vectorized_fp16 then 2.0 else 1.0)
   in
+  (* Patch overlap: the im2col A-operand charges every output its full
+     R·S window, but ml consecutive outputs along a row stride through
+     the image and share window columns — a tile touches about
+     (ml·stride + s − 1) distinct columns where im2col counts ml·s. The
+     interpreter's transaction counters see the deduplicated accesses
+     (equal addresses broadcast within a warp, neighbours share
+     segments), and so do DRAM and L2 on real hardware. *)
+  let overlap =
+    Float.min 1.0
+      (float_of_int ((cfg.ml * i.stride) + i.s - 1)
+      /. float_of_int (cfg.ml * i.s))
+  in
   { base with
     name = describe_name i cfg;
     ialu_per_fma = base.ialu_per_fma +. (gather_ialu /. fmas_per_thread_iter);
+    load_a_bytes = base.load_a_bytes *. overlap;
     coalescing = base.coalescing *. 0.9;
+    tx_coalescing = base.tx_coalescing *. 0.9;
     mlp = Float.max 1.0 (base.mlp *. 0.75) }

@@ -112,17 +112,16 @@ let bounds_overhead mode (i : input) (c : config) =
    of each 128-byte line a warp consumes; panels are streamed along K so a
    large floor applies (lines left partially used by one iteration are
    finished by the next from L2). *)
-let coalescing (i : input) (c : config) =
+let coalescing_parts (i : input) (c : config) =
   let b = float_of_int (Ptx.Types.dtype_bytes i.dtype) in
   let extent_a = if i.a_trans then c.ml else c.u in
   let extent_b = if i.b_trans then c.u else c.nl in
-  let eff e =
-    let raw = Float.min 1.0 (float_of_int e *. b /. 128.0) in
-    (* Lines left partially consumed by one K-iteration are finished by the
-       next from L2, so the floor is high. *)
-    Float.max 0.85 raw
-  in
-  (eff extent_a +. eff extent_b) /. 2.0
+  let raw e = Float.min 1.0 (float_of_int e *. b /. 128.0) in
+  (* Lines left partially consumed by one K-iteration are finished by the
+     next from L2, so the floor is high. *)
+  let dram e = Float.max 0.85 (raw e) in
+  ( (dram extent_a +. dram extent_b) /. 2.0,
+    (raw extent_a +. raw extent_b) /. 2.0 )
 
 (* The inner loop reads shared memory in [u][ml] / [u][nl] order; if the
    global layout's contiguous direction disagrees, staging is a transpose
@@ -149,9 +148,15 @@ let cost ?(bounds = Predicated) (i : input) (c : config) =
   let blocks = grid_m * grid_n * grid_k in
   let kc = ceil_div i.k c.kg in
   let k_iters = float_of_int (ceil_div kc c.u) in
-  let mp = float_of_int (grid_m * c.ml) in
-  let np = float_of_int (grid_n * c.nl) in
-  let kp = k_iters *. float_of_int (c.u * grid_k) in
+  (* Loaded panel extents, clipped to the problem: out-of-bounds lanes
+     are predicated off (and Unchecked bounds are only legal when tiles
+     divide the shape), so tile-rounding overshoot never turns into
+     issued traffic — charging padded extents overstates ragged shapes. *)
+  let mp = float_of_int (min (grid_m * c.ml) i.m) in
+  let np = float_of_int (min (grid_n * c.nl) i.n) in
+  let kp =
+    Float.min (k_iters *. float_of_int (c.u * grid_k)) (float_of_int i.k)
+  in
   let blocks_f = float_of_int blocks in
   (* FMA instructions: ml*nl*u scalar multiply-accumulates per block per
      iteration, packed two-wide under fp16x2. *)
@@ -264,7 +269,8 @@ let cost ?(bounds = Predicated) (i : input) (c : config) =
     load_b_bytes;
     store_bytes;
     atom_ops;
-    coalescing = coalescing i c;
+    coalescing = (let dram, _ = coalescing_parts i c in dram);
+    tx_coalescing = (let _, tx = coalescing_parts i c in tx);
     shared_traffic_bytes =
       (staging_bytes +. fragment_bytes +. kl_epilogue_bytes) *. shared_vec_discount;
     shared_conflict_factor;

@@ -21,6 +21,7 @@ type t = {
   store_bytes : float;
   atom_ops : float;
   coalescing : float;
+  tx_coalescing : float;
   shared_traffic_bytes : float;
   shared_conflict_factor : float;
   ilp : float;

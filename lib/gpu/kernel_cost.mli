@@ -36,6 +36,11 @@ type t = {
   store_bytes : float;        (** global stores of the output *)
   atom_ops : float;           (** global atomic reductions (K_G > 1) *)
   coalescing : float;         (** DRAM transaction efficiency in (0,1] *)
+  tx_coalescing : float;
+      (** transaction-level segment utilization in (0,1]: the fraction of
+          each 128-byte segment a single warp access group consumes,
+          without the L2 line-completion credit [coalescing] grants to
+          DRAM bytes — partial lines still issue whole transactions *)
   shared_traffic_bytes : float;
   shared_conflict_factor : float;
                               (** mean bank-serialization degree of the

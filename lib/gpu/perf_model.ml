@@ -14,6 +14,7 @@ type report = {
   blocks_per_sm : int;
   l2_hit_rate : float;
   effective_dram_gbs : float;
+  global_bytes : float;
   bound : bound;
   arith_seconds : float;
   mem_seconds : float;
@@ -73,6 +74,15 @@ let predict (d : Device.t) (c : Kernel_cost.t) =
     let dram_bytes =
       ((loads -. l2_served) /. c.coalescing) +. c.store_bytes +. atom_bytes
     in
+    (* Pre-L2 transaction traffic: what the memory pipeline issues,
+       regardless of where it is served. Uses the transaction-level
+       segment utilization (no L2 line-completion credit) because partial
+       lines still issue whole transactions. Atomics are excluded: they
+       take the reduction path (their time lives in the overhead term)
+       and load/store transaction counters do not see them. This is the
+       quantity emulated transaction counters measure (Attribution pairs
+       it with gld+gst_transactions). *)
+    let global_bytes = (loads /. c.tx_coalescing) +. c.store_bytes in
     (* Little's law: not enough warps in flight caps achievable DRAM
        bandwidth below peak (paper Eq. 2's memory half). *)
     let bw_lat = Memory_model.latency_limited_bw_gbs d ~warps_per_sm:warps_eff ~mlp:c.mlp in
@@ -124,6 +134,7 @@ let predict (d : Device.t) (c : Kernel_cost.t) =
         blocks_per_sm = occ.blocks_per_sm;
         l2_hit_rate;
         effective_dram_gbs = dram_bw_eff;
+        global_bytes;
         bound;
         arith_seconds;
         mem_seconds;

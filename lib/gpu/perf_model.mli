@@ -24,6 +24,11 @@ type report = {
   blocks_per_sm : int;      (** occupancy-calculator residency *)
   l2_hit_rate : float;      (** traffic-weighted global-load hit rate *)
   effective_dram_gbs : float;
+  global_bytes : float;
+      (** pre-L2 global transaction traffic (loads inflated by the
+          coalescing factor, plus stores and atomics): the mem term's
+          traffic driver, comparable against emulated transaction
+          counters independent of the bandwidth model *)
   bound : bound;
   arith_seconds : float;
   mem_seconds : float;

@@ -1,20 +1,53 @@
+(* Every lookup records the effective value it resolved to, so the
+   benchmark report's metadata block lists exactly the knobs the run
+   actually consulted — the registry and the harness cannot disagree. *)
+let consulted : (string, string) Hashtbl.t = Hashtbl.create 16
+
+let record name value =
+  Hashtbl.replace consulted name value;
+  value
+
+let snapshot () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) consulted []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let float name default =
-  match Sys.getenv_opt name with
-  | None -> default
-  | Some s -> ( match float_of_string_opt s with Some f -> f | None -> default)
+  let v =
+    match Sys.getenv_opt name with
+    | None -> default
+    | Some s -> ( match float_of_string_opt s with Some f -> f | None -> default)
+  in
+  ignore (record name (Printf.sprintf "%.17g" v));
+  v
 
 let int name default =
-  match Sys.getenv_opt name with
-  | None -> default
-  | Some s -> ( match int_of_string_opt s with Some i -> i | None -> default)
+  let v =
+    match Sys.getenv_opt name with
+    | None -> default
+    | Some s -> ( match int_of_string_opt s with Some i -> i | None -> default)
+  in
+  ignore (record name (string_of_int v));
+  v
 
 let bool name default =
-  match Sys.getenv_opt name with
-  | None -> default
-  | Some ("1" | "true" | "yes" | "on") -> true
-  | Some ("0" | "false" | "no" | "off") -> false
-  | Some _ -> default
+  let v =
+    match Sys.getenv_opt name with
+    | None -> default
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | Some ("0" | "false" | "no" | "off") -> false
+    | Some _ -> default
+  in
+  ignore (record name (string_of_bool v));
+  v
 
-let scale () = Float.min 100.0 (Float.max 0.01 (float "REPRO_SCALE" 1.0))
+let string name default =
+  let v = match Sys.getenv_opt name with Some s -> s | None -> default in
+  record name v
+
+let scale () =
+  let v = Float.min 100.0 (Float.max 0.01 (float "REPRO_SCALE" 1.0)) in
+  ignore (record "REPRO_SCALE" (Printf.sprintf "%.17g" v));
+  v
+
 let scaled n = max 1 (int_of_float (Float.round (float_of_int n *. scale ())))
 let seed () = int "REPRO_SEED" 42

@@ -18,5 +18,15 @@ val int : string -> int -> int
 val float : string -> float -> float
 val bool : string -> bool -> bool
 
+val string : string -> string -> string
+(** [string name default] reads a raw string env override. *)
+
 val seed : unit -> int
 (** Root experiment seed, [REPRO_SEED], default 42. *)
+
+val snapshot : unit -> (string * string) list
+(** Every knob consulted so far through this module, with the effective
+    value each lookup resolved to (default or override, post-clamping),
+    sorted by name. The benchmark report embeds this as its environment
+    metadata block, so recorded runs always carry the knobs that actually
+    shaped them. *)

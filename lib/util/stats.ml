@@ -23,13 +23,38 @@ let percentile a p =
   assert (Array.length a > 0 && p >= 0.0 && p <= 100.0);
   let b = sorted a in
   let n = Array.length b in
-  let rank = p /. 100.0 *. float_of_int (n - 1) in
-  let lo = int_of_float (Float.floor rank) in
-  let hi = Stdlib.min (lo + 1) (n - 1) in
-  let frac = rank -. float_of_int lo in
-  b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
+  if n = 1 then b.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    (* Clamp against floating-point overshoot (e.g. p near 100 where
+       p/100*(n-1) can land an ulp above n-1). *)
+    let lo = Stdlib.min (n - 1) (Stdlib.max 0 (int_of_float (Float.floor rank))) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = Stdlib.min 1.0 (Stdlib.max 0.0 (rank -. float_of_int lo)) in
+    b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
+  end
 
 let median a = percentile a 50.0
+
+let mad a =
+  let m = median a in
+  median (Array.map (fun x -> Float.abs (x -. m)) a)
+
+let bootstrap_ci ?(resamples = 1000) ?(confidence = 0.95) rng a
+    ~estimator =
+  assert (Array.length a > 0 && resamples > 0);
+  assert (confidence > 0.0 && confidence < 1.0);
+  let n = Array.length a in
+  let scratch = Array.make n 0.0 in
+  let estimates =
+    Array.init resamples (fun _ ->
+        for i = 0 to n - 1 do
+          scratch.(i) <- a.(Rng.int rng n)
+        done;
+        estimator scratch)
+  in
+  let tail = 100.0 *. (1.0 -. confidence) /. 2.0 in
+  (percentile estimates tail, percentile estimates (100.0 -. tail))
 let min a = Array.fold_left Stdlib.min a.(0) a
 let max a = Array.fold_left Stdlib.max a.(0) a
 

@@ -16,9 +16,32 @@ val geomean : float array -> float
 val median : float array -> float
 (** Median (does not mutate its argument). *)
 
+val mad : float array -> float
+(** Median absolute deviation: [median |x_i - median a|], a robust
+    spread estimate immune to the occasional wild benchmark outlier
+    (unscaled — multiply by 1.4826 for a normal-consistent sigma). *)
+
 val percentile : float array -> float -> float
 (** [percentile a p] with [p] in \[0,100\], linear interpolation between
-    order statistics. *)
+    order statistics. A single-element array yields that element for
+    every [p]; interior ranks are clamped to the valid index range, so
+    floating-point overshoot of [p/100*(n-1)] can never index out of
+    bounds. Does not mutate its argument. *)
+
+val bootstrap_ci :
+  ?resamples:int ->
+  ?confidence:float ->
+  Rng.t ->
+  float array ->
+  estimator:(float array -> float) ->
+  float * float
+(** [bootstrap_ci rng a ~estimator] is a percentile-bootstrap confidence
+    interval [(lo, hi)] for [estimator] over [a]: draw [resamples]
+    (default 1000) with-replacement resamples of [a] using the seeded
+    [rng] (deterministic for a fixed seed), apply [estimator] to each,
+    and take the central [confidence] (default 0.95) mass of the
+    resulting distribution. The estimator must not mutate or retain its
+    argument — the same scratch buffer is reused across resamples. *)
 
 val min : float array -> float
 val max : float array -> float
