@@ -51,7 +51,7 @@ let pad_image (i : C.input) image =
 let generate ?bounds (i : C.input) (cfg : P.config) =
   Gemm.generate_gather ?bounds (C.gemm_input i) cfg
 
-let run_counted ?bounds (i : C.input) (cfg : P.config) ~image ~filter =
+let run_counted ?bounds ?domains (i : C.input) (cfg : P.config) ~image ~filter =
   let gi = C.gemm_input i in
   let expect_i = i.n * i.c * C.h i * C.w i in
   let expect_f = C.crs i * i.k in
@@ -70,7 +70,7 @@ let run_counted ?bounds (i : C.input) (cfg : P.config) ~image ~filter =
   let grid = (ceil_div gi.m cfg.ml, ceil_div gi.n cfg.nl, cfg.kg) in
   let block = (P.threads_per_block cfg, 1, 1) in
   let counters =
-    Ptx.Interp.run program ~grid ~block
+    Ptx.Interp.run ?domains program ~grid ~block
       ~bufs:
         [ ("A", padded); ("B", filter); ("C", out); ("LUT_ROW", lut_row);
           ("LUT_DELTA", lut_delta) ]
@@ -78,8 +78,8 @@ let run_counted ?bounds (i : C.input) (cfg : P.config) ~image ~filter =
   in
   (out, counters)
 
-let run ?bounds (i : C.input) (cfg : P.config) ~image ~filter =
-  fst (run_counted ?bounds i cfg ~image ~filter)
+let run ?bounds ?domains (i : C.input) (cfg : P.config) ~image ~filter =
+  fst (run_counted ?bounds ?domains i cfg ~image ~filter)
 
 let im2col (i : C.input) image =
   let padded = pad_image i image in

@@ -18,8 +18,15 @@ val generate :
   Gemm_params.config ->
   Ptx.Program.t
 
+val pad_image : Conv_params.input -> float array -> float array
+(** Zero-pad an N×C×H×W image to N×C×(H+2·pad)×(W+2·pad) — the "A"
+    buffer layout the gather kernel addresses through {!tables}. The
+    identity when [pad = 0]. Exposed so harnesses (e.g. the interpreter
+    differential suite) can construct conv launches directly. *)
+
 val run :
   ?bounds:Gemm_params.bounds_mode ->
+  ?domains:int ->
   Conv_params.input ->
   Gemm_params.config ->
   image:float array ->
@@ -31,13 +38,16 @@ val run :
 
 val run_counted :
   ?bounds:Gemm_params.bounds_mode ->
+  ?domains:int ->
   Conv_params.input ->
   Gemm_params.config ->
   image:float array ->
   filter:float array ->
   float array * Ptx.Interp.counters
 (** Like {!run} but also returns the interpreter's dynamic counters,
-    for cost-model cross-checks and model-vs-counter attribution. *)
+    for cost-model cross-checks and model-vs-counter attribution.
+    [domains] is forwarded to {!Ptx.Interp.run}; results are identical
+    for any value. *)
 
 val im2col : Conv_params.input -> float array -> float array
 (** Materialize the NPQ×CRS patch matrix (the explicit counterpart of the

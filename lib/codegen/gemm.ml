@@ -311,7 +311,7 @@ let generate_batched ?bounds ~batch i c =
 let generate_gather ?bounds i c = generate_gen ?bounds ~gather:true i c
 
 let run_counted ?bounds ?(alpha = 1.0) ?(beta = 0.0) ?(epilogue = P.Plain) ?bias
-    (i : P.input) (c : P.config) ~a ~b ?c_in () =
+    ?domains (i : P.input) (c : P.config) ~a ~b ?c_in () =
   let expect_a = i.m * i.k and expect_b = i.k * i.n in
   if Array.length a <> expect_a then
     invalid_arg (Printf.sprintf "Gemm.run: A has %d elements, expected %d"
@@ -344,14 +344,14 @@ let run_counted ?bounds ?(alpha = 1.0) ?(beta = 0.0) ?(epilogue = P.Plain) ?bias
     | (P.Plain | P.Relu), _ -> []
   in
   let counters =
-    Ptx.Interp.run program ~grid:(grid i c) ~block:(block c)
+    Ptx.Interp.run ?domains program ~grid:(grid i c) ~block:(block c)
       ~bufs:([ ("A", a); ("B", b); ("C", out) ] @ bias_bufs)
       ~iargs:[ ("M", i.m); ("N", i.n); ("K", i.k) ]
   in
   (out, counters)
 
-let run ?bounds ?alpha ?beta ?epilogue ?bias ?c_in i c ~a ~b =
-  fst (run_counted ?bounds ?alpha ?beta ?epilogue ?bias i c ~a ~b ?c_in ())
+let run ?bounds ?alpha ?beta ?epilogue ?bias ?c_in ?domains i c ~a ~b =
+  fst (run_counted ?bounds ?alpha ?beta ?epilogue ?bias ?domains i c ~a ~b ?c_in ())
 
 let run_batched ?bounds ~batch (i : P.input) (c : P.config) ~a ~b =
   if Array.length a <> batch * i.m * i.k then invalid_arg "Gemm.run_batched: bad A";

@@ -80,6 +80,7 @@ val run :
   ?epilogue:Gemm_params.epilogue ->
   ?bias:float array ->
   ?c_in:float array ->
+  ?domains:int ->
   Gemm_params.input ->
   Gemm_params.config ->
   a:float array ->
@@ -99,6 +100,7 @@ val run_counted :
   ?beta:float ->
   ?epilogue:Gemm_params.epilogue ->
   ?bias:float array ->
+  ?domains:int ->
   Gemm_params.input ->
   Gemm_params.config ->
   a:float array ->
@@ -107,7 +109,8 @@ val run_counted :
   unit ->
   float array * Ptx.Interp.counters
 (** Like {!run} but also returns the dynamic instruction counters, used by
-    tests to cross-check the static cost model. *)
+    tests to cross-check the static cost model. [domains] is forwarded to
+    {!Ptx.Interp.run}; results are identical for any value. *)
 
 val reference :
   ?alpha:float ->

@@ -1,15 +1,23 @@
 type sink = {
   oc : out_channel;
   t0 : float;  (* monotonic origin of the trace *)
-  lock : Mutex.t;
+  lock : Mutex.t;  (* serializes writes; guards [closed] *)
+  mutable closed : bool;
 }
 
-let sink : sink option ref = ref None
-let on = ref false
+(* Cross-domain lifecycle: [on] and [sink] are atomics so emitters on any
+   domain read a coherent snapshot without locking; [master] serializes
+   the start/stop transitions (and the finalizer list). An emitter that
+   read the sink just before a concurrent [stop] is harmless: [stop]
+   flips [closed] and closes the channel under the sink's own lock, and
+   every write re-checks [closed] under that lock first. *)
+let sink : sink option Atomic.t = Atomic.make None
+let on = Atomic.make false
+let master = Mutex.create ()
 let finalizers : (unit -> unit) list ref = ref []
 let exit_hook_installed = ref false
 
-let enabled () = !on
+let enabled () = Atomic.get on
 
 (* This Unix build has no [clock_gettime]; monotonize gettimeofday by
    clamping to the largest timestamp handed out so far, so a wall-clock
@@ -26,10 +34,11 @@ let mono () =
   in
   clamp ()
 
-let now () = match !sink with None -> 0.0 | Some s -> mono () -. s.t0
+let now () =
+  match Atomic.get sink with None -> 0.0 | Some s -> mono () -. s.t0
 
 let emit ev fields =
-  match !sink with
+  match Atomic.get sink with
   | None -> ()
   | Some s ->
     let line =
@@ -40,37 +49,59 @@ let emit ev fields =
     Fun.protect
       ~finally:(fun () -> Mutex.unlock s.lock)
       (fun () ->
-        output_string s.oc line;
-        output_char s.oc '\n')
+        if not s.closed then begin
+          output_string s.oc line;
+          output_char s.oc '\n'
+        end)
 
 let stop () =
-  match !sink with
-  | None -> ()
-  | Some s ->
-    List.iter (fun f -> f ()) (List.rev !finalizers);
-    emit "trace_end" [];
-    (* Disable before closing so a finalizer-triggered emit from another
-       domain cannot race a closed channel. *)
-    on := false;
-    sink := None;
-    close_out s.oc
+  Mutex.lock master;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock master)
+    (fun () ->
+      match Atomic.get sink with
+      | None -> ()
+      | Some s ->
+        (* Finalizers run while the sink is still live so they can emit
+           (Metrics flushes its summary events here). *)
+        List.iter (fun f -> f ()) (List.rev !finalizers);
+        emit "trace_end" [];
+        Atomic.set on false;
+        Atomic.set sink None;
+        (* Close under the sink lock: an emitter that read this sink
+           before we unpublished it either finishes its write first or
+           sees [closed] and drops the event — never a closed channel. *)
+        Mutex.lock s.lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock s.lock)
+          (fun () ->
+            s.closed <- true;
+            close_out s.oc))
 
-let at_stop f = finalizers := f :: !finalizers
+let at_stop f =
+  Mutex.lock master;
+  finalizers := f :: !finalizers;
+  Mutex.unlock master
 
 let start ~path =
-  if !sink = None then begin
-    let oc = open_out path in
-    sink := Some { oc; t0 = mono (); lock = Mutex.create () };
-    on := true;
-    if not !exit_hook_installed then begin
-      exit_hook_installed := true;
-      at_exit stop
-    end;
-    emit "trace_start"
-      [ ("version", Json.Int 1);
-        ("unix_time", Json.Float (Unix.gettimeofday ()));
-        ("argv", Json.List (Array.to_list (Array.map (fun a -> Json.String a) Sys.argv))) ]
-  end
+  Mutex.lock master;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock master)
+    (fun () ->
+      if Atomic.get sink = None then begin
+        let oc = open_out path in
+        Atomic.set sink
+          (Some { oc; t0 = mono (); lock = Mutex.create (); closed = false });
+        Atomic.set on true;
+        if not !exit_hook_installed then begin
+          exit_hook_installed := true;
+          at_exit stop
+        end;
+        emit "trace_start"
+          [ ("version", Json.Int 1);
+            ("unix_time", Json.Float (Unix.gettimeofday ()));
+            ("argv", Json.List (Array.to_list (Array.map (fun a -> Json.String a) Sys.argv))) ]
+      end)
 
 (* Honour ISAAC_TRACE as soon as any instrumented code touches this
    module, so binaries need no explicit initialization. *)

@@ -38,6 +38,24 @@ let summary c =
     c.st_shared c.atom c.bar c.branch c.pred c.mov c.predicated_off
     c.gld_transactions c.gst_transactions c.shared_transactions
 
+let add_into ~into c =
+  into.ialu <- into.ialu + c.ialu;
+  into.fma <- into.fma + c.fma;
+  into.fp_other <- into.fp_other + c.fp_other;
+  into.ld_global <- into.ld_global + c.ld_global;
+  into.st_global <- into.st_global + c.st_global;
+  into.ld_shared <- into.ld_shared + c.ld_shared;
+  into.st_shared <- into.st_shared + c.st_shared;
+  into.atom <- into.atom + c.atom;
+  into.bar <- into.bar + c.bar;
+  into.branch <- into.branch + c.branch;
+  into.pred <- into.pred + c.pred;
+  into.mov <- into.mov + c.mov;
+  into.predicated_off <- into.predicated_off + c.predicated_off;
+  into.gld_transactions <- into.gld_transactions + c.gld_transactions;
+  into.gst_transactions <- into.gst_transactions + c.gst_transactions;
+  into.shared_transactions <- into.shared_transactions + c.shared_transactions
+
 (* Feed the per-run totals into the tracing subsystem (one call per
    interpreted launch; a handful of no-ops when tracing is off). *)
 let obs_export c =
@@ -66,45 +84,236 @@ exception Trap of string
 
 let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
 
-(* Describe a pc as "pc N (k after label L)" so trap messages locate the
-   faulting instruction in generator output without a disassembly. *)
-let describe_pc (body : Instr.t array) pc =
-  let rec nearest i =
-    if i < 0 then None
-    else
-      match body.(i) with
-      | { Instr.op = Instr.Label l; _ } -> Some (l, i)
-      | _ -> nearest (i - 1)
-  in
-  match nearest (min pc (Array.length body - 1)) with
-  | Some (l, lpc) when pc = lpc -> Printf.sprintf "pc %d (label %s)" pc l
-  | Some (l, lpc) -> Printf.sprintf "pc %d (label %s + %d)" pc l (pc - lpc)
-  | None -> Printf.sprintf "pc %d" pc
+(* ---------------------------------------------------------------------
+   Threaded-code engine.
 
-(* Per-thread architectural state. *)
+   [run] lowers the instruction array once per launch into an array of
+   closures ("threaded code"): one closure per real instruction, taking
+   the per-domain execution context and the current thread and returning
+   the next compiled pc (or a negative stop sentinel for Bar/Ret). All
+   launch-invariant decoding happens at compile time:
+
+   - labels are squashed out of the code array, so fall-through is always
+     [pc + 1] and branch targets are pre-resolved compiled indices — no
+     label Hashtbl on the hot path;
+   - operands are pre-discriminated: params and launch-geometry specials
+     ([Ntid_*]/[Nctaid_*]) fold to constants, [Tid_*]/[Ctaid_*] read
+     thread fields, and the register/immediate split is decided once;
+   - guards are hoisted into a wrapper closure, so unguarded instructions
+     pay nothing for predication;
+   - the per-category counter bump is baked into each closure.
+
+   Blocks are independent except for [Atom_global_add], so the grid loop
+   fans out across OCaml domains ([Util.Parallel]): each domain executes
+   a contiguous chunk of linearized block indices against its own context
+   (counter shard, shared memory, transaction-replay state) and the
+   shards are summed in chunk order afterwards — counter totals are
+   sums of per-block contributions, so the merged result is bit-identical
+   to serial execution. Kernels containing global atomics fall back to a
+   single domain so floating-point accumulation order (and thus output
+   buffers) also stays bit-identical. The dynamic-instruction budget is a
+   shared atomic permit pool; domains take leases of [lease_chunk]
+   permits so the hot path stays a plain decrement. *)
+
+(* Per-thread architectural state. Threads are allocated once per domain
+   and reset per block (registers zero-filled, as a fresh allocation
+   would be). *)
 type thread = {
   fregs : float array;
   iregs : int array;
   pregs : bool array;
-  mutable pc : int;
+  mutable pc : int;  (* compiled pc *)
   mutable done_ : bool;
   lin : int;  (* linear thread index within the block (lane = lin mod 32) *)
-  tid : int * int * int;
-  ctaid : int * int * int;
+  tid_x : int;
+  tid_y : int;
+  tid_z : int;
+  mutable cta_x : int;
+  mutable cta_y : int;
+  mutable cta_z : int;
 }
+
+(* One access group of the memory-transaction replay: the accesses issued
+   by the lanes of one warp for one dynamic execution of one memory
+   instruction. Groups live in per-(instruction, warp) pools indexed by
+   the dynamic ordinal and are invalidated lazily by stamp comparison at
+   every barrier phase — no per-phase O(size) reset. A group holds at most
+   32 entries (one per lane), so membership is a linear scan over a small
+   int array: distinct 32-word segments for global memory, distinct
+   addresses for shared memory. *)
+type grp = {
+  mutable g_items : int array;
+  mutable g_n : int;
+  mutable g_passes : int;  (* shared: serialized passes charged so far *)
+  mutable g_stamp : int;
+}
+
+(* Per-domain execution context. *)
+type ctx = {
+  k : counters;  (* this domain's counter shard *)
+  pool : int Atomic.t;  (* shared budget: remaining permitted executions *)
+  mutable lease : int;  (* permits reserved locally, spent one per charge *)
+  n_warps : int;
+  shared_f : float array;
+  shared_i : int array;
+  (* replay state: flat per-(mem-instruction, warp, lane) dynamic
+     ordinals plus per-(mem-instruction, warp) group pools *)
+  ord : int array;
+  ord_stamp : int array;
+  grps : grp array array;
+  mutable stamp : int;  (* bumped per barrier phase and per block *)
+  threads : thread array;
+}
+
+let lease_chunk = 65536
+
+let refill ctx =
+  let rec take () =
+    let cur = Atomic.get ctx.pool in
+    if cur <= 0 then
+      raise
+        (Trap
+           (Printf.sprintf "dynamic instruction budget exhausted [%s]"
+              (summary ctx.k)))
+    else
+      let g = if lease_chunk < cur then lease_chunk else cur in
+      if Atomic.compare_and_set ctx.pool cur (cur - g) then ctx.lease <- g - 1
+      else take ()
+  in
+  take ()
+
+let new_grp () = { g_items = Array.make 8 0; g_n = 0; g_passes = 0; g_stamp = 0 }
+
+(* Locate this lane's current access group for memory slot [ms]: bump the
+   lane's dynamic ordinal and return the (lazily reset) k-th group of the
+   (slot, warp) pool. *)
+let group ctx ms lin =
+  let sw = (ms * ctx.n_warps) + (lin lsr 5) in
+  let oi = (sw lsl 5) lor (lin land 31) in
+  let stamp = ctx.stamp in
+  let kth =
+    if Array.unsafe_get ctx.ord_stamp oi = stamp then Array.unsafe_get ctx.ord oi
+    else 0
+  in
+  Array.unsafe_set ctx.ord_stamp oi stamp;
+  Array.unsafe_set ctx.ord oi (kth + 1);
+  let row = Array.unsafe_get ctx.grps sw in
+  let row =
+    if kth < Array.length row then row
+    else begin
+      let n = Array.length row in
+      let grown =
+        Array.init (max 8 (2 * (kth + 1))) (fun i ->
+            if i < n then row.(i) else new_grp ())
+      in
+      ctx.grps.(sw) <- grown;
+      grown
+    end
+  in
+  let g = Array.unsafe_get row kth in
+  if g.g_stamp <> stamp then begin
+    g.g_stamp <- stamp;
+    g.g_n <- 0;
+    g.g_passes <- 0
+  end;
+  g
+
+let grp_add g v =
+  if g.g_n = Array.length g.g_items then begin
+    let grown = Array.make (2 * g.g_n) 0 in
+    Array.blit g.g_items 0 grown 0 g.g_n;
+    g.g_items <- grown
+  end;
+  g.g_items.(g.g_n) <- v;
+  g.g_n <- g.g_n + 1
+
+(* One transaction per distinct 32-word segment touched by the group. *)
+let record_global ctx ~store ms lin addr =
+  let g = group ctx ms lin in
+  let seg = addr asr 5 in
+  let items = g.g_items and n = g.g_n in
+  let rec mem i = i < n && (Array.unsafe_get items i = seg || mem (i + 1)) in
+  if not (mem 0) then begin
+    grp_add g seg;
+    let k = ctx.k in
+    if store then k.gst_transactions <- k.gst_transactions + 1
+    else k.gld_transactions <- k.gld_transactions + 1
+  end
+
+(* Serialized passes: max over banks of the distinct-address count (equal
+   addresses broadcast). Charge one transaction each time the running max
+   grows — identical to charging the final max once per group. *)
+let record_shared ctx ms lin addr =
+  let g = group ctx ms lin in
+  let items = g.g_items and n = g.g_n in
+  let rec mem i = i < n && (Array.unsafe_get items i = addr || mem (i + 1)) in
+  if not (mem 0) then begin
+    let bank = addr land 31 in
+    let c = ref 1 in
+    for i = 0 to n - 1 do
+      if Array.unsafe_get items i land 31 = bank then incr c
+    done;
+    grp_add g addr;
+    if !c > g.g_passes then begin
+      g.g_passes <- !c;
+      ctx.k.shared_transactions <- ctx.k.shared_transactions + 1
+    end
+  end
 
 type stop = Hit_bar | Hit_ret
 
-(* One shared-memory access group of the dynamic bank-conflict replay:
-   the accesses issued by the lanes of one warp for one dynamic
-   execution of one instruction. *)
-type sgroup = {
-  mutable s_addrs : int list;        (* distinct addresses seen *)
-  mutable s_banks : (int * int) list; (* bank -> distinct-address count *)
-  mutable s_passes : int;            (* serialized passes charged so far *)
-}
+(* Compiled-pc stop sentinels returned by closures instead of a next pc. *)
+let stop_ret = -1
+let stop_bar = -2
 
-let run ?(max_dynamic = 200_000_000) (p : Program.t) ~grid ~block ~bufs ~iargs =
+(* Pre-discriminated integer operand. *)
+type ikind =
+  | KReg of int
+  | KConst of int
+  | KDyn of (thread -> int)
+
+(* pc -> nearest preceding label, precomputed in one pass so trap
+   messages stay rich ("pc N (label L + k)") at zero steady-state cost. *)
+let nearest_labels (body : Instr.t array) =
+  let near = Array.make (max 1 (Array.length body)) None in
+  let cur = ref None in
+  Array.iteri
+    (fun i (ins : Instr.t) ->
+      (match ins.Instr.op with Instr.Label l -> cur := Some (l, i) | _ -> ());
+      near.(i) <- !cur)
+    body;
+  near
+
+let describe_with near n_body pc =
+  let j = if pc < n_body - 1 then pc else n_body - 1 in
+  if j < 0 then Printf.sprintf "pc %d" pc
+  else
+    match near.(j) with
+    | Some (l, lpc) when pc = lpc -> Printf.sprintf "pc %d (label %s)" pc l
+    | Some (l, lpc) -> Printf.sprintf "pc %d (label %s + %d)" pc l (pc - lpc)
+    | None -> Printf.sprintf "pc %d" pc
+
+(* Category bump applied to instructions whose guard evaluated false:
+   masked instructions still occupy an issue slot, so they count in their
+   category (keeping static/dynamic cross-checks aligned). *)
+let masked_bump op : counters -> unit =
+  match Instr.categorize op with
+  | Some Instr.Cat_ialu -> fun k -> k.ialu <- k.ialu + 1
+  | Some Cat_fma -> fun k -> k.fma <- k.fma + 1
+  | Some Cat_fp_other -> fun k -> k.fp_other <- k.fp_other + 1
+  | Some Cat_ld_global -> fun k -> k.ld_global <- k.ld_global + 1
+  | Some Cat_st_global -> fun k -> k.st_global <- k.st_global + 1
+  | Some Cat_ld_shared -> fun k -> k.ld_shared <- k.ld_shared + 1
+  | Some Cat_st_shared -> fun k -> k.st_shared <- k.st_shared + 1
+  | Some Cat_atom -> fun k -> k.atom <- k.atom + 1
+  | Some Cat_bar -> fun k -> k.bar <- k.bar + 1
+  | Some Cat_branch -> fun k -> k.branch <- k.branch + 1
+  | Some Cat_pred -> fun k -> k.pred <- k.pred + 1
+  | Some Cat_mov -> fun k -> k.mov <- k.mov + 1
+  | None -> fun _ -> ()
+
+let run ?(max_dynamic = 200_000_000) ?domains (p : Program.t) ~grid ~block
+    ~bufs ~iargs =
   let gx, gy, gz = grid and bx, by, bz = block in
   if gx <= 0 || gy <= 0 || gz <= 0 || bx <= 0 || by <= 0 || bz <= 0 then
     trap "invalid launch geometry";
@@ -127,410 +336,667 @@ let run ?(max_dynamic = 200_000_000) (p : Program.t) ~grid ~block ~bufs ~iargs =
   let labels = Program.find_labels p in
   let body = p.body in
   let n_body = Array.length body in
-  let counters = zero_counters () in
+  let near = nearest_labels body in
+  let describe pc = describe_with near n_body pc in
   (* Every trap raised during execution carries the counter totals
-     accumulated up to the fault — the "hardware counter" snapshot that
-     makes divergent or runaway kernels diagnosable post mortem. *)
-  let trap_at pc fmt =
+     accumulated up to the fault (this domain's shard) — the "hardware
+     counter" snapshot that makes divergent or runaway kernels
+     diagnosable post mortem. *)
+  let trap_at k opc fmt =
     Printf.ksprintf
       (fun s ->
         raise
-          (Trap
-             (Printf.sprintf "%s at %s [%s]" s (describe_pc body pc)
-                (summary counters))))
+          (Trap (Printf.sprintf "%s at %s [%s]" s (describe opc) (summary k))))
       fmt
-  in
-  let trap_run fmt =
-    Printf.ksprintf
-      (fun s -> raise (Trap (Printf.sprintf "%s [%s]" s (summary counters))))
-      fmt
-  in
-  let budget = ref max_dynamic in
-  let charge () =
-    decr budget;
-    if !budget <= 0 then trap_run "dynamic instruction budget exhausted"
   in
   let is_half = p.dtype = F16 in
-  let store_round v = if is_half then round_half v else v in
-  (* One block's shared memory, reallocated per block. *)
-  let run_block cx cy cz =
-    let shared = Array.make (max 1 p.shared_words) 0.0 in
-    let shared_i = Array.make (max 1 p.shared_int_words) 0 in
-    let n_threads = bx * by * bz in
-    let threads =
-      Array.init n_threads (fun linear ->
-        let tx = linear mod bx in
-        let ty = linear / bx mod by in
-        let tz = linear / (bx * by) in
-        { fregs = Array.make (max 1 p.n_fregs) 0.0;
-          iregs = Array.make (max 1 p.n_iregs) 0;
-          pregs = Array.make (max 1 p.n_pregs) false;
-          pc = 0; done_ = false;
-          lin = linear;
-          tid = (tx, ty, tz);
-          ctaid = (cx, cy, cz) })
-    in
-    (* --- memory-transaction replay --------------------------------------
-       Threads execute sequentially (thread 0 runs to the barrier before
-       thread 1 starts), so warp-level coalescing is reconstructed after
-       the fact: each lane's k-th dynamic execution of a memory
-       instruction at a given pc joins access group (pc, warp, k). For
-       global memory a group costs one transaction per distinct 32-word
-       segment; for shared memory a group costs max-over-banks of the
-       distinct-address count (equal addresses broadcast), the same rule
-       as the static analyzer in {!Verify}. Groups are discarded at every
-       barrier so memory stays proportional to one phase's traffic. The
-       per-lane ordinal alignment is exact for warp-uniform trip counts
-       (all kernels our generators emit) and an approximation under
-       intra-warp loop divergence. *)
-    let n_warps = (n_threads + 31) / 32 in
-    let ordinals : (int, int array) Hashtbl.t = Hashtbl.create 64 in
-    let gsegs : (int * int, int list ref) Hashtbl.t = Hashtbl.create 256 in
-    let sgroups : (int * int, sgroup) Hashtbl.t = Hashtbl.create 256 in
-    let access_group pc lin =
-      let key = (pc * n_warps) + (lin lsr 5) in
-      let lanes =
-        match Hashtbl.find_opt ordinals key with
-        | Some a -> a
-        | None ->
-          let a = Array.make 32 0 in
-          Hashtbl.add ordinals key a;
-          a
+  let shared_words = p.shared_words in
+  let shared_int_words = p.shared_int_words in
+  (* --- compile pass ---------------------------------------------------- *)
+  (* Squash labels: [idx.(i)] is the compiled index of real instruction
+     [i] (-1 for labels); [orig_of] maps back for trap messages;
+     [comp_of_orig] maps any original pc to the first real instruction at
+     or after it (branch targets land on labels). *)
+  let idx = Array.make (max 1 n_body) (-1) in
+  let n_code =
+    let j = ref 0 in
+    for i = 0 to n_body - 1 do
+      match body.(i).Instr.op with
+      | Instr.Label _ -> ()
+      | _ ->
+        idx.(i) <- !j;
+        incr j
+    done;
+    !j
+  in
+  let orig_of = Array.make (n_code + 1) n_body in
+  Array.iteri (fun i ci -> if ci >= 0 then orig_of.(ci) <- i) idx;
+  let comp_of_orig = Array.make (max 1 n_body) n_code in
+  (let nxt = ref n_code in
+   for i = n_body - 1 downto 0 do
+     if idx.(i) >= 0 then nxt := idx.(i);
+     comp_of_orig.(i) <- !nxt
+   done);
+  (* Dense memory-instruction slots for the transaction replay. *)
+  let n_mem = ref 0 in
+  let fresh_mem () =
+    let m = !n_mem in
+    incr n_mem;
+    m
+  in
+  let ik = function
+    | Ireg r -> KReg r
+    | Iimm v -> KConst v
+    | Iparam slot -> KConst ints.(slot)
+    | Ispecial s -> (
+      match s with
+      | Ntid_x -> KConst bx
+      | Ntid_y -> KConst by
+      | Ntid_z -> KConst bz
+      | Nctaid_x -> KConst gx
+      | Nctaid_y -> KConst gy
+      | Nctaid_z -> KConst gz
+      | Tid_x -> KDyn (fun th -> th.tid_x)
+      | Tid_y -> KDyn (fun th -> th.tid_y)
+      | Tid_z -> KDyn (fun th -> th.tid_z)
+      | Ctaid_x -> KDyn (fun th -> th.cta_x)
+      | Ctaid_y -> KDyn (fun th -> th.cta_y)
+      | Ctaid_z -> KDyn (fun th -> th.cta_z))
+  in
+  let iget = function
+    | KReg r -> fun th -> th.iregs.(r)
+    | KConst v -> fun _ -> v
+    | KDyn f -> f
+  in
+  let fget = function
+    | Freg r -> fun th -> th.fregs.(r)
+    | Fimm v -> fun _ -> v
+  in
+  (* Generic integer binop (cold shapes); hot ops get inlined cases. *)
+  let iop2 d a b (f : int -> int -> int) nxt =
+    match (ik a, ik b) with
+    | KReg i, KReg j ->
+      fun ctx th ->
+        let k = ctx.k in
+        k.ialu <- k.ialu + 1;
+        th.iregs.(d) <- f th.iregs.(i) th.iregs.(j);
+        nxt
+    | KReg i, KConst v ->
+      fun ctx th ->
+        let k = ctx.k in
+        k.ialu <- k.ialu + 1;
+        th.iregs.(d) <- f th.iregs.(i) v;
+        nxt
+    | KConst v, KReg j ->
+      fun ctx th ->
+        let k = ctx.k in
+        k.ialu <- k.ialu + 1;
+        th.iregs.(d) <- f v th.iregs.(j);
+        nxt
+    | ka, kb ->
+      let fa = iget ka and fb = iget kb in
+      fun ctx th ->
+        let k = ctx.k in
+        k.ialu <- k.ialu + 1;
+        th.iregs.(d) <- f (fa th) (fb th);
+        nxt
+  in
+  (* Generic float binop into fp_other. *)
+  let fop2 d a b (f : float -> float -> float) nxt =
+    match (a, b) with
+    | Freg i, Freg j ->
+      fun ctx th ->
+        let k = ctx.k in
+        k.fp_other <- k.fp_other + 1;
+        let fr = th.fregs in
+        fr.(d) <- f fr.(i) fr.(j);
+        nxt
+    | _ ->
+      let fa = fget a and fb = fget b in
+      fun ctx th ->
+        let k = ctx.k in
+        k.fp_other <- k.fp_other + 1;
+        th.fregs.(d) <- f (fa th) (fb th);
+        nxt
+  in
+  let compile_op opc (op : Instr.op) nxt : ctx -> thread -> int =
+    match op with
+    | Instr.Label _ -> assert false
+    | Mov (d, a) -> (
+      match ik a with
+      | KReg s ->
+        fun ctx th ->
+          let k = ctx.k in
+          k.mov <- k.mov + 1;
+          th.iregs.(d) <- th.iregs.(s);
+          nxt
+      | KConst v ->
+        fun ctx th ->
+          let k = ctx.k in
+          k.mov <- k.mov + 1;
+          th.iregs.(d) <- v;
+          nxt
+      | KDyn f ->
+        fun ctx th ->
+          let k = ctx.k in
+          k.mov <- k.mov + 1;
+          th.iregs.(d) <- f th;
+          nxt)
+    | Movf (d, a) -> (
+      match a with
+      | Freg s ->
+        fun ctx th ->
+          let k = ctx.k in
+          k.mov <- k.mov + 1;
+          th.fregs.(d) <- th.fregs.(s);
+          nxt
+      | Fimm v ->
+        fun ctx th ->
+          let k = ctx.k in
+          k.mov <- k.mov + 1;
+          th.fregs.(d) <- v;
+          nxt)
+    | Iadd (d, a, b) -> (
+      match (ik a, ik b) with
+      | KReg i, KReg j ->
+        fun ctx th ->
+          let k = ctx.k in
+          k.ialu <- k.ialu + 1;
+          let ir = th.iregs in
+          ir.(d) <- ir.(i) + ir.(j);
+          nxt
+      | (KReg i, KConst v | KConst v, KReg i) ->
+        fun ctx th ->
+          let k = ctx.k in
+          k.ialu <- k.ialu + 1;
+          let ir = th.iregs in
+          ir.(d) <- ir.(i) + v;
+          nxt
+      | ka, kb ->
+        let fa = iget ka and fb = iget kb in
+        fun ctx th ->
+          let k = ctx.k in
+          k.ialu <- k.ialu + 1;
+          th.iregs.(d) <- fa th + fb th;
+          nxt)
+    | Isub (d, a, b) -> iop2 d a b (fun x y -> x - y) nxt
+    | Imul (d, a, b) -> (
+      match (ik a, ik b) with
+      | KReg i, KReg j ->
+        fun ctx th ->
+          let k = ctx.k in
+          k.ialu <- k.ialu + 1;
+          let ir = th.iregs in
+          ir.(d) <- ir.(i) * ir.(j);
+          nxt
+      | (KReg i, KConst v | KConst v, KReg i) ->
+        fun ctx th ->
+          let k = ctx.k in
+          k.ialu <- k.ialu + 1;
+          let ir = th.iregs in
+          ir.(d) <- ir.(i) * v;
+          nxt
+      | ka, kb ->
+        let fa = iget ka and fb = iget kb in
+        fun ctx th ->
+          let k = ctx.k in
+          k.ialu <- k.ialu + 1;
+          th.iregs.(d) <- fa th * fb th;
+          nxt)
+    | Imad (d, a, b, c) -> (
+      match (ik a, ik b, ik c) with
+      | KReg i, KReg j, KReg m ->
+        fun ctx th ->
+          let k = ctx.k in
+          k.ialu <- k.ialu + 1;
+          let ir = th.iregs in
+          ir.(d) <- (ir.(i) * ir.(j)) + ir.(m);
+          nxt
+      | (KReg i, KConst v, KReg m | KConst v, KReg i, KReg m) ->
+        fun ctx th ->
+          let k = ctx.k in
+          k.ialu <- k.ialu + 1;
+          let ir = th.iregs in
+          ir.(d) <- (ir.(i) * v) + ir.(m);
+          nxt
+      | ka, kb, kc ->
+        let fa = iget ka and fb = iget kb and fc = iget kc in
+        fun ctx th ->
+          let k = ctx.k in
+          k.ialu <- k.ialu + 1;
+          th.iregs.(d) <- (fa th * fb th) + fc th;
+          nxt)
+    | Idiv (d, a, b) ->
+      let fa = iget (ik a) and fb = iget (ik b) in
+      fun ctx th ->
+        let k = ctx.k in
+        k.ialu <- k.ialu + 1;
+        let bv = fb th in
+        if bv = 0 then trap_at k opc "%s: division by zero" p.name;
+        th.iregs.(d) <- fa th / bv;
+        nxt
+    | Irem (d, a, b) ->
+      let fa = iget (ik a) and fb = iget (ik b) in
+      fun ctx th ->
+        let k = ctx.k in
+        k.ialu <- k.ialu + 1;
+        let bv = fb th in
+        if bv = 0 then trap_at k opc "%s: remainder by zero" p.name;
+        th.iregs.(d) <- fa th mod bv;
+        nxt
+    | Imin (d, a, b) -> iop2 d a b (fun x y -> if x <= y then x else y) nxt
+    | Imax (d, a, b) -> iop2 d a b (fun x y -> if x >= y then x else y) nxt
+    | Ishl (d, a, b) -> iop2 d a b (fun x y -> x lsl y) nxt
+    | Ishr (d, a, b) -> iop2 d a b (fun x y -> x asr y) nxt
+    | Iand (d, a, b) -> iop2 d a b (fun x y -> x land y) nxt
+    | Ior (d, a, b) -> iop2 d a b (fun x y -> x lor y) nxt
+    | Setp (cmp, d, a, b) ->
+      let cf : int -> int -> bool =
+        match cmp with
+        | Eq -> fun x y -> x = y
+        | Ne -> fun x y -> x <> y
+        | Lt -> fun x y -> x < y
+        | Le -> fun x y -> x <= y
+        | Gt -> fun x y -> x > y
+        | Ge -> fun x y -> x >= y
       in
-      let lane = lin land 31 in
-      let k = lanes.(lane) in
-      lanes.(lane) <- k + 1;
-      (key, k)
-    in
-    let record_global ~store lin pc addr =
-      let g = access_group pc lin in
-      let seg = addr asr 5 in
-      let segs =
-        match Hashtbl.find_opt gsegs g with
-        | Some s -> s
-        | None ->
-          let s = ref [] in
-          Hashtbl.add gsegs g s;
-          s
-      in
-      if not (List.mem seg !segs) then begin
-        segs := seg :: !segs;
-        if store then counters.gst_transactions <- counters.gst_transactions + 1
-        else counters.gld_transactions <- counters.gld_transactions + 1
+      (match (ik a, ik b) with
+      | KReg i, KReg j ->
+        fun ctx th ->
+          let k = ctx.k in
+          k.pred <- k.pred + 1;
+          let ir = th.iregs in
+          th.pregs.(d) <- cf ir.(i) ir.(j);
+          nxt
+      | KReg i, KConst v ->
+        fun ctx th ->
+          let k = ctx.k in
+          k.pred <- k.pred + 1;
+          th.pregs.(d) <- cf th.iregs.(i) v;
+          nxt
+      | ka, kb ->
+        let fa = iget ka and fb = iget kb in
+        fun ctx th ->
+          let k = ctx.k in
+          k.pred <- k.pred + 1;
+          th.pregs.(d) <- cf (fa th) (fb th);
+          nxt)
+    | And_p (d, a, b) ->
+      fun ctx th ->
+        let k = ctx.k in
+        k.pred <- k.pred + 1;
+        let pr = th.pregs in
+        pr.(d) <- pr.(a) && pr.(b);
+        nxt
+    | Or_p (d, a, b) ->
+      fun ctx th ->
+        let k = ctx.k in
+        k.pred <- k.pred + 1;
+        let pr = th.pregs in
+        pr.(d) <- pr.(a) || pr.(b);
+        nxt
+    | Not_p (d, a) ->
+      fun ctx th ->
+        let k = ctx.k in
+        k.pred <- k.pred + 1;
+        let pr = th.pregs in
+        pr.(d) <- not pr.(a);
+        nxt
+    | Fadd (d, a, b) -> fop2 d a b (fun x y -> x +. y) nxt
+    | Fsub (d, a, b) -> fop2 d a b (fun x y -> x -. y) nxt
+    | Fmul (d, a, b) -> fop2 d a b (fun x y -> x *. y) nxt
+    | Ffma (d, a, b, c) -> (
+      match (a, b, c) with
+      | Freg x, Freg y, Freg z ->
+        fun ctx th ->
+          let k = ctx.k in
+          k.fma <- k.fma + 1;
+          let fr = th.fregs in
+          fr.(d) <- (fr.(x) *. fr.(y)) +. fr.(z);
+          nxt
+      | _ ->
+        let fa = fget a and fb = fget b and fc = fget c in
+        fun ctx th ->
+          let k = ctx.k in
+          k.fma <- k.fma + 1;
+          th.fregs.(d) <- (fa th *. fb th) +. fc th;
+          nxt)
+    | Fmax (d, a, b) -> fop2 d a b (fun x y -> Float.max x y) nxt
+    | Fmin (d, a, b) -> fop2 d a b (fun x y -> Float.min x y) nxt
+    | Ld_global (d, slot, addr) ->
+      let buf = buffers.(slot) in
+      let bname = p.buf_params.(slot) in
+      let len = Array.length buf in
+      let fa = iget (ik addr) in
+      let ms = fresh_mem () in
+      fun ctx th ->
+        let k = ctx.k in
+        k.ld_global <- k.ld_global + 1;
+        let a = fa th in
+        record_global ctx ~store:false ms th.lin a;
+        if a < 0 || a >= len then
+          trap_at k opc "%s: global load out of bounds: %s[%d] (len %d)"
+            p.name bname a len;
+        th.fregs.(d) <- Array.unsafe_get buf a;
+        nxt
+    | Ld_global_i (d, slot, addr) ->
+      let buf = buffers.(slot) in
+      let bname = p.buf_params.(slot) in
+      let len = Array.length buf in
+      let fa = iget (ik addr) in
+      let ms = fresh_mem () in
+      fun ctx th ->
+        let k = ctx.k in
+        k.ld_global <- k.ld_global + 1;
+        let a = fa th in
+        record_global ctx ~store:false ms th.lin a;
+        if a < 0 || a >= len then
+          trap_at k opc "%s: global load out of bounds: %s[%d] (len %d)"
+            p.name bname a len;
+        th.iregs.(d) <- int_of_float (Array.unsafe_get buf a);
+        nxt
+    | Ld_shared (d, addr) ->
+      let fa = iget (ik addr) in
+      let ms = fresh_mem () in
+      fun ctx th ->
+        let k = ctx.k in
+        k.ld_shared <- k.ld_shared + 1;
+        let a = fa th in
+        record_shared ctx ms th.lin a;
+        if a < 0 || a >= shared_words then
+          trap_at k opc "%s: shared load out of bounds: [%d] (size %d)" p.name
+            a shared_words;
+        th.fregs.(d) <- Array.unsafe_get ctx.shared_f a;
+        nxt
+    | Ld_shared_i (d, addr) ->
+      let fa = iget (ik addr) in
+      let ms = fresh_mem () in
+      fun ctx th ->
+        let k = ctx.k in
+        k.ld_shared <- k.ld_shared + 1;
+        let a = fa th in
+        record_shared ctx ms th.lin a;
+        if a < 0 || a >= shared_int_words then
+          trap_at k opc "%s: shared int load out of bounds: [%d] (size %d)"
+            p.name a shared_int_words;
+        th.iregs.(d) <- Array.unsafe_get ctx.shared_i a;
+        nxt
+    | St_global (slot, addr, v) ->
+      let buf = buffers.(slot) in
+      let bname = p.buf_params.(slot) in
+      let len = Array.length buf in
+      let fa = iget (ik addr) and fv = fget v in
+      let ms = fresh_mem () in
+      if is_half then
+        fun ctx th ->
+          let k = ctx.k in
+          k.st_global <- k.st_global + 1;
+          let a = fa th in
+          record_global ctx ~store:true ms th.lin a;
+          if a < 0 || a >= len then
+            trap_at k opc "%s: global store out of bounds: %s[%d] (len %d)"
+              p.name bname a len;
+          Array.unsafe_set buf a (round_half (fv th));
+          nxt
+      else
+        fun ctx th ->
+          let k = ctx.k in
+          k.st_global <- k.st_global + 1;
+          let a = fa th in
+          record_global ctx ~store:true ms th.lin a;
+          if a < 0 || a >= len then
+            trap_at k opc "%s: global store out of bounds: %s[%d] (len %d)"
+              p.name bname a len;
+          Array.unsafe_set buf a (fv th);
+          nxt
+    | St_shared (addr, v) ->
+      let fa = iget (ik addr) and fv = fget v in
+      let ms = fresh_mem () in
+      if is_half then
+        fun ctx th ->
+          let k = ctx.k in
+          k.st_shared <- k.st_shared + 1;
+          let a = fa th in
+          record_shared ctx ms th.lin a;
+          if a < 0 || a >= shared_words then
+            trap_at k opc "%s: shared store out of bounds: [%d] (size %d)"
+              p.name a shared_words;
+          Array.unsafe_set ctx.shared_f a (round_half (fv th));
+          nxt
+      else
+        fun ctx th ->
+          let k = ctx.k in
+          k.st_shared <- k.st_shared + 1;
+          let a = fa th in
+          record_shared ctx ms th.lin a;
+          if a < 0 || a >= shared_words then
+            trap_at k opc "%s: shared store out of bounds: [%d] (size %d)"
+              p.name a shared_words;
+          Array.unsafe_set ctx.shared_f a (fv th);
+          nxt
+    | St_shared_i (addr, v) ->
+      let fa = iget (ik addr) and fv = iget (ik v) in
+      let ms = fresh_mem () in
+      fun ctx th ->
+        let k = ctx.k in
+        k.st_shared <- k.st_shared + 1;
+        let a = fa th in
+        record_shared ctx ms th.lin a;
+        if a < 0 || a >= shared_int_words then
+          trap_at k opc "%s: shared int store out of bounds: [%d] (size %d)"
+            p.name a shared_int_words;
+        Array.unsafe_set ctx.shared_i a (fv th);
+        nxt
+    | Atom_global_add (slot, addr, v) ->
+      (* No transaction replay for atomics (matching the reference); the
+         load-side bounds message fires first, as the reference's
+         [global_get] does. Kernels containing this op run serially. *)
+      let buf = buffers.(slot) in
+      let bname = p.buf_params.(slot) in
+      let len = Array.length buf in
+      let fa = iget (ik addr) and fv = fget v in
+      if is_half then
+        fun ctx th ->
+          let k = ctx.k in
+          k.atom <- k.atom + 1;
+          let a = fa th in
+          if a < 0 || a >= len then
+            trap_at k opc "%s: global load out of bounds: %s[%d] (len %d)"
+              p.name bname a len;
+          Array.unsafe_set buf a (round_half (Array.unsafe_get buf a +. fv th));
+          nxt
+      else
+        fun ctx th ->
+          let k = ctx.k in
+          k.atom <- k.atom + 1;
+          let a = fa th in
+          if a < 0 || a >= len then
+            trap_at k opc "%s: global load out of bounds: %s[%d] (len %d)"
+              p.name bname a len;
+          Array.unsafe_set buf a (Array.unsafe_get buf a +. fv th);
+          nxt
+    | Bra target -> (
+      match Hashtbl.find_opt labels target with
+      | Some oi ->
+        let t = comp_of_orig.(oi) in
+        fun ctx _ ->
+          let k = ctx.k in
+          k.branch <- k.branch + 1;
+          t
+      | None ->
+        (* Undefined labels trap lazily (on first execution), as the
+           reference interpreter does. *)
+        fun ctx _ ->
+          let k = ctx.k in
+          k.branch <- k.branch + 1;
+          trap_at k opc "%s: undefined label %s" p.name target)
+    | Bar ->
+      fun ctx th ->
+        let k = ctx.k in
+        k.bar <- k.bar + 1;
+        th.pc <- nxt;
+        stop_bar
+    | Ret ->
+      let self = nxt - 1 in
+      fun ctx th ->
+        let k = ctx.k in
+        k.branch <- k.branch + 1;
+        th.pc <- self;
+        th.done_ <- true;
+        stop_ret
+  in
+  let code = Array.make (max 1 n_code) (fun _ _ -> stop_ret) in
+  for i = 0 to n_body - 1 do
+    let ci = idx.(i) in
+    if ci >= 0 then begin
+      let { Instr.op; guard } = body.(i) in
+      let nxt = ci + 1 in
+      let exec = compile_op i op nxt in
+      code.(ci) <-
+        (match guard with
+        | None -> exec
+        | Some (preg, sense) ->
+          let mb = masked_bump op in
+          if sense then
+            fun ctx th ->
+              if th.pregs.(preg) then exec ctx th
+              else begin
+                let k = ctx.k in
+                k.predicated_off <- k.predicated_off + 1;
+                mb k;
+                nxt
+              end
+          else
+            fun ctx th ->
+              if th.pregs.(preg) then begin
+                let k = ctx.k in
+                k.predicated_off <- k.predicated_off + 1;
+                mb k;
+                nxt
+              end
+              else exec ctx th)
+    end
+  done;
+  let n_mem = max 1 !n_mem in
+  (* --- execution ------------------------------------------------------- *)
+  let n_threads = bx * by * bz in
+  let n_warps = (n_threads + 31) / 32 in
+  let n_blocks = gx * gy * gz in
+  let pool = Atomic.make (max_dynamic - 1) in
+  let mk_ctx () =
+    { k = zero_counters ();
+      pool;
+      lease = 0;
+      n_warps;
+      shared_f = Array.make (max 1 p.shared_words) 0.0;
+      shared_i = Array.make (max 1 p.shared_int_words) 0;
+      ord = Array.make (n_mem * n_warps * 32) 0;
+      ord_stamp = Array.make (n_mem * n_warps * 32) 0;
+      grps = Array.init (n_mem * n_warps) (fun _ -> [||]);
+      stamp = 1;
+      threads =
+        Array.init n_threads (fun linear ->
+            { fregs = Array.make (max 1 p.n_fregs) 0.0;
+              iregs = Array.make (max 1 p.n_iregs) 0;
+              pregs = Array.make (max 1 p.n_pregs) false;
+              pc = 0;
+              done_ = false;
+              lin = linear;
+              tid_x = linear mod bx;
+              tid_y = linear / bx mod by;
+              tid_z = linear / (bx * by);
+              cta_x = 0;
+              cta_y = 0;
+              cta_z = 0 }) }
+  in
+  (* Execute [th] until it reaches a barrier or returns. The end-of-code
+     check precedes the budget charge, as in the reference. *)
+  let run_to_barrier ctx th =
+    let rec go pc =
+      if pc >= n_code then
+        trap_at ctx.k (n_body - 1) "%s: fell off end of kernel" p.name
+      else begin
+        (if ctx.lease > 0 then ctx.lease <- ctx.lease - 1 else refill ctx);
+        let n = (Array.unsafe_get code pc) ctx th in
+        if n >= 0 then go n else if n = stop_ret then Hit_ret else Hit_bar
       end
     in
-    let record_shared lin pc addr =
-      let g = access_group pc lin in
-      let grp =
-        match Hashtbl.find_opt sgroups g with
-        | Some grp -> grp
-        | None ->
-          let grp = { s_addrs = []; s_banks = []; s_passes = 0 } in
-          Hashtbl.add sgroups g grp;
-          grp
-      in
-      if not (List.mem addr grp.s_addrs) then begin
-        grp.s_addrs <- addr :: grp.s_addrs;
-        let bank = addr land 31 in
-        let c = (match List.assoc_opt bank grp.s_banks with Some c -> c | None -> 0) + 1 in
-        grp.s_banks <- (bank, c) :: List.remove_assoc bank grp.s_banks;
-        if c > grp.s_passes then begin
-          grp.s_passes <- c;
-          counters.shared_transactions <- counters.shared_transactions + 1
-        end
-      end
-    in
-    let phase_reset () =
-      Hashtbl.reset ordinals;
-      Hashtbl.reset gsegs;
-      Hashtbl.reset sgroups
-    in
-    let special th = function
-      | Tid_x -> let x, _, _ = th.tid in x
-      | Tid_y -> let _, y, _ = th.tid in y
-      | Tid_z -> let _, _, z = th.tid in z
-      | Ctaid_x -> let x, _, _ = th.ctaid in x
-      | Ctaid_y -> let _, y, _ = th.ctaid in y
-      | Ctaid_z -> let _, _, z = th.ctaid in z
-      | Ntid_x -> bx | Ntid_y -> by | Ntid_z -> bz
-      | Nctaid_x -> gx | Nctaid_y -> gy | Nctaid_z -> gz
-    in
-    let ival th = function
-      | Ireg r -> th.iregs.(r)
-      | Iimm v -> v
-      | Iparam slot -> ints.(slot)
-      | Ispecial s -> special th s
-    in
-    let fval th = function Freg r -> th.fregs.(r) | Fimm v -> v in
-    let global_get ~pc slot addr =
-      let buf = buffers.(slot) in
-      if addr < 0 || addr >= Array.length buf then
-        trap_at pc "%s: global load out of bounds: %s[%d] (len %d)" p.name
-          p.buf_params.(slot) addr (Array.length buf);
-      buf.(addr)
-    in
-    let global_set ~pc slot addr v =
-      let buf = buffers.(slot) in
-      if addr < 0 || addr >= Array.length buf then
-        trap_at pc "%s: global store out of bounds: %s[%d] (len %d)" p.name
-          p.buf_params.(slot) addr (Array.length buf);
-      buf.(addr) <- v
-    in
-    let shared_get ~pc addr =
-      if addr < 0 || addr >= p.shared_words then
-        trap_at pc "%s: shared load out of bounds: [%d] (size %d)" p.name addr
-          p.shared_words;
-      shared.(addr)
-    in
-    let shared_set ~pc addr v =
-      if addr < 0 || addr >= p.shared_words then
-        trap_at pc "%s: shared store out of bounds: [%d] (size %d)" p.name addr
-          p.shared_words;
-      shared.(addr) <- v
-    in
-    let shared_i_get ~pc addr =
-      if addr < 0 || addr >= p.shared_int_words then
-        trap_at pc "%s: shared int load out of bounds: [%d] (size %d)" p.name
-          addr p.shared_int_words;
-      shared_i.(addr)
-    in
-    let shared_i_set ~pc addr v =
-      if addr < 0 || addr >= p.shared_int_words then
-        trap_at pc "%s: shared int store out of bounds: [%d] (size %d)" p.name
-          addr p.shared_int_words;
-      shared_i.(addr) <- v
-    in
-    (* Execute [th] until it reaches a barrier or returns. *)
-    let run_to_barrier th =
-      let rec step () =
-        if th.pc >= n_body then
-          trap_at (n_body - 1) "%s: fell off end of kernel" p.name;
-        let { Instr.op; guard } = body.(th.pc) in
-        match op with
-        | Instr.Label _ -> th.pc <- th.pc + 1; step ()
-        | _ ->
-          charge ();
-          let active =
-            match guard with
-            | None -> true
-            | Some (preg, sense) -> th.pregs.(preg) = sense
-          in
-          if not active then begin
-            counters.predicated_off <- counters.predicated_off + 1;
-            (* Masked instructions still occupy an issue slot; count them in
-               their category so static/dynamic cross-checks line up. *)
-            (match Instr.categorize op with
-             | Some Cat_ialu -> counters.ialu <- counters.ialu + 1
-             | Some Cat_fma -> counters.fma <- counters.fma + 1
-             | Some Cat_fp_other -> counters.fp_other <- counters.fp_other + 1
-             | Some Cat_ld_global -> counters.ld_global <- counters.ld_global + 1
-             | Some Cat_st_global -> counters.st_global <- counters.st_global + 1
-             | Some Cat_ld_shared -> counters.ld_shared <- counters.ld_shared + 1
-             | Some Cat_st_shared -> counters.st_shared <- counters.st_shared + 1
-             | Some Cat_atom -> counters.atom <- counters.atom + 1
-             | Some Cat_bar -> counters.bar <- counters.bar + 1
-             | Some Cat_branch -> counters.branch <- counters.branch + 1
-             | Some Cat_pred -> counters.pred <- counters.pred + 1
-             | Some Cat_mov -> counters.mov <- counters.mov + 1
-             | None -> ());
-            th.pc <- th.pc + 1;
-            step ()
-          end
-          else begin
-            match op with
-            | Instr.Label _ -> assert false
-            | Mov (d, a) ->
-              counters.mov <- counters.mov + 1;
-              th.iregs.(d) <- ival th a;
-              th.pc <- th.pc + 1; step ()
-            | Movf (d, a) ->
-              counters.mov <- counters.mov + 1;
-              th.fregs.(d) <- fval th a;
-              th.pc <- th.pc + 1; step ()
-            | Iadd (d, a, b) ->
-              counters.ialu <- counters.ialu + 1;
-              th.iregs.(d) <- ival th a + ival th b;
-              th.pc <- th.pc + 1; step ()
-            | Isub (d, a, b) ->
-              counters.ialu <- counters.ialu + 1;
-              th.iregs.(d) <- ival th a - ival th b;
-              th.pc <- th.pc + 1; step ()
-            | Imul (d, a, b) ->
-              counters.ialu <- counters.ialu + 1;
-              th.iregs.(d) <- ival th a * ival th b;
-              th.pc <- th.pc + 1; step ()
-            | Imad (d, a, b, c) ->
-              counters.ialu <- counters.ialu + 1;
-              th.iregs.(d) <- (ival th a * ival th b) + ival th c;
-              th.pc <- th.pc + 1; step ()
-            | Idiv (d, a, b) ->
-              counters.ialu <- counters.ialu + 1;
-              let bv = ival th b in
-              if bv = 0 then trap_at th.pc "%s: division by zero" p.name;
-              th.iregs.(d) <- ival th a / bv;
-              th.pc <- th.pc + 1; step ()
-            | Irem (d, a, b) ->
-              counters.ialu <- counters.ialu + 1;
-              let bv = ival th b in
-              if bv = 0 then trap_at th.pc "%s: remainder by zero" p.name;
-              th.iregs.(d) <- ival th a mod bv;
-              th.pc <- th.pc + 1; step ()
-            | Imin (d, a, b) ->
-              counters.ialu <- counters.ialu + 1;
-              th.iregs.(d) <- min (ival th a) (ival th b);
-              th.pc <- th.pc + 1; step ()
-            | Imax (d, a, b) ->
-              counters.ialu <- counters.ialu + 1;
-              th.iregs.(d) <- max (ival th a) (ival th b);
-              th.pc <- th.pc + 1; step ()
-            | Ishl (d, a, b) ->
-              counters.ialu <- counters.ialu + 1;
-              th.iregs.(d) <- ival th a lsl ival th b;
-              th.pc <- th.pc + 1; step ()
-            | Ishr (d, a, b) ->
-              counters.ialu <- counters.ialu + 1;
-              th.iregs.(d) <- ival th a asr ival th b;
-              th.pc <- th.pc + 1; step ()
-            | Iand (d, a, b) ->
-              counters.ialu <- counters.ialu + 1;
-              th.iregs.(d) <- ival th a land ival th b;
-              th.pc <- th.pc + 1; step ()
-            | Ior (d, a, b) ->
-              counters.ialu <- counters.ialu + 1;
-              th.iregs.(d) <- ival th a lor ival th b;
-              th.pc <- th.pc + 1; step ()
-            | Setp (cmp, d, a, b) ->
-              counters.pred <- counters.pred + 1;
-              th.pregs.(d) <- eval_cmp cmp (ival th a) (ival th b);
-              th.pc <- th.pc + 1; step ()
-            | And_p (d, a, b) ->
-              counters.pred <- counters.pred + 1;
-              th.pregs.(d) <- th.pregs.(a) && th.pregs.(b);
-              th.pc <- th.pc + 1; step ()
-            | Or_p (d, a, b) ->
-              counters.pred <- counters.pred + 1;
-              th.pregs.(d) <- th.pregs.(a) || th.pregs.(b);
-              th.pc <- th.pc + 1; step ()
-            | Not_p (d, a) ->
-              counters.pred <- counters.pred + 1;
-              th.pregs.(d) <- not th.pregs.(a);
-              th.pc <- th.pc + 1; step ()
-            | Fadd (d, a, b) ->
-              counters.fp_other <- counters.fp_other + 1;
-              th.fregs.(d) <- fval th a +. fval th b;
-              th.pc <- th.pc + 1; step ()
-            | Fsub (d, a, b) ->
-              counters.fp_other <- counters.fp_other + 1;
-              th.fregs.(d) <- fval th a -. fval th b;
-              th.pc <- th.pc + 1; step ()
-            | Fmul (d, a, b) ->
-              counters.fp_other <- counters.fp_other + 1;
-              th.fregs.(d) <- fval th a *. fval th b;
-              th.pc <- th.pc + 1; step ()
-            | Ffma (d, a, b, c) ->
-              counters.fma <- counters.fma + 1;
-              th.fregs.(d) <- (fval th a *. fval th b) +. fval th c;
-              th.pc <- th.pc + 1; step ()
-            | Fmax (d, a, b) ->
-              counters.fp_other <- counters.fp_other + 1;
-              th.fregs.(d) <- Float.max (fval th a) (fval th b);
-              th.pc <- th.pc + 1; step ()
-            | Fmin (d, a, b) ->
-              counters.fp_other <- counters.fp_other + 1;
-              th.fregs.(d) <- Float.min (fval th a) (fval th b);
-              th.pc <- th.pc + 1; step ()
-            | Ld_global (d, slot, addr) ->
-              counters.ld_global <- counters.ld_global + 1;
-              let a = ival th addr in
-              record_global ~store:false th.lin th.pc a;
-              th.fregs.(d) <- global_get ~pc:th.pc slot a;
-              th.pc <- th.pc + 1; step ()
-            | Ld_global_i (d, slot, addr) ->
-              counters.ld_global <- counters.ld_global + 1;
-              let a = ival th addr in
-              record_global ~store:false th.lin th.pc a;
-              th.iregs.(d) <- int_of_float (global_get ~pc:th.pc slot a);
-              th.pc <- th.pc + 1; step ()
-            | Ld_shared (d, addr) ->
-              counters.ld_shared <- counters.ld_shared + 1;
-              let a = ival th addr in
-              record_shared th.lin th.pc a;
-              th.fregs.(d) <- shared_get ~pc:th.pc a;
-              th.pc <- th.pc + 1; step ()
-            | Ld_shared_i (d, addr) ->
-              counters.ld_shared <- counters.ld_shared + 1;
-              let a = ival th addr in
-              record_shared th.lin th.pc a;
-              th.iregs.(d) <- shared_i_get ~pc:th.pc a;
-              th.pc <- th.pc + 1; step ()
-            | St_global (slot, addr, v) ->
-              counters.st_global <- counters.st_global + 1;
-              let a = ival th addr in
-              record_global ~store:true th.lin th.pc a;
-              global_set ~pc:th.pc slot a (store_round (fval th v));
-              th.pc <- th.pc + 1; step ()
-            | St_shared (addr, v) ->
-              counters.st_shared <- counters.st_shared + 1;
-              let a = ival th addr in
-              record_shared th.lin th.pc a;
-              shared_set ~pc:th.pc a (store_round (fval th v));
-              th.pc <- th.pc + 1; step ()
-            | St_shared_i (addr, v) ->
-              counters.st_shared <- counters.st_shared + 1;
-              let a = ival th addr in
-              record_shared th.lin th.pc a;
-              shared_i_set ~pc:th.pc a (ival th v);
-              th.pc <- th.pc + 1; step ()
-            | Atom_global_add (slot, addr, v) ->
-              counters.atom <- counters.atom + 1;
-              let a = ival th addr in
-              global_set ~pc:th.pc slot a
-                (store_round (global_get ~pc:th.pc slot a +. fval th v));
-              th.pc <- th.pc + 1; step ()
-            | Bra target ->
-              counters.branch <- counters.branch + 1;
-              (match Hashtbl.find_opt labels target with
-               | Some idx -> th.pc <- idx
-               | None -> trap_at th.pc "%s: undefined label %s" p.name target);
-              step ()
-            | Bar ->
-              counters.bar <- counters.bar + 1;
-              th.pc <- th.pc + 1;
-              Hit_bar
-            | Ret ->
-              counters.branch <- counters.branch + 1;
-              th.done_ <- true;
-              Hit_ret
-          end
-      in
-      step ()
-    in
+    go th.pc
+  in
+  let exec_block ctx cx cy cz =
+    let threads = ctx.threads in
+    Array.fill ctx.shared_f 0 (Array.length ctx.shared_f) 0.0;
+    Array.fill ctx.shared_i 0 (Array.length ctx.shared_i) 0;
+    Array.iter
+      (fun th ->
+        Array.fill th.fregs 0 (Array.length th.fregs) 0.0;
+        Array.fill th.iregs 0 (Array.length th.iregs) 0;
+        Array.fill th.pregs 0 (Array.length th.pregs) false;
+        th.pc <- 0;
+        th.done_ <- false;
+        th.cta_x <- cx;
+        th.cta_y <- cy;
+        th.cta_z <- cz)
+      threads;
+    ctx.stamp <- ctx.stamp + 1;
     (* Barrier-phase loop: all threads must agree on Hit_bar vs Hit_ret. *)
+    let where stop (th : thread) =
+      (* After Hit_bar the pc has advanced past the Bar; Ret leaves it. *)
+      match stop with
+      | Hit_bar ->
+        Printf.sprintf "hit barrier at %s" (describe orig_of.(th.pc - 1))
+      | Hit_ret -> Printf.sprintf "returned at %s" (describe orig_of.(th.pc))
+    in
     let rec phases () =
-      let where stop (th : thread) =
-        (* After Hit_bar the pc has advanced past the Bar; Ret leaves it. *)
-        match stop with
-        | Hit_bar -> Printf.sprintf "hit barrier at %s" (describe_pc body (th.pc - 1))
-        | Hit_ret -> Printf.sprintf "returned at %s" (describe_pc body th.pc)
-      in
-      let first = run_to_barrier threads.(0) in
+      let first = run_to_barrier ctx threads.(0) in
       for i = 1 to n_threads - 1 do
-        let stop = run_to_barrier threads.(i) in
+        let stop = run_to_barrier ctx threads.(i) in
         if stop <> first then
-          trap_run "%s: barrier divergence: thread 0 %s but thread %d %s" p.name
-            (where first threads.(0)) i (where stop threads.(i))
+          raise
+            (Trap
+               (Printf.sprintf
+                  "%s: barrier divergence: thread 0 %s but thread %d %s [%s]"
+                  p.name
+                  (where first threads.(0))
+                  i
+                  (where stop threads.(i))
+                  (summary ctx.k)))
       done;
-      phase_reset ();
+      ctx.stamp <- ctx.stamp + 1;
       match first with Hit_ret -> () | Hit_bar -> phases ()
     in
     phases ()
   in
-  for cz = 0 to gz - 1 do
-    for cy = 0 to gy - 1 do
-      for cx = 0 to gx - 1 do
-        run_block cx cy cz
-      done
-    done
-  done;
+  (* Blocks execute in linearized order b = cz*gy*gx + cy*gx + cx, the
+     reference's cz-outer/cx-inner nesting. *)
+  let exec_chunk ~offset ~size =
+    let ctx = mk_ctx () in
+    for b = offset to offset + size - 1 do
+      exec_block ctx (b mod gx) (b / gx mod gy) (b / (gx * gy))
+    done;
+    ctx.k
+  in
+  let has_atomics =
+    Array.exists
+      (fun (i : Instr.t) ->
+        match i.Instr.op with Instr.Atom_global_add _ -> true | _ -> false)
+      body
+  in
+  let n_domains =
+    let d =
+      match domains with
+      | Some d -> max 1 d
+      | None -> Util.Parallel.recommended_domains ()
+    in
+    if has_atomics then 1 else max 1 (min d n_blocks)
+  in
+  let shards =
+    if n_domains <= 1 then [ exec_chunk ~offset:0 ~size:n_blocks ]
+    else
+      Util.Parallel.run_chunks_offsets ~domains:n_domains ~total:n_blocks
+        (fun ~chunk:_ ~offset ~size -> exec_chunk ~offset ~size)
+  in
+  let counters = zero_counters () in
+  List.iter (fun shard -> add_into ~into:counters shard) shards;
   obs_export counters;
   counters

@@ -73,6 +73,7 @@ exception Trap of string
 
 val run :
   ?max_dynamic:int ->
+  ?domains:int ->
   Program.t ->
   grid:int * int * int ->
   block:int * int * int ->
@@ -83,4 +84,16 @@ val run :
     arrays bound to the program's buffer parameters. [bufs] must bind every
     buffer parameter by name, [iargs] every scalar parameter.
     [max_dynamic] bounds the total dynamic instruction count (default
-    200 million) to catch generator bugs that would loop forever. *)
+    200 million) to catch generator bugs that would loop forever.
+
+    The engine is threaded code: the body is lowered once per launch into
+    an array of closures (branch targets resolved, operands
+    pre-discriminated, guards hoisted, counter bumps baked in), then the
+    grid loop fans blocks out across [domains] OCaml domains (default
+    {!Util.Parallel.recommended_domains}, so [ISAAC_DOMAINS] applies).
+    Per-domain counter shards are summed deterministically, so counters,
+    output buffers and [Obs] exports are bit-identical for every domain
+    count — kernels using [Atom_global_add] automatically fall back to a
+    single domain to keep the floating-point accumulation order (and
+    thus the buffers) exact. Trap messages from a parallel run carry the
+    faulting domain's counter shard rather than the global totals. *)

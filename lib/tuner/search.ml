@@ -14,45 +14,66 @@ type result = {
   n_scored : int;
 }
 
+(* One forward pass over the space into a growable array (the space has
+   tens of thousands of legal points; consing a list and converting later
+   doubles the allocation). The result is reversed so callers keep seeing
+   the reverse-grid order the list version always produced. *)
 let legal_configs ~structurally_legal ~cost device =
-  let out = ref [] in
-  Config_space.iter Config_space.gemm (fun buf ->
-      let cfg = GP.config_of_array buf in
-      if structurally_legal cfg && Gpu.Executor.legal device (cost cfg) then
-        out := cfg :: !out);
-  !out
+  let buf = ref [||] in
+  let n = ref 0 in
+  Config_space.iter Config_space.gemm (fun arr ->
+      let cfg = GP.config_of_array arr in
+      if structurally_legal cfg && Gpu.Executor.legal device (cost cfg) then begin
+        if !n = Array.length !buf then begin
+          let bigger = Array.make (max 1024 (2 * !n)) cfg in
+          Array.blit !buf 0 bigger 0 !n;
+          buf := bigger
+        end;
+        !buf.(!n) <- cfg;
+        incr n
+      end);
+  let a = !buf and m = !n in
+  Array.init m (fun i -> a.(m - 1 - i))
 
-let legal_gemm_configs device (i : GP.input) =
+let legal_gemm_config_array device (i : GP.input) =
   legal_configs device
     ~structurally_legal:(fun c -> GP.structurally_legal i c)
     ~cost:(fun c -> GP.cost i c)
 
-let legal_conv_configs device (i : CP.input) =
+let legal_conv_config_array device (i : CP.input) =
   legal_configs device
     ~structurally_legal:(fun c -> CP.structurally_legal i c)
     ~cost:(fun c -> CP.cost i c)
+
+let legal_gemm_configs device i = Array.to_list (legal_gemm_config_array device i)
+let legal_conv_configs device i = Array.to_list (legal_conv_config_array device i)
 
 let default_cap () = Util.Env_config.int "ISAAC_SEARCH_CAP" 60_000
 
 (* Deterministic subsample preserving order: every ceil(n/cap)-th item. *)
 let subsample cap items =
-  let n = List.length items in
+  let n = Array.length items in
   if n <= cap then items
   else begin
     let stride = (n + cap - 1) / cap in
-    List.filteri (fun idx _ -> idx mod stride = 0) items
+    Array.init ((n + stride - 1) / stride) (fun i -> items.(i * stride))
   end
 
 let exhaustive ~legal_configs ~features_of ~cost ?(top_k = 100) ?cap ?noise
-    ?(domains = 1) rng device ~profile =
+    ?domains rng device ~profile =
   let cap = match cap with Some c -> c | None -> default_cap () in
+  let domains =
+    match domains with
+    | Some d -> d
+    | None -> Util.Parallel.recommended_domains ()
+  in
   let all =
     Obs.Span.with_ "search.enumerate" (fun () -> legal_configs device)
   in
-  let n_legal = List.length all in
+  let n_legal = Array.length all in
   if n_legal = 0 then None
   else begin
-    let scored_cfgs = Array.of_list (subsample cap all) in
+    let scored_cfgs = subsample cap all in
     let n = Array.length scored_cfgs in
     let pred =
       Obs.Span.with_ "search.score"
@@ -130,21 +151,21 @@ let exhaustive ~legal_configs ~features_of ~cost ?(top_k = 100) ?cap ?noise
 
 let exhaustive_gemm ?top_k ?cap ?noise ?domains rng device ~profile (i : GP.input) =
   exhaustive ?top_k ?cap ?noise ?domains rng device ~profile
-    ~legal_configs:(fun d -> legal_gemm_configs d i)
+    ~legal_configs:(fun d -> legal_gemm_config_array d i)
     ~features_of:(fun cfg ->
       Features.gemm_features ~log:true i (GP.config_to_array cfg))
     ~cost:(fun cfg -> GP.cost i cfg)
 
 let exhaustive_conv ?top_k ?cap ?noise ?domains rng device ~profile (i : CP.input) =
   exhaustive ?top_k ?cap ?noise ?domains rng device ~profile
-    ~legal_configs:(fun d -> legal_conv_configs d i)
+    ~legal_configs:(fun d -> legal_conv_config_array d i)
     ~features_of:(fun cfg ->
       Features.conv_features ~log:true i (GP.config_to_array cfg))
     ~cost:(fun cfg -> CP.cost i cfg)
 
 let oracle ~legal_configs ~cost device =
   let best = ref None in
-  List.iter
+  Array.iter
     (fun cfg ->
       match Gpu.Perf_model.predict device (cost cfg) with
       | None -> ()
@@ -157,10 +178,10 @@ let oracle ~legal_configs ~cost device =
 
 let oracle_gemm device (i : GP.input) =
   oracle device
-    ~legal_configs:(fun d -> legal_gemm_configs d i)
+    ~legal_configs:(fun d -> legal_gemm_config_array d i)
     ~cost:(fun cfg -> GP.cost i cfg)
 
 let oracle_conv device (i : CP.input) =
   oracle device
-    ~legal_configs:(fun d -> legal_conv_configs d i)
+    ~legal_configs:(fun d -> legal_conv_config_array d i)
     ~cost:(fun cfg -> CP.cost i cfg)

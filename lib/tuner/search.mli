@@ -26,14 +26,26 @@ type result = {
   n_scored : int;                 (** configurations scored by the model *)
 }
 
+val legal_gemm_config_array :
+  Gpu.Device.t -> Codegen.Gemm_params.input -> Codegen.Gemm_params.config array
+(** All fully legal configurations for this input, enumerated in a single
+    pass over the space (reverse grid order, matching what the historical
+    list API produced). This is what {!exhaustive_gemm} and {!oracle_gemm}
+    consume internally. *)
+
+val legal_conv_config_array :
+  Gpu.Device.t -> Codegen.Conv_params.input -> Codegen.Gemm_params.config array
+(** CONV analogue of {!legal_gemm_config_array} (CONV reuses the GEMM
+    configuration record via the implicit-GEMM formulation). *)
+
 val legal_gemm_configs :
   Gpu.Device.t -> Codegen.Gemm_params.input -> Codegen.Gemm_params.config list
-(** All fully legal configurations for this input (reverse grid order). *)
+(** [Array.to_list] of {!legal_gemm_config_array}, kept for callers that
+    want a list. *)
 
 val legal_conv_configs :
   Gpu.Device.t -> Codegen.Conv_params.input -> Codegen.Gemm_params.config list
-(** CONV analogue of {!legal_gemm_configs} (CONV reuses the GEMM
-    configuration record via the implicit-GEMM formulation). *)
+(** CONV analogue of {!legal_gemm_configs}. *)
 
 val exhaustive_gemm :
   ?top_k:int ->
@@ -52,7 +64,8 @@ val exhaustive_gemm :
     exactly like shrinking the paper's "specified search range".
     [None] when no configuration is legal (never happens for the spaces
     shipped here). [domains > 1] spreads model scoring over OCaml 5
-    domains. *)
+    domains; it defaults to [Util.Parallel.recommended_domains ()], so
+    ISAAC_DOMAINS governs it. Results are identical for any value. *)
 
 val exhaustive_conv :
   ?top_k:int ->

@@ -20,6 +20,29 @@ let run_chunks ~domains ~total f =
     List.map Domain.join handles
   end
 
+let run_chunks_offsets ~domains ~total f =
+  if domains <= 1 || total <= 1 then [ f ~chunk:0 ~offset:0 ~size:total ]
+  else begin
+    let sizes = chunk_sizes ~domains ~total in
+    let offsets =
+      let acc = ref 0 in
+      List.map (fun s -> let o = !acc in acc := o + s; o) sizes
+    in
+    let handles =
+      List.mapi
+        (fun chunk (offset, size) ->
+          Domain.spawn (fun () ->
+              match f ~chunk ~offset ~size with
+              | v -> Ok v
+              | exception e -> Error e))
+        (List.combine offsets sizes)
+    in
+    (* Join every domain before surfacing a failure: a worker left running
+       after the call returns could still be mutating shared state. *)
+    let results = List.map Domain.join handles in
+    List.map (function Ok v -> v | Error e -> raise e) results
+  end
+
 let map_array ~domains f arr =
   let total = Array.length arr in
   if domains <= 1 || total < 2 * domains then Array.map f arr

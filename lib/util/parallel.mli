@@ -20,3 +20,15 @@ val run_chunks : domains:int -> total:int -> (chunk:int -> size:int -> 'a) -> 'a
 (** [run_chunks ~domains ~total f] splits [total] work items into
     [domains] contiguous chunks and runs [f ~chunk ~size] per chunk in
     its own domain, returning results in chunk order. *)
+
+val run_chunks_offsets :
+  domains:int ->
+  total:int ->
+  (chunk:int -> offset:int -> size:int -> 'a) ->
+  'a list
+(** Like {!run_chunks} but also hands each worker the starting [offset]
+    of its contiguous chunk in item space, and joins {e every} spawned
+    domain before re-raising the first worker exception (in chunk
+    order) — no worker outlives the call, even on failure. Used by the
+    interpreter's grid fan-out, where a trap in one chunk must not leave
+    other domains racing on the output buffers. *)

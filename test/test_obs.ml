@@ -159,6 +159,55 @@ let test_metrics_flush () =
   Alcotest.(check (option int)) "cleared after flush" None
     (Obs.Metrics.counter_value "c.hits")
 
+(* Hammer the live sink from several domains at once: every span and
+   metric call races against the others (and the final stop) for the
+   shared JSONL channel. Passes iff the file stays line-atomic — every
+   line parses — and nothing is lost: the counter saw all 800 incrs and
+   all 800 span events landed. *)
+let test_multi_domain_sink () =
+  let path = tmp_trace () in
+  Obs.Metrics.reset ();
+  Obs.Trace.start ~path;
+  let n_domains = 4 and iters = 200 in
+  let worker d () =
+    for i = 1 to iters do
+      Obs.Metrics.incr "par.counter";
+      Obs.Span.with_
+        (Printf.sprintf "work.%d" d)
+        (fun () -> Obs.Metrics.observe "par.lat" (float_of_int i))
+    done
+  in
+  let handles = List.init n_domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join handles;
+  Alcotest.(check (option int)) "live counter saw every incr"
+    (Some (n_domains * iters))
+    (Obs.Metrics.counter_value "par.counter");
+  Obs.Trace.stop ();
+  let events = Obs.Trace.read_file path (* raises if any line is torn *) in
+  Sys.remove path;
+  Alcotest.(check int) "all spans recorded" (n_domains * iters)
+    (List.length (events_of "span" events));
+  (match
+     List.find_opt
+       (fun e -> str_field "name" e = Some "par.counter")
+       (events_of "counter" events)
+   with
+   | Some e ->
+     Alcotest.(check (option (float 1e-9))) "flushed counter value"
+       (Some (float_of_int (n_domains * iters)))
+       (num_field "value" e)
+   | None -> Alcotest.fail "par.counter not flushed");
+  (match events_of "hist" events with
+   | [ h ] ->
+     Alcotest.(check (option (float 1e-9))) "hist count"
+       (Some (float_of_int (n_domains * iters)))
+       (num_field "count" h)
+   | l -> Alcotest.failf "expected 1 hist, got %d" (List.length l));
+  (* Emitting after stop is a silent no-op, not a crash on a closed
+     channel. *)
+  Obs.Trace.emit "late" [];
+  Alcotest.(check bool) "disabled after stop" false (Obs.Trace.enabled ())
+
 (* --- interpreter counters on a known kernel ----------------------------- *)
 
 (* One warp (32 threads), straight-line kernel exercising every memory
@@ -288,7 +337,8 @@ let () =
       ( "trace",
         [ quick "span nesting + jsonl roundtrip" test_span_roundtrip;
           quick "error flag" test_span_error_flag;
-          quick "metrics flush" test_metrics_flush ] );
+          quick "metrics flush" test_metrics_flush;
+          quick "multi-domain emitters" test_multi_domain_sink ] );
       ( "interp",
         [ quick "known instruction mix" test_interp_counters;
           quick "per-warp coalescing" test_interp_counters_two_warps;
