@@ -37,7 +37,11 @@ let print_plan (plan : Isaac.plan) =
       [| "legal configs searched"; string_of_int plan.n_legal |] ]
 
 let run profile_path conv explain m n k dtype a_trans b_trans cn cc ckf cpq crs_ =
-  let profile = Tuner.Profile.load profile_path in
+  let profile =
+    match Tuner.Profile.load profile_path with
+    | Ok p -> p
+    | Error msg -> prerr_endline msg; exit 2
+  in
   let device = device_of_name profile.device in
   let engine = Isaac.of_profile device profile in
   if conv then begin

@@ -12,6 +12,10 @@ type t = {
   profile : Tuner.Profile.t;
   device : Gpu.Device.t;
   rng : Util.Rng.t;
+  (* Re-measuring loaded plans draws from its own generator: if it shared
+     [rng], merely loading a plan cache would perturb every subsequent
+     [plan_*] search, making planning results depend on load order. *)
+  load_rng : Util.Rng.t;
   gemm_cache : (GP.input, plan option) Hashtbl.t;
   conv_cache : (CP.input, plan option) Hashtbl.t;
 }
@@ -27,13 +31,19 @@ let of_profile device (profile : Tuner.Profile.t) =
          profile.device device.Gpu.Device.name);
   { profile; device;
     rng = Util.Rng.create 0x15aac;
+    load_rng = Util.Rng.create 0x10ad5;
     gemm_cache = Hashtbl.create 16;
     conv_cache = Hashtbl.create 16 }
 
 let tune ?samples ?(epochs = 20) ?arch ?dtypes ?(noise = Gpu.Executor.default_noise)
-    ?(domains = 1) rng device ~op () =
+    ?domains ?checkpoint rng device ~op () =
   let samples =
     match samples with Some s -> s | None -> Util.Env_config.scaled 4000
+  in
+  let domains =
+    match domains with
+    | Some d -> d
+    | None -> Util.Parallel.recommended_domains ()
   in
   let op_name = match op with `Gemm -> "gemm" | `Conv -> "conv" in
   Obs.Span.with_ "tune"
@@ -51,11 +61,11 @@ let tune ?samples ?(epochs = 20) ?arch ?dtypes ?(noise = Gpu.Executor.default_no
         Obs.Span.with_ "tune.dataset" (fun () ->
             match op with
             | `Gemm ->
-              Tuner.Dataset.generate_gemm ~domains ?dtypes ~noise rng device
-                ~n:samples
+              Tuner.Dataset.generate_gemm ~domains ?dtypes ~noise ?checkpoint
+                rng device ~n:samples
             | `Conv ->
-              Tuner.Dataset.generate_conv ~domains ?dtypes ~noise rng device
-                ~n:samples)
+              Tuner.Dataset.generate_conv ~domains ?dtypes ~noise ?checkpoint
+                rng device ~n:samples)
       in
       let profile =
         Obs.Span.with_ "tune.train" (fun () ->
@@ -199,95 +209,151 @@ let dtype_tag : Ptx.Types.dtype -> string = function
   | F64 -> "f64"
 
 let dtype_of_tag = function
-  | "f16" -> Ptx.Types.F16
-  | "f32" -> Ptx.Types.F32
-  | "f64" -> Ptx.Types.F64
-  | t -> failwith ("Isaac.load_plans: bad dtype " ^ t)
+  | "f16" -> Some Ptx.Types.F16
+  | "f32" -> Some Ptx.Types.F32
+  | "f64" -> Some Ptx.Types.F64
+  | _ -> None
 
 let config_fields (c : GP.config) =
   String.concat " "
     (List.map string_of_int (Array.to_list (GP.config_to_array c)))
 
+(* Artifact version 1 was the pre-checksum "isaac-plans v1" text file;
+   version 2 is the same line format inside a checksummed
+   {!Util.Artifact} envelope, with the device recorded on the first
+   payload line (and actually validated on load). *)
+let plans_kind = "isaac-plans"
+let plans_version = 2
+
 let save_plans t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Printf.fprintf oc "isaac-plans v1 %s\n" t.device.Gpu.Device.name;
-      Hashtbl.iter
-        (fun (i : GP.input) plan ->
-          match plan with
-          | Some p ->
-            Printf.fprintf oc "gemm %d %d %d %s %b %b : %s\n" i.m i.n i.k
-              (dtype_tag i.dtype) i.a_trans i.b_trans (config_fields p.config)
-          | None -> ())
-        t.gemm_cache;
-      Hashtbl.iter
-        (fun (i : CP.input) plan ->
-          match plan with
-          | Some p ->
-            Printf.fprintf oc "conv %d %d %d %d %d %d %d %d %d %s : %s\n" i.n i.c
-              i.k i.p i.q i.r i.s i.stride i.pad (dtype_tag i.dtype)
-              (config_fields p.config)
-          | None -> ())
-        t.conv_cache)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "device %s\n" t.device.Gpu.Device.name);
+  Hashtbl.iter
+    (fun (i : GP.input) plan ->
+      match plan with
+      | Some p ->
+        Buffer.add_string buf
+          (Printf.sprintf "gemm %d %d %d %s %b %b : %s\n" i.m i.n i.k
+             (dtype_tag i.dtype) i.a_trans i.b_trans (config_fields p.config))
+      | None -> ())
+    t.gemm_cache;
+  Hashtbl.iter
+    (fun (i : CP.input) plan ->
+      match plan with
+      | Some p ->
+        Buffer.add_string buf
+          (Printf.sprintf "conv %d %d %d %d %d %d %d %d %d %s : %s\n" i.n i.c
+             i.k i.p i.q i.r i.s i.stride i.pad (dtype_tag i.dtype)
+             (config_fields p.config))
+      | None -> ())
+    t.conv_cache;
+  Util.Artifact.write ~path ~kind:plans_kind ~version:plans_version
+    (Buffer.contents buf)
 
 let plan_of_config t cost config =
-  match Gpu.Executor.measure_best_of t.rng t.device cost with
+  match Gpu.Executor.measure_best_of t.load_rng t.device cost with
   | None -> None
   | Some m ->
     Some { config; measurement = m; predicted_tflops = m.tflops; n_legal = 0 }
 
+type plan_entry =
+  | Gemm_entry of GP.input * GP.config
+  | Conv_entry of CP.input * GP.config
+
+(* One plan line -> entry, [None] on any malformed field. Pure parsing:
+   no cache mutation, no measurement. *)
+let parse_plan_line line =
+  match String.index_opt line ':' with
+  | None -> None
+  | Some colon -> (
+    let head =
+      String.split_on_char ' ' (String.trim (String.sub line 0 colon))
+      |> List.filter (( <> ) "")
+    in
+    match
+      String.sub line (colon + 1) (String.length line - colon - 1)
+      |> String.trim |> String.split_on_char ' '
+      |> List.filter (( <> ) "")
+      |> List.map int_of_string |> Array.of_list |> GP.config_of_array
+    with
+    | exception _ -> None
+    | cfg -> (
+      match head with
+      | [ "gemm"; m; n; k; dt; at; bt ] -> (
+        match (dtype_of_tag dt, bool_of_string_opt at, bool_of_string_opt bt) with
+        | Some dtype, Some a_trans, Some b_trans -> (
+          match
+            GP.input ~dtype ~a_trans ~b_trans (int_of_string m)
+              (int_of_string n) (int_of_string k)
+          with
+          | input -> Some (Gemm_entry (input, cfg))
+          | exception _ -> None)
+        | _ -> None)
+      | [ "conv"; n; c; k; p; q; r; s; stride; pad; dt ] -> (
+        match dtype_of_tag dt with
+        | None -> None
+        | Some dtype -> (
+          match
+            CP.input ~dtype ~stride:(int_of_string stride)
+              ~pad:(int_of_string pad) ~n:(int_of_string n)
+              ~c:(int_of_string c) ~k:(int_of_string k) ~p:(int_of_string p)
+              ~q:(int_of_string q) ~r:(int_of_string r) ~s:(int_of_string s)
+              ()
+          with
+          | input -> Some (Conv_entry (input, cfg))
+          | exception _ -> None))
+      | _ -> None))
+
 let load_plans t path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      (match String.split_on_char ' ' (input_line ic) with
-       | "isaac-plans" :: "v1" :: _ -> ()
-       | _ -> failwith (path ^ ": bad plan-cache header"));
-      try
-        while true do
-          let line = input_line ic in
-          if String.trim line <> "" then begin
-            match String.index_opt line ':' with
-            | None -> failwith (path ^ ": malformed plan line")
-            | Some colon ->
-              let head =
-                String.split_on_char ' ' (String.trim (String.sub line 0 colon))
-                |> List.filter (( <> ) "")
-              in
-              let cfg =
-                String.sub line (colon + 1) (String.length line - colon - 1)
-                |> String.trim |> String.split_on_char ' '
-                |> List.filter (( <> ) "")
-                |> List.map int_of_string |> Array.of_list |> GP.config_of_array
-              in
-              (match head with
-               | [ "gemm"; m; n; k; dt; at; bt ] ->
-                 let input =
-                   GP.input ~dtype:(dtype_of_tag dt)
-                     ~a_trans:(bool_of_string at) ~b_trans:(bool_of_string bt)
-                     (int_of_string m) (int_of_string n) (int_of_string k)
-                 in
-                 if GP.structurally_legal input cfg then
-                   Hashtbl.replace t.gemm_cache input
-                     (plan_of_config t (GP.cost input cfg) cfg)
-               | [ "conv"; n; c; k; p; q; r; s; stride; pad; dt ] ->
-                 let input =
-                   CP.input ~dtype:(dtype_of_tag dt) ~stride:(int_of_string stride)
-                     ~pad:(int_of_string pad) ~n:(int_of_string n)
-                     ~c:(int_of_string c) ~k:(int_of_string k) ~p:(int_of_string p)
-                     ~q:(int_of_string q) ~r:(int_of_string r) ~s:(int_of_string s)
-                     ()
-                 in
-                 if CP.structurally_legal input cfg then
-                   Hashtbl.replace t.conv_cache input
-                     (plan_of_config t (CP.cost input cfg) cfg)
-               | _ -> failwith (path ^ ": malformed plan line"))
-          end
-        done
-      with End_of_file -> ())
+  match
+    Util.Artifact.read ~path ~kind:plans_kind ~max_version:plans_version
+  with
+  | Error e -> Error (Util.Artifact.error_to_string ~path e)
+  | Ok (_, payload) -> (
+    match String.split_on_char '\n' payload with
+    | [] -> Error (path ^ ": empty plan cache payload")
+    | device_line :: rest ->
+      if device_line <> "device " ^ t.device.Gpu.Device.name then
+        Error
+          (Printf.sprintf "%s: plan cache is for %S, engine device is %S" path
+             device_line t.device.Gpu.Device.name)
+      else begin
+        (* Parse the whole payload first, then install: a bad line cannot
+           leave the cache half-populated. Malformed lines are skipped
+           with a warning rather than aborting the load. *)
+        let entries = ref [] and skipped = ref 0 in
+        List.iteri
+          (fun lineno line ->
+            if String.trim line <> "" then
+              match parse_plan_line line with
+              | Some e -> entries := e :: !entries
+              | None ->
+                incr skipped;
+                Obs.Metrics.incr "plans.skipped_lines";
+                Log.warn (fun m ->
+                    m "%s:%d: skipping malformed plan line" path (lineno + 2)))
+          rest;
+        let entries = List.rev !entries in
+        let installed = ref 0 in
+        List.iter
+          (fun entry ->
+            match entry with
+            | Gemm_entry (input, cfg) ->
+              if GP.structurally_legal input cfg then begin
+                Hashtbl.replace t.gemm_cache input
+                  (plan_of_config t (GP.cost input cfg) cfg);
+                incr installed
+              end
+            | Conv_entry (input, cfg) ->
+              if CP.structurally_legal input cfg then begin
+                Hashtbl.replace t.conv_cache input
+                  (plan_of_config t (CP.cost input cfg) cfg);
+                incr installed
+              end)
+          entries;
+        Ok !installed
+      end)
 
 let clear_cache t =
   Hashtbl.reset t.gemm_cache;

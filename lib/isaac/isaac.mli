@@ -39,6 +39,7 @@ val tune :
   ?dtypes:Ptx.Types.dtype list ->
   ?noise:float ->
   ?domains:int ->
+  ?checkpoint:string * int ->
   Util.Rng.t ->
   Gpu.Device.t ->
   op:[ `Gemm | `Conv ] ->
@@ -48,8 +49,14 @@ val tune :
     [samples] random kernels (default 4000 scaled by REPRO_SCALE; the
     paper uses 50k–200k on real hardware), and train the regression MLP
     ([arch] defaults to {!Tuner.Profile.default_arch}). [domains > 1]
-    parallelizes the benchmarking stage over OCaml 5 domains.
-    Deterministic given the rng (and the domain count). *)
+    parallelizes the benchmarking stage over OCaml 5 domains; it defaults
+    to {!Util.Parallel.recommended_domains} — the same default as
+    {!Tuner.Search} and the codegen entry points — so set
+    [ISAAC_DOMAINS=1] (or pass [~domains:1]) when cross-machine bitwise
+    reproducibility matters. Deterministic given the rng and the domain
+    count. [checkpoint] is forwarded to
+    {!Tuner.Dataset.generate_gemm}/[generate_conv] so a killed tuning run
+    can resume its dataset generation where it left off. *)
 
 val of_profile : Gpu.Device.t -> Tuner.Profile.t -> t
 (** Wrap a previously saved profile. Raises [Invalid_argument] if the
@@ -88,12 +95,19 @@ val explain_conv : t -> Codegen.Conv_params.input -> string
 
 val save_plans : t -> string -> unit
 (** Persist the kernel-plan cache to disk — §6: inferred kernels may be
-    "cached on the filesystem" so later runs skip the search. *)
+    "cached on the filesystem" so later runs skip the search. Written
+    through {!Util.Artifact.write} (kind ["isaac-plans"]): atomic and
+    checksummed, so a crash mid-save leaves the previous cache intact. *)
 
-val load_plans : t -> string -> unit
+val load_plans : t -> string -> (int, string) result
 (** Pre-seed the plan cache from a file written by {!save_plans}: each
     cached configuration is re-benchmarked once on the device (no model
-    search). Entries whose configuration is no longer legal are skipped.
-    Raises [Failure] on malformed files. *)
+    search) using a dedicated RNG, so loading never perturbs subsequent
+    [plan_*] searches. The whole file is validated (checksum) and parsed
+    before any cache mutation — a corrupt file returns [Error] and
+    leaves the cache untouched. Individual malformed lines and entries
+    whose configuration is no longer legal are skipped (counted in the
+    [plans.skipped_lines] metric) rather than aborting the load.
+    [Ok n] is the number of plans installed. *)
 
 val clear_cache : t -> unit

@@ -128,20 +128,26 @@ let copy t =
     arch = Array.copy t.arch;
     step = t.step }
 
-let save t oc =
-  Printf.fprintf oc "mlp %d\n" (Array.length t.arch);
-  Array.iter (fun s -> Printf.fprintf oc "%d " s) t.arch;
-  Printf.fprintf oc "\n%d\n" t.step;
+let save_buf buf t =
+  Buffer.add_string buf (Printf.sprintf "mlp %d\n" (Array.length t.arch));
+  Array.iter (fun s -> Buffer.add_string buf (Printf.sprintf "%d " s)) t.arch;
+  Buffer.add_string buf (Printf.sprintf "\n%d\n" t.step);
   Array.iter
     (fun l ->
-      Array.iter (fun v -> Printf.fprintf oc "%.17g " v) l.w.Tensor.data;
-      Printf.fprintf oc "\n";
-      Array.iter (fun v -> Printf.fprintf oc "%.17g " v) l.b;
-      Printf.fprintf oc "\n")
+      Array.iter
+        (fun v -> Buffer.add_string buf (Printf.sprintf "%.17g " v))
+        l.w.Tensor.data;
+      Buffer.add_char buf '\n';
+      Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf "%.17g " v)) l.b;
+      Buffer.add_char buf '\n')
     t.layers
 
-let load ic =
-  let line () = input_line ic in
+let save t oc =
+  let buf = Buffer.create 4096 in
+  save_buf buf t;
+  Buffer.output_buffer oc buf
+
+let load_from line =
   let header = line () in
   let arch_len = Scanf.sscanf header "mlp %d" Fun.id in
   let arch =
@@ -173,3 +179,5 @@ let load ic =
           vb = Array.make fan_out 0.0 })
   in
   { layers; arch; step }
+
+let load ic = load_from (fun () -> input_line ic)

@@ -48,3 +48,12 @@ val save : t -> out_channel -> unit
 val load : in_channel -> t
 (** Plain-text serialization (architecture then weights), used by the
     profile cache. *)
+
+val save_buf : Buffer.t -> t -> unit
+(** Append the same serialization to a buffer — how {!Tuner.Profile}
+    embeds the weights in a checksummed {!Util.Artifact} payload. *)
+
+val load_from : (unit -> string) -> t
+(** Read the serialization from a line producer (raising [End_of_file]
+    when out of lines). Raises on malformed input — callers reading
+    checksummed artifacts translate that into an [Error]. *)

@@ -93,8 +93,14 @@ val of_json : Json.t -> (t, string) result
     reports with a newer [version] or the wrong ["schema"] field. *)
 
 val write : path:string -> t -> unit
-(** Pretty-prints nothing: one {!Json.to_string} line plus a trailing
-    newline, so reports stay byte-comparable. *)
+(** Atomic, checksummed write through {!Util.Artifact} (kind
+    ["isaac-bench-report"]). The payload stays one deterministic
+    {!Json.to_string} line plus a trailing newline, so reports written
+    by the same schema version remain byte-comparable; a crash mid-write
+    leaves any previous report readable. *)
 
 val load : string -> (t, string) result
-(** Read and parse; I/O and parse failures are returned as [Error]. *)
+(** Read, validate (artifact checksum) and parse; I/O, corruption and
+    parse failures are returned as [Error]. Headerless legacy reports
+    (e.g. [bench/baseline.json] written before the artifact store) are
+    still accepted. *)

@@ -1,6 +1,10 @@
 module GP = Codegen.Gemm_params
 module CP = Codegen.Conv_params
 
+let src = Logs.Src.create "tuner.dataset" ~doc:"ISAAC dataset generation"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type t = {
   op : [ `Gemm | `Conv ];
   device : string;
@@ -94,57 +98,224 @@ let fit_conv_sampler ?(warmup = 10_000) ?dtypes rng device =
   Sampler.fit ~warmup rng Config_space.gemm ~legal:(fun cfg ->
       conv_legal device (random_conv_input ?dtypes rng) cfg)
 
-let generate_chunk ~noise ~sampler ~static_ok rng device ~n ~random_input ~legal
-    ~features ~measure =
+(* --- chunk checkpoints -------------------------------------------------- *)
+
+(* A checkpoint freezes one domain's chunk mid-generation: the rows
+   measured so far plus the chunk RNG's exact state. Because every draw
+   in the chunk loop (inputs, sampler rejections, measurement noise)
+   comes from that one generator, restoring it and continuing produces
+   the byte-identical tail an uninterrupted run would have. *)
+let checkpoint_kind = "isaac-dataset-chunk"
+let checkpoint_version = 1
+
+let op_str = function `Gemm -> "gemm" | `Conv -> "conv"
+
+let checkpoint_payload ~op ~device_name ~n ~filled ~rng
+    (flog : Mlp.Tensor.t) (fraw : Mlp.Tensor.t) ys =
+  let dim = Features.dim in
+  let buf = Buffer.create ((filled * (2 * dim + 1) * 26) + 128) in
+  Buffer.add_string buf (Printf.sprintf "op %s\n" (op_str op));
+  Buffer.add_string buf (Printf.sprintf "device %s\n" device_name);
+  Buffer.add_string buf (Printf.sprintf "rows %d of %d\n" filled n);
+  Buffer.add_string buf (Printf.sprintf "rng %s\n" (Util.Rng.serialize rng));
+  for i = 0 to filled - 1 do
+    for j = 0 to dim - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "%.17g " flog.Mlp.Tensor.data.((i * dim) + j))
+    done;
+    for j = 0 to dim - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "%.17g " fraw.Mlp.Tensor.data.((i * dim) + j))
+    done;
+    Buffer.add_string buf (Printf.sprintf "%.17g\n" ys.(i))
+  done;
+  Buffer.contents buf
+
+(* Parse a checkpoint payload back into the chunk arrays. Any mismatch
+   (different op/device/chunk size, malformed rows) rejects the file and
+   the chunk restarts from scratch — stale checkpoints must never leak
+   rows into a differently-shaped run. *)
+let restore_checkpoint ~op ~device_name ~n path (flog : Mlp.Tensor.t)
+    (fraw : Mlp.Tensor.t) ys =
+  let reject reason =
+    Obs.Metrics.incr "dataset.checkpoint_rejected";
+    Log.warn (fun m -> m "%s: ignoring checkpoint (%s)" path reason);
+    None
+  in
+  match
+    Util.Artifact.read ~path ~kind:checkpoint_kind
+      ~max_version:checkpoint_version
+  with
+  | Error (Util.Artifact.Io _) -> None (* absent: fresh start *)
+  | Error e -> reject (Util.Artifact.error_to_string ~path e)
+  | Ok (_, payload) -> (
+    let dim = Features.dim in
+    match String.split_on_char '\n' payload with
+    | op_line :: dev_line :: rows_line :: rng_line :: rows ->
+      if op_line <> "op " ^ op_str op then reject "different op"
+      else if dev_line <> "device " ^ device_name then reject "different device"
+      else (
+        match Scanf.sscanf rows_line "rows %d of %d%!" (fun a b -> (a, b)) with
+        | exception _ -> reject "bad rows line"
+        | filled, total ->
+          if total <> n || filled < 0 || filled > n then
+            reject "different chunk size"
+          else (
+            match
+              Scanf.sscanf rng_line "rng %[^\n]%!" Util.Rng.deserialize
+            with
+            | exception _ -> reject "bad rng state"
+            | None -> reject "bad rng state"
+            | Some rng -> (
+              let parse_row i line =
+                let fields =
+                  String.split_on_char ' ' (String.trim line)
+                  |> List.filter (( <> ) "")
+                  |> List.map float_of_string
+                in
+                if List.length fields <> (2 * dim) + 1 then failwith "width";
+                List.iteri
+                  (fun j v ->
+                    if j < dim then flog.Mlp.Tensor.data.((i * dim) + j) <- v
+                    else if j < 2 * dim then
+                      fraw.Mlp.Tensor.data.((i * dim) + (j - dim)) <- v
+                    else ys.(i) <- v)
+                  fields
+              in
+              match
+                List.iteri
+                  (fun i line -> if i < filled then parse_row i line)
+                  rows
+              with
+              | () ->
+                if List.length (List.filter (fun l -> String.trim l <> "") rows)
+                   <> filled
+                then reject "row count mismatch"
+                else begin
+                  Obs.Metrics.add "dataset.resumed_rows" filled;
+                  Some (filled, rng)
+                end
+              | exception _ -> reject "malformed row")))
+    | _ -> reject "truncated header")
+
+let write_checkpoint ~op ~device_name ~n ~filled ~rng path flog fraw ys =
+  Util.Artifact.write ~path ~kind:checkpoint_kind ~version:checkpoint_version
+    (checkpoint_payload ~op ~device_name ~n ~filled ~rng flog fraw ys);
+  Obs.Metrics.incr "dataset.checkpoints_written";
+  (* Kill-resume smoke tests die right here, just after a durable
+     checkpoint — the worst-case crash point resume must handle. *)
+  Util.Faultsim.crash_point "gen_crash"
+
+(* Give up on a chunk after this many consecutive inputs yield no
+   measurable configuration: with the sampler already bounding rejection
+   attempts per input, a run this dry means the restricted space is
+   effectively empty and looping further would never terminate. *)
+let max_consecutive_skips = 100
+
+let generate_chunk ?checkpoint ~op ~noise ~sampler ~static_ok rng device ~n
+    ~random_input ~legal ~features ~measure =
   let dim = Features.dim in
   let flog = Mlp.Tensor.create n dim in
   let fraw = Mlp.Tensor.create n dim in
   let ys = Array.make n 0.0 in
-  let filled = ref 0 in
+  let device_name = device.Gpu.Device.name in
+  let rng, start =
+    match checkpoint with
+    | None -> (rng, 0)
+    | Some (path, _) -> (
+      match restore_checkpoint ~op ~device_name ~n path flog fraw ys with
+      | Some (filled, rng') -> (rng', filled)
+      | None -> (rng, 0))
+  in
+  let filled = ref start in
+  let skips = ref 0 in
   while !filled < n do
     let input = random_input rng in
-    let draw =
-      let legal c = legal device input c in
-      match static_ok with
-      | None -> Sampler.sample_legal rng sampler ~legal
-      | Some ok ->
-        Sampler.sample_verified rng sampler ~legal ~verify:(fun c -> ok input c)
+    let measured =
+      let draw =
+        let legal c = legal device input c in
+        match static_ok with
+        | None -> Sampler.sample_legal rng sampler ~legal
+        | Some ok ->
+          Sampler.sample_verified rng sampler ~legal ~verify:(fun c -> ok input c)
+      in
+      match draw with
+      | None -> None
+      | Some cfg_array ->
+        Option.map
+          (fun tflops -> (cfg_array, tflops))
+          (measure rng device input cfg_array ~noise)
     in
-    match draw with
-    | None -> ()
-    | Some cfg_array ->
-      (match measure rng device input cfg_array ~noise with
-       | None -> ()
-       | Some tflops ->
-         let i = !filled in
-         let fl = features ~log:true input cfg_array in
-         let fr = features ~log:false input cfg_array in
-         Array.blit fl 0 flog.Mlp.Tensor.data (i * dim) dim;
-         Array.blit fr 0 fraw.Mlp.Tensor.data (i * dim) dim;
-         ys.(i) <- tflops;
-         incr filled)
+    match measured with
+    | None ->
+      (* No legal (or measurable) configuration for this input — e.g. an
+         over-restricted [?dtypes]. Skip it rather than redrawing
+         forever, and fail loudly once the whole chunk stops making
+         progress. *)
+      Obs.Metrics.incr "dataset.skipped_inputs";
+      incr skips;
+      if !skips >= max_consecutive_skips then
+        failwith
+          (Printf.sprintf
+             "Dataset.generate: no measurable configuration in %d consecutive \
+              input draws (%d/%d samples done on %s) — the restricted \
+              configuration space appears to be empty"
+             !skips !filled n device_name)
+    | Some (cfg_array, tflops) ->
+      skips := 0;
+      let i = !filled in
+      let fl = features ~log:true input cfg_array in
+      let fr = features ~log:false input cfg_array in
+      Array.blit fl 0 flog.Mlp.Tensor.data (i * dim) dim;
+      Array.blit fr 0 fraw.Mlp.Tensor.data (i * dim) dim;
+      ys.(i) <- tflops;
+      incr filled;
+      (match checkpoint with
+       | Some (path, every) when every > 0 && !filled mod every = 0 && !filled < n ->
+         write_checkpoint ~op ~device_name ~n ~filled:!filled ~rng path flog
+           fraw ys
+       | _ -> ())
   done;
   (flog, fraw, ys)
 
+let chunk_path path chunk = Printf.sprintf "%s.chunk%d" path chunk
+
 (* Benchmarking sampled kernels is embarrassingly parallel: each domain
    gets an independent PRNG split off the caller's and fills its own
-   chunk (the sampler's fitted marginals are shared read-only). *)
-let generate_generic ?(domains = 1) ?static_ok ~op ~noise ~sampler rng device ~n
-    ~random_input ~legal ~features ~measure () =
+   chunk (the sampler's fitted marginals are shared read-only). With
+   [checkpoint = (path, every_n)] each domain persists its chunk to
+   [path.chunk<i>] every [every_n] accepted samples; a rerun with the
+   same seed, domain count and path resumes each chunk from its last
+   durable state, and the deterministic chunk-order merge makes the
+   final dataset bitwise-identical to an uninterrupted run. Chunk files
+   are removed once the merge completes. *)
+let generate_generic ?(domains = 1) ?static_ok ?checkpoint ~op ~noise ~sampler
+    rng device ~n ~random_input ~legal ~features ~measure () =
   Obs.Span.with_ "dataset.generate"
     ~meta:(fun () ->
       [ ("op", Obs.Json.String (match op with `Gemm -> "gemm" | `Conv -> "conv"));
         ("n", Obs.Json.Int n);
         ("domains", Obs.Json.Int domains);
+        ("checkpointed", Obs.Json.Bool (checkpoint <> None));
         ("verified", Obs.Json.Bool (static_ok <> None)) ])
     (fun () ->
   let dim = Features.dim in
   let rngs = Array.init (max 1 domains) (fun _ -> Util.Rng.split rng) in
+  let chunk_checkpoint chunk =
+    Option.map (fun (path, every) -> (chunk_path path chunk, every)) checkpoint
+  in
   let chunks =
     Util.Parallel.run_chunks ~domains ~total:n (fun ~chunk ~size ->
-        generate_chunk ~noise ~sampler ~static_ok rngs.(chunk) device ~n:size
-          ~random_input ~legal ~features ~measure)
+        generate_chunk ?checkpoint:(chunk_checkpoint chunk) ~op ~noise ~sampler
+          ~static_ok rngs.(chunk) device ~n:size ~random_input ~legal ~features
+          ~measure)
   in
+  (match checkpoint with
+   | Some (path, _) ->
+     for chunk = 0 to max 1 domains - 1 do
+       try Sys.remove (chunk_path path chunk) with Sys_error _ -> ()
+     done
+   | None -> ());
   let flog = Mlp.Tensor.create n dim in
   let fraw = Mlp.Tensor.create n dim in
   let ys = Array.make n 0.0 in
@@ -174,6 +345,11 @@ let config_event ~op ~phase cfg_array (m : Gpu.Executor.measurement) =
         ("seconds", Obs.Json.Float m.seconds) ]
 
 let measure_gemm rng device input cfg_array ~noise =
+  if Util.Faultsim.fire "bench_fail" then begin
+    Obs.Metrics.incr "dataset.bench_failures";
+    None
+  end
+  else
   let cfg = GP.config_of_array cfg_array in
   match Gpu.Executor.measure ~noise rng device (GP.cost input cfg) with
   | Some m when m.tflops > 0.0 ->
@@ -182,6 +358,11 @@ let measure_gemm rng device input cfg_array ~noise =
   | _ -> None
 
 let measure_conv rng device input cfg_array ~noise =
+  if Util.Faultsim.fire "bench_fail" then begin
+    Obs.Metrics.incr "dataset.bench_failures";
+    None
+  end
+  else
   let cfg = GP.config_of_array cfg_array in
   match Gpu.Executor.measure ~noise rng device (CP.cost input cfg) with
   | Some m when m.tflops > 0.0 ->
@@ -190,27 +371,31 @@ let measure_conv rng device input cfg_array ~noise =
   | _ -> None
 
 let generate_gemm ?(domains = 1) ?dtypes ?(noise = Gpu.Executor.default_noise)
-    ?sampler ?(verify = false) rng device ~n =
+    ?sampler ?(verify = false) ?checkpoint rng device ~n =
   let sampler =
     match sampler with Some s -> s | None -> fit_gemm_sampler ?dtypes rng device
   in
   let static_ok = if verify then Some gemm_static_ok else None in
-  generate_generic ~domains ?static_ok ~op:`Gemm ~noise ~sampler rng device ~n
+  generate_generic ~domains ?static_ok ?checkpoint ~op:`Gemm ~noise ~sampler rng
+    device ~n
     ~random_input:(random_gemm_input ?dtypes)
     ~legal:gemm_legal ~features:Features.gemm_features ~measure:measure_gemm ()
 
 let generate_conv ?(domains = 1) ?dtypes ?(noise = Gpu.Executor.default_noise)
-    ?sampler ?(verify = false) rng device ~n =
+    ?sampler ?(verify = false) ?checkpoint rng device ~n =
   let sampler =
     match sampler with Some s -> s | None -> fit_conv_sampler ?dtypes rng device
   in
   let static_ok = if verify then Some conv_static_ok else None in
-  generate_generic ~domains ?static_ok ~op:`Conv ~noise ~sampler rng device ~n
+  generate_generic ~domains ?static_ok ?checkpoint ~op:`Conv ~noise ~sampler rng
+    device ~n
     ~random_input:(random_conv_input ?dtypes)
     ~legal:conv_legal ~features:Features.conv_features ~measure:measure_conv ()
 
 let throughput_probe rng device ~n =
-  let t0 = Sys.time () in
+  (* Wall-clock, not [Sys.time]: CPU time sums across domains, which
+     overstated samples/s by nearly the domain count on parallel runs. *)
+  let t0 = Unix.gettimeofday () in
   let (_ : t) = generate_gemm rng device ~n in
-  let dt = Float.max 1e-9 (Sys.time () -. t0) in
+  let dt = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
   float_of_int n /. dt

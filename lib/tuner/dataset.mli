@@ -70,6 +70,7 @@ val generate_gemm :
   ?noise:float ->
   ?sampler:Sampler.t ->
   ?verify:bool ->
+  ?checkpoint:string * int ->
   Util.Rng.t ->
   Gpu.Device.t ->
   n:int ->
@@ -78,7 +79,25 @@ val generate_gemm :
     to skip the warm-up. [domains > 1] fans the benchmarking loop out
     over OCaml 5 domains (deterministic for fixed seed and domain
     count). [verify] (default false) additionally gates every accepted
-    configuration on the static verifier ({!gemm_static_ok}). *)
+    configuration on the static verifier ({!gemm_static_ok}).
+
+    [checkpoint = (path, every_n)] makes the expensive benchmarking loop
+    resumable: each domain atomically persists its partial chunk to
+    [path.chunk<i>] (a checksummed {!Util.Artifact}, kind
+    ["isaac-dataset-chunk"]) every [every_n] accepted samples, recording
+    the measured rows and the chunk RNG state. A killed run re-invoked
+    with the same seed, [domains] and [path] restores each chunk from
+    its last durable state and produces a dataset bitwise-identical to
+    an uninterrupted run; chunk files are deleted once the final merge
+    completes. Stale checkpoints (different op, device or chunk size)
+    and corrupt ones are rejected with a warning (counted in
+    [dataset.checkpoint_rejected]) and the chunk restarts from scratch.
+
+    Inputs for which no measurable configuration exists (e.g. an
+    over-restricted [dtypes]) are skipped and counted in
+    [dataset.skipped_inputs]; if 100 consecutive inputs make no
+    progress, generation raises [Failure] with a descriptive message
+    instead of spinning forever. *)
 
 val generate_conv :
   ?domains:int ->
@@ -86,6 +105,7 @@ val generate_conv :
   ?noise:float ->
   ?sampler:Sampler.t ->
   ?verify:bool ->
+  ?checkpoint:string * int ->
   Util.Rng.t ->
   Gpu.Device.t ->
   n:int ->
@@ -96,4 +116,6 @@ val throughput_probe :
   Util.Rng.t -> Gpu.Device.t -> n:int -> float
 (** Samples-per-second of the full generate-validate-measure loop (the
     §4.2 "50,000 valid kernels in under two hours" claim, which our
-    simulated device beats by construction; reported for completeness). *)
+    simulated device beats by construction; reported for completeness).
+    Measured in wall-clock time, so multi-domain runs are not credited
+    with their summed CPU time. *)

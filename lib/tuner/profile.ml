@@ -69,48 +69,73 @@ let predict_tflops t features =
   let x = Mlp.Tensor.of_array ~rows:1 ~cols:(Array.length features) features in
   Features.untarget t.scaler (predict_std_batch t x).(0)
 
+(* Artifact versions 1–2 were the pre-checksum [isaac-profile v1/v2]
+   text files; version 3 is the same v2 body carried in a checksummed
+   {!Util.Artifact} envelope (the in-payload header line is gone — the
+   envelope owns kind and version now). *)
+let artifact_kind = "isaac-profile"
+let artifact_version = 3
+
+let to_payload t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "op %s\n" (match t.op with `Gemm -> "gemm" | `Conv -> "conv"));
+  Buffer.add_string buf (Printf.sprintf "device %s\n" t.device);
+  Buffer.add_string buf
+    (Printf.sprintf "scaler %.17g %.17g\n" t.scaler.mean t.scaler.std);
+  Buffer.add_string buf (Printf.sprintf "log_features %b\n" t.log_features);
+  Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf "%.17g " v)) t.feat_mean;
+  Buffer.add_char buf '\n';
+  Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf "%.17g " v)) t.feat_std;
+  Buffer.add_char buf '\n';
+  Mlp.Network.save_buf buf t.net;
+  Buffer.contents buf
+
 let save t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Printf.fprintf oc "isaac-profile v2\n";
-      Printf.fprintf oc "op %s\n" (match t.op with `Gemm -> "gemm" | `Conv -> "conv");
-      Printf.fprintf oc "device %s\n" t.device;
-      Printf.fprintf oc "scaler %.17g %.17g\n" t.scaler.mean t.scaler.std;
-      Printf.fprintf oc "log_features %b\n" t.log_features;
-      Array.iter (fun v -> Printf.fprintf oc "%.17g " v) t.feat_mean;
-      Printf.fprintf oc "\n";
-      Array.iter (fun v -> Printf.fprintf oc "%.17g " v) t.feat_std;
-      Printf.fprintf oc "\n";
-      Mlp.Network.save t.net oc)
+  Util.Artifact.write ~path ~kind:artifact_kind ~version:artifact_version
+    (to_payload t)
+
+let of_payload path payload =
+  let lines = ref (String.split_on_char '\n' payload) in
+  let next () =
+    match !lines with [] -> raise End_of_file | l :: tl -> lines := tl; l
+  in
+  let expect fmt = Scanf.sscanf (next ()) fmt in
+  let op =
+    match expect "op %s" Fun.id with
+    | "gemm" -> `Gemm
+    | "conv" -> `Conv
+    | other -> failwith (path ^ ": unknown op " ^ other)
+  in
+  let device = expect "device %[^\n]" Fun.id in
+  let mean, std = expect "scaler %g %g" (fun a b -> (a, b)) in
+  let log_features = expect "log_features %B" Fun.id in
+  let floats_of_line l =
+    String.split_on_char ' ' (String.trim l)
+    |> List.filter (fun s -> s <> "")
+    |> List.map float_of_string
+    |> Array.of_list
+  in
+  let feat_mean = floats_of_line (next ()) in
+  let feat_std = floats_of_line (next ()) in
+  if Array.length feat_mean <> Features.dim || Array.length feat_std <> Features.dim
+  then failwith (path ^ ": bad feature scaler");
+  let net = Mlp.Network.load_from next in
+  { op; device; net; scaler = { Features.mean; std }; log_features; feat_mean;
+    feat_std }
 
 let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let expect fmt = Scanf.sscanf (input_line ic) fmt in
-      (try expect "isaac-profile v2%!" () with _ -> failwith (path ^ ": bad header"));
-      let op =
-        match expect "op %s" Fun.id with
-        | "gemm" -> `Gemm
-        | "conv" -> `Conv
-        | other -> failwith (path ^ ": unknown op " ^ other)
-      in
-      let device = expect "device %[^\n]" Fun.id in
-      let mean, std = expect "scaler %g %g" (fun a b -> (a, b)) in
-      let log_features = expect "log_features %B" Fun.id in
-      let floats_of_line l =
-        String.split_on_char ' ' (String.trim l)
-        |> List.filter (fun s -> s <> "")
-        |> List.map float_of_string
-        |> Array.of_list
-      in
-      let feat_mean = floats_of_line (input_line ic) in
-      let feat_std = floats_of_line (input_line ic) in
-      if Array.length feat_mean <> Features.dim || Array.length feat_std <> Features.dim
-      then failwith (path ^ ": bad feature scaler");
-      let net = Mlp.Network.load ic in
-      { op; device; net; scaler = { Features.mean; std }; log_features; feat_mean;
-        feat_std })
+  match
+    Util.Artifact.read ~path ~kind:artifact_kind ~max_version:artifact_version
+  with
+  | Error e -> Error (Util.Artifact.error_to_string ~path e)
+  | Ok (_, payload) -> (
+    (* The envelope checksum already rules out torn or rotted bytes, so a
+       parse failure here means a genuine schema problem. *)
+    match of_payload path payload with
+    | t -> Ok t
+    | exception Failure msg -> Error msg
+    | exception _ -> Error (path ^ ": malformed profile payload"))
+
+let load_exn path =
+  match load path with Ok t -> t | Error msg -> failwith msg

@@ -42,5 +42,14 @@ val predict_std_batch : t -> Mlp.Tensor.t -> float array
     vectors matching [log_features]. *)
 
 val save : t -> string -> unit
-val load : string -> t
-(** Raises [Failure] on malformed files. *)
+(** Persist through {!Util.Artifact.write} (kind ["isaac-profile"]):
+    atomic temp-fsync-rename with a checksummed header, so a crash
+    mid-save leaves any previous profile intact. *)
+
+val load : string -> (t, string) result
+(** Validating load: header kind/version, payload length and checksum
+    are checked before a byte is parsed, and parse failures surface as
+    [Error] — a corrupted profile is never partially loaded. *)
+
+val load_exn : string -> t
+(** {!load}, raising [Failure] on [Error] (CLI/test convenience). *)

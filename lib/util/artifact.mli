@@ -1,0 +1,52 @@
+(** Crash-safe persistence for tuning artifacts.
+
+    The paper's economics (§5–§6) hinge on the offline phase's outputs —
+    trained profiles, plan caches, datasets, benchmark reports — being
+    paid for once and reused forever, so every artifact this repo writes
+    goes through this module rather than a bare [open_out]:
+
+    - {!write} is atomic: the bytes go to a temp file in the same
+      directory, are fsynced, and are [rename]d over the destination.
+      A crash at any point leaves the previous version readable; at
+      worst a [*.tmp.<pid>] file is left behind.
+    - Every file starts with a one-line header
+      [isaac-artifact v1 <kind> <version> <bytes> <fnv64>] carrying the
+      artifact kind, the writer's schema version, the payload length and
+      an FNV-1a checksum.
+    - {!read} validates all four and returns a [result]; a torn or
+      corrupted artifact is always detected and reported, never
+      partially loaded.
+
+    Durability (fsync of file and containing directory) is on by default
+    and can be dropped for bulk test runs with [ISAAC_FSYNC=0];
+    atomicity is unconditional.
+
+    {!Faultsim} hooks: [io_crash] kills a write after half the payload,
+    [io_corrupt] flips a payload byte after checksumming. *)
+
+type error =
+  | Io of string                 (** open/read failure (incl. missing file) *)
+  | Bad_header of string         (** no artifact header: wrong or legacy file *)
+  | Kind_mismatch of { expected : string; found : string }
+  | Version_newer of { supported : int; found : int }
+      (** written by a newer schema than this binary understands *)
+  | Truncated of { expected_bytes : int; got_bytes : int }
+      (** payload length disagrees with the header (torn write) *)
+  | Checksum_mismatch of { expected : string; found : string }
+
+val error_to_string : path:string -> error -> string
+
+val checksum : string -> string
+(** FNV-1a 64-bit checksum, 16 lowercase hex digits. *)
+
+val write : ?fsync:bool -> path:string -> kind:string -> version:int -> string -> unit
+(** [write ~path ~kind ~version payload] atomically replaces [path].
+    [kind] is a space-free tag such as ["isaac-profile"]; [version >= 1]
+    is the writer's schema version for that kind. Raises [Sys_error] on
+    I/O failure and {!Faultsim.Injected} under fault injection; in both
+    cases the previous content of [path] is untouched. *)
+
+val read : path:string -> kind:string -> max_version:int -> (int * string, error) result
+(** [read ~path ~kind ~max_version] returns [(version, payload)] after
+    validating the header's kind, version ([<= max_version]), payload
+    length and checksum. Never raises. *)

@@ -1,0 +1,201 @@
+(* Resumable dataset generation: a killed run restored from its
+   checkpoint chunks must produce a bitwise-identical dataset, stale and
+   corrupt chunks are rejected, degenerate search spaces fail fast, and
+   a crash while saving a profile keeps the previous one loadable. *)
+
+module D = Tuner.Dataset
+module F = Util.Faultsim
+
+let with_faults spec f =
+  F.configure spec;
+  Fun.protect ~finally:(fun () -> F.configure "") f
+
+let temp_base () =
+  let path = Filename.temp_file "isaac_ckpt" "" in
+  Sys.remove path;
+  path
+
+let cleanup_chunks base =
+  let dir = Filename.dirname base and name = Filename.basename base in
+  Array.iter
+    (fun f ->
+      if String.starts_with ~prefix:name f then
+        try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir)
+
+let with_chunks f =
+  let base = temp_base () in
+  Fun.protect ~finally:(fun () -> cleanup_chunks base) (fun () -> f base)
+
+let check_same_dataset msg (a : D.t) (b : D.t) =
+  Alcotest.(check int) (msg ^ ": size") (D.size a) (D.size b);
+  Alcotest.(check bool) (msg ^ ": log features bitwise equal") true
+    (a.features_log = b.features_log);
+  Alcotest.(check bool) (msg ^ ": raw features bitwise equal") true
+    (a.features_raw = b.features_raw);
+  Alcotest.(check bool) (msg ^ ": tflops bitwise equal") true
+    (a.tflops = b.tflops)
+
+let gen ?domains ?checkpoint ~seed n =
+  D.generate_gemm ?domains ?checkpoint (Util.Rng.create seed)
+    Gpu.Device.gtx980ti ~n
+
+(* Writing checkpoints must not change what gets generated. *)
+let test_checkpointing_is_transparent () =
+  with_chunks (fun base ->
+      let straight = gen ~seed:7001 120 in
+      let checkpointed = gen ~seed:7001 ~checkpoint:(base, 25) 120 in
+      check_same_dataset "checkpoint on vs off" straight checkpointed;
+      Alcotest.(check bool) "chunk file removed after merge" false
+        (Sys.file_exists (base ^ ".chunk0")))
+
+(* The tentpole guarantee: kill the run mid-generation, resume from the
+   surviving chunks, and get the exact dataset an uninterrupted run
+   produces. *)
+let test_kill_and_resume_bitwise_identical () =
+  with_chunks (fun base ->
+      let straight = gen ~seed:7002 120 in
+      (* gen_crash:1 dies right after the first checkpoint write, leaving
+         a durable partial chunk behind. *)
+      with_faults "gen_crash:1" (fun () ->
+          match gen ~seed:7002 ~checkpoint:(base, 25) 120 with
+          | exception F.Injected _ -> ()
+          | _ -> Alcotest.fail "gen_crash:1 did not kill the run");
+      Alcotest.(check bool) "partial chunk survived the crash" true
+        (Sys.file_exists (base ^ ".chunk0"));
+      let resumed = gen ~seed:7002 ~checkpoint:(base, 25) 120 in
+      check_same_dataset "resumed vs uninterrupted" straight resumed)
+
+(* Crash on a later checkpoint: the chunk restores from its newest
+   durable state, not the first. *)
+let test_resume_from_later_checkpoint () =
+  with_chunks (fun base ->
+      let straight = gen ~seed:7003 120 in
+      with_faults "gen_crash:0.34" (fun () ->
+          (* period 3: dies on the third checkpoint write. *)
+          match gen ~seed:7003 ~checkpoint:(base, 20) 120 with
+          | exception F.Injected _ -> ()
+          | _ -> Alcotest.fail "gen_crash did not kill the run");
+      let resumed = gen ~seed:7003 ~checkpoint:(base, 20) 120 in
+      check_same_dataset "late-crash resume" straight resumed)
+
+(* Multi-domain runs checkpoint per chunk; resume must hold there too. *)
+let test_kill_and_resume_two_domains () =
+  with_chunks (fun base ->
+      let straight = gen ~seed:7004 ~domains:2 120 in
+      with_faults "gen_crash:1" (fun () ->
+          match gen ~seed:7004 ~domains:2 ~checkpoint:(base, 25) 120 with
+          | exception F.Injected _ -> ()
+          | _ -> Alcotest.fail "gen_crash:1 did not kill the run");
+      let resumed = gen ~seed:7004 ~domains:2 ~checkpoint:(base, 25) 120 in
+      check_same_dataset "two-domain resume" straight resumed)
+
+(* A checkpoint from a different configuration must be rejected (fresh
+   restart), not silently merged into the wrong dataset. *)
+let test_stale_checkpoint_rejected () =
+  with_chunks (fun base ->
+      with_faults "gen_crash:1" (fun () ->
+          match
+            D.generate_conv (Util.Rng.create 7005) Gpu.Device.gtx980ti ~n:120
+              ~checkpoint:(base, 25)
+          with
+          | exception F.Injected _ -> ()
+          | _ -> Alcotest.fail "gen_crash:1 did not kill the run");
+      (* Same path, different op: the CONV chunk must not leak into a
+         GEMM dataset. *)
+      let straight = gen ~seed:7005 120 in
+      let resumed = gen ~seed:7005 ~checkpoint:(base, 25) 120 in
+      check_same_dataset "foreign chunk ignored" straight resumed)
+
+let test_corrupt_checkpoint_rejected () =
+  with_chunks (fun base ->
+      with_faults "gen_crash:1" (fun () ->
+          match gen ~seed:7006 ~checkpoint:(base, 25) 120 with
+          | exception F.Injected _ -> ()
+          | _ -> Alcotest.fail "gen_crash:1 did not kill the run");
+      let chunk = base ^ ".chunk0" in
+      let ic = open_in_bin chunk in
+      let raw = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let b = Bytes.of_string raw in
+      let i = Bytes.length b / 2 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+      let oc = open_out_bin chunk in
+      output_bytes oc b;
+      close_out oc;
+      let straight = gen ~seed:7006 120 in
+      let resumed = gen ~seed:7006 ~checkpoint:(base, 25) 120 in
+      check_same_dataset "corrupt chunk discarded" straight resumed)
+
+(* Satellite (a): an input space with no measurable configuration must
+   raise a descriptive error instead of spinning forever. *)
+let test_no_progress_fails_fast () =
+  let crippled =
+    { Gpu.Device.gtx980ti with
+      name = "crippled";
+      shared_per_block_max = 1;
+      max_threads_per_block = 1 }
+  in
+  match
+    D.generate_gemm (Util.Rng.create 7007) crippled ~n:10
+  with
+  | exception Failure msg ->
+    Alcotest.(check bool) "message names the cause" true
+      (let lower = String.lowercase_ascii msg in
+       let has needle =
+         let nh = String.length lower and nn = String.length needle in
+         let rec go i =
+           i + nn <= nh && (String.sub lower i nn = needle || go (i + 1))
+         in
+         go 0
+       in
+       has "no measurable configuration")
+  | _ -> Alcotest.fail "generation succeeded on an impossible device"
+
+(* Transient benchmark failures are skipped, not fatal: the run still
+   delivers its n samples. *)
+let test_bench_failures_survived () =
+  with_faults "bench_fail:0.2" (fun () ->
+      let d = gen ~seed:7008 80 in
+      Alcotest.(check int) "all samples delivered" 80 (D.size d))
+
+(* A crash while re-saving a profile leaves the previous profile intact
+   and loadable, with bitwise-identical predictions. *)
+let test_profile_crash_save_keeps_previous () =
+  let rng = Util.Rng.create 7009 in
+  let data = D.generate_gemm rng Gpu.Device.gtx980ti ~n:200 in
+  let profile = Tuner.Profile.train ~arch:[| 16 |] ~epochs:4 rng data in
+  let path = Filename.temp_file "isaac_profile" ".profile" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Tuner.Profile.save profile path;
+      with_faults "io_crash:1" (fun () ->
+          match Tuner.Profile.save profile path with
+          | exception F.Injected _ -> ()
+          | () -> Alcotest.fail "io_crash:1 did not fire");
+      let reloaded =
+        match Tuner.Profile.load path with
+        | Ok p -> p
+        | Error msg -> Alcotest.fail msg
+      in
+      let features = Array.init Tuner.Features.dim (fun i -> float_of_int (i + 2)) in
+      Alcotest.(check (float 0.0)) "bitwise-equal prediction"
+        (Tuner.Profile.predict_tflops profile features)
+        (Tuner.Profile.predict_tflops reloaded features))
+
+let () =
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "checkpoint"
+    [ ("resume",
+       [ slow "checkpointing is transparent" test_checkpointing_is_transparent;
+         slow "kill and resume" test_kill_and_resume_bitwise_identical;
+         slow "resume from later checkpoint" test_resume_from_later_checkpoint;
+         slow "two domains" test_kill_and_resume_two_domains ]);
+      ("rejection",
+       [ slow "stale checkpoint" test_stale_checkpoint_rejected;
+         slow "corrupt checkpoint" test_corrupt_checkpoint_rejected ]);
+      ("resilience",
+       [ slow "no legal config fails fast" test_no_progress_fails_fast;
+         slow "benchmark failures skipped" test_bench_failures_survived;
+         slow "profile crash-save" test_profile_crash_save_keeps_previous ]) ]

@@ -93,7 +93,7 @@ let test_profile_roundtrip_through_engine () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Tuner.Profile.save (Isaac.profile engine) path;
-      let engine2 = Isaac.of_profile Gpu.Device.gtx980ti (Tuner.Profile.load path) in
+      let engine2 = Isaac.of_profile Gpu.Device.gtx980ti (Tuner.Profile.load_exn path) in
       let input = GP.input 512 512 512 in
       let p1 = Option.get (Isaac.plan_gemm engine input) in
       let p2 = Option.get (Isaac.plan_gemm engine2 input) in
@@ -124,7 +124,9 @@ let test_plan_cache_roundtrip () =
       (* A fresh engine with the same profile: loading must pre-seed the
          cache with the same configurations, bypassing the search. *)
       let engine2 = Isaac.of_profile Gpu.Device.gtx980ti (Isaac.profile engine) in
-      Isaac.load_plans engine2 path;
+      (match Isaac.load_plans engine2 path with
+       | Ok n -> Alcotest.(check int) "all plans installed" (List.length inputs) n
+       | Error e -> Alcotest.fail e);
       List.iter2
         (fun input (plan : Isaac.plan) ->
           let reloaded = Option.get (Isaac.plan_gemm engine2 input) in
@@ -132,6 +134,33 @@ let test_plan_cache_roundtrip () =
             (GP.equal_config plan.config reloaded.config);
           Alcotest.(check int) "no search happened" 0 reloaded.n_legal)
         inputs plans)
+
+let test_plan_cache_conv_and_empty () =
+  let engine = Lazy.force conv_engine in
+  Isaac.clear_cache engine;
+  let path = Filename.temp_file "isaac_plans" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* Empty cache round-trips to an empty cache. *)
+      Isaac.save_plans engine path;
+      let fresh () = Isaac.of_profile Gpu.Device.gtx980ti (Isaac.profile engine) in
+      let engine2 = fresh () in
+      (match Isaac.load_plans engine2 path with
+       | Ok n -> Alcotest.(check int) "empty cache loads 0 plans" 0 n
+       | Error e -> Alcotest.fail e);
+      (* CONV entries round-trip too. *)
+      let input = CP.input ~n:2 ~c:16 ~k:32 ~p:8 ~q:8 ~r:3 ~s:3 () in
+      let plan = Option.get (Isaac.plan_conv engine input) in
+      Isaac.save_plans engine path;
+      let engine3 = fresh () in
+      (match Isaac.load_plans engine3 path with
+       | Ok n -> Alcotest.(check int) "one conv plan" 1 n
+       | Error e -> Alcotest.fail e);
+      let reloaded = Option.get (Isaac.plan_conv engine3 input) in
+      Alcotest.(check bool) "same conv config" true
+        (GP.equal_config plan.config reloaded.config);
+      Alcotest.(check int) "no search happened" 0 reloaded.n_legal)
 
 let test_plan_cache_rejects_garbage () =
   let engine = Lazy.force gemm_engine in
@@ -143,8 +172,108 @@ let test_plan_cache_rejects_garbage () =
       output_string oc "not a plan cache\n";
       close_out oc;
       match Isaac.load_plans engine path with
-      | exception Failure _ -> ()
-      | () -> Alcotest.fail "accepted garbage header")
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "accepted garbage header")
+
+(* A corrupted artifact (checksum mismatch) must be reported as an error,
+   never partially loaded. *)
+let test_plan_cache_detects_corruption () =
+  let engine = Lazy.force gemm_engine in
+  Isaac.clear_cache engine;
+  ignore (Isaac.plan_gemm engine (GP.input 256 256 256));
+  let path = Filename.temp_file "isaac_plans" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Isaac.save_plans engine path;
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let b = Bytes.of_string contents in
+      let i = Bytes.length b - 2 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc;
+      let engine2 = Isaac.of_profile Gpu.Device.gtx980ti (Isaac.profile engine) in
+      match Isaac.load_plans engine2 path with
+      | Error msg ->
+        Alcotest.(check bool) "mentions corruption" true
+          (let lower = String.lowercase_ascii msg in
+           let has needle =
+             let nh = String.length lower and nn = String.length needle in
+             let rec go i =
+               i + nn <= nh && (String.sub lower i nn = needle || go (i + 1))
+             in
+             go 0
+           in
+           has "checksum" || has "corrupt")
+      | Ok _ -> Alcotest.fail "loaded a corrupted plan cache")
+
+(* Malformed lines inside a structurally valid artifact are skipped with
+   a warning; the good lines still load. The artifact envelope is
+   re-signed so only the line-level recovery path is exercised. *)
+let test_plan_cache_skips_malformed_lines () =
+  let engine = Lazy.force gemm_engine in
+  Isaac.clear_cache engine;
+  let input = GP.input 256 256 256 in
+  let plan = Option.get (Isaac.plan_gemm engine input) in
+  let path = Filename.temp_file "isaac_plans" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Isaac.save_plans engine path;
+      let payload =
+        match Util.Artifact.read ~path ~kind:"isaac-plans" ~max_version:2 with
+        | Ok (_, p) -> p
+        | Error e -> Alcotest.fail (Util.Artifact.error_to_string ~path e)
+      in
+      let doctored =
+        payload
+        ^ "gemm 12 12 not-an-int f32 false false : 1 2 3\n"
+        ^ "gemm 12 12 12 f99 false false : 16 16 16 4 4 2 1 1 1 1\n"
+        ^ "mystery-op 1 2 3 : 4 5 6\n"
+        ^ "no colon at all\n"
+      in
+      Util.Artifact.write ~path ~kind:"isaac-plans" ~version:2 doctored;
+      let engine2 = Isaac.of_profile Gpu.Device.gtx980ti (Isaac.profile engine) in
+      match Isaac.load_plans engine2 path with
+      | Error e -> Alcotest.fail e
+      | Ok n ->
+        Alcotest.(check int) "only the well-formed plan installed" 1 n;
+        let reloaded = Option.get (Isaac.plan_gemm engine2 input) in
+        Alcotest.(check bool) "good line survived" true
+          (GP.equal_config plan.config reloaded.config))
+
+(* Loading a plan cache draws from a dedicated RNG: planning results for
+   inputs outside the cache must be identical with and without a
+   preceding load. *)
+let test_load_plans_does_not_perturb_planning () =
+  let engine = Lazy.force gemm_engine in
+  Isaac.clear_cache engine;
+  ignore (Isaac.plan_gemm engine (GP.input 256 256 256));
+  let path = Filename.temp_file "isaac_plans" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Isaac.save_plans engine path;
+      let probe = GP.input ~b_trans:true 192 192 768 in
+      let fresh () = Isaac.of_profile Gpu.Device.gtx980ti (Isaac.profile engine) in
+      let without_load =
+        let e = fresh () in
+        Option.get (Isaac.plan_gemm e probe)
+      in
+      let with_load =
+        let e = fresh () in
+        (match Isaac.load_plans e path with
+         | Ok _ -> ()
+         | Error msg -> Alcotest.fail msg);
+        Option.get (Isaac.plan_gemm e probe)
+      in
+      Alcotest.(check bool) "same config either way" true
+        (GP.equal_config without_load.config with_load.config);
+      Alcotest.(check (float 1e-12)) "same measurement"
+        without_load.measurement.tflops with_load.measurement.tflops)
 
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -183,4 +312,8 @@ let () =
        [ slow "gemm analysis" test_explain; slow "conv analysis" test_explain_conv ]);
       ("plan cache",
        [ slow "save/load roundtrip" test_plan_cache_roundtrip;
-         slow "rejects garbage" test_plan_cache_rejects_garbage ]) ]
+         slow "conv + empty cache" test_plan_cache_conv_and_empty;
+         slow "rejects garbage" test_plan_cache_rejects_garbage;
+         slow "detects corruption" test_plan_cache_detects_corruption;
+         slow "skips malformed lines" test_plan_cache_skips_malformed_lines;
+         slow "load does not perturb planning" test_load_plans_does_not_perturb_planning ]) ]

@@ -200,7 +200,7 @@ let test_profile_save_load () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Tuner.Profile.save p path;
-      let p2 = Tuner.Profile.load path in
+      let p2 = Tuner.Profile.load_exn path in
       Alcotest.(check string) "device" p.device p2.device;
       let i = GP.input 512 512 512 in
       let f = Tuner.Features.gemm_features ~log:true i (Array.make 10 8) in
