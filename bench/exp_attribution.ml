@@ -46,6 +46,13 @@ let sample_configs rng ~legal ~verify n =
   in
   go [] n (20 * n)
 
+(* Attach the static scoreboard schedule to a cost descriptor, enabling
+   the latency-pipeline term and the stall-density attribution row. *)
+let with_sched cost program =
+  match Ptx.Scoreboard.analyze program with
+  | Ok t -> Gpu.Kernel_cost.with_sched cost t.Ptx.Scoreboard.summary
+  | Error _ -> cost
+
 let gemm_samples rng input =
   let legal = Tuner.Dataset.gemm_legal device input in
   let verify = Tuner.Dataset.gemm_static_ok input in
@@ -54,7 +61,10 @@ let gemm_samples rng input =
   List.filter_map
     (fun flat ->
       let cfg = GP.config_of_array flat in
-      match Gpu.Perf_model.predict device (GP.cost input cfg) with
+      let cost =
+        with_sched (GP.cost input cfg) (Codegen.Gemm.generate input cfg)
+      in
+      match Gpu.Perf_model.predict device cost with
       | None -> None
       | Some report ->
         let _, counters = Codegen.Gemm.run_counted input cfg ~a ~b () in
@@ -79,7 +89,10 @@ let conv_samples rng input =
   List.filter_map
     (fun flat ->
       let cfg = GP.config_of_array flat in
-      match Gpu.Perf_model.predict device (CP.cost input cfg) with
+      let cost =
+        with_sched (CP.cost input cfg) (Codegen.Conv.generate input cfg)
+      in
+      match Gpu.Perf_model.predict device cost with
       | None -> None
       | Some report ->
         let _, counters = Codegen.Conv.run_counted input cfg ~image ~filter in
@@ -147,4 +160,8 @@ let run () =
       ~at_least:0.6;
     Reporting.check_min ~claim:"shared term tracks shared transactions (r)"
       ~paper:"n/a (extension)" ~value:(find "shared_seconds").pearson_r
-      ~at_least:0.6 ]
+      ~at_least:0.6;
+    Reporting.check_min
+      ~claim:"stall density tracks latency-producing slots (r)"
+      ~paper:"n/a (extension)" ~value:(find "stall_cycles").pearson_r
+      ~at_least:0.8 ]

@@ -32,7 +32,7 @@ type pairing = {
 }
 
 val pairings : pairing list
-(** The four term↔counter pairs:
+(** The five term↔counter pairs:
     [arith_seconds ↔ interp.issue_slots] (all dynamically issued
     instructions, including predicated-off ones),
     [mem_seconds ↔ interp.global_transactions] (load + store; the term
@@ -40,7 +40,11 @@ val pairings : pairing list
     traffic driver, because the term's seconds additionally divide by a
     config-dependent effective bandwidth that counters cannot see),
     [shared_seconds ↔ interp.shared_transactions],
-    [overhead_seconds ↔ interp.bar_waits]. *)
+    [overhead_seconds ↔ interp.bar_waits],
+    [stall_cycles ↔ interp.latency_slots] (the scoreboard's predicted
+    hazard stalls against the dynamic count of latency-producing
+    instructions — FMAs plus shared and global loads; only meaningful
+    for samples whose {!Kernel_cost.sched} was attached). *)
 
 type row = {
   term : string;

@@ -1,0 +1,809 @@
+open Types
+module D = Dataflow
+
+type latency = { alu : int; fma : int; shared : int; global : int }
+
+(* Pascal-era figures: dependent-issue latency ~6 for the ALU and FMA
+   pipes (Device.fma_latency is 6.0), ~24 for a shared load, a few
+   hundred for a global load. *)
+let default_latency = { alu = 6; fma = 6; shared = 24; global = 300 }
+
+type pipe = P_fp | P_ialu | P_mem | P_ctrl
+
+let pipe_of (op : Instr.op) =
+  match op with
+  | Instr.Label _ -> None
+  | Movf _ | Fadd _ | Fsub _ | Fmul _ | Ffma _ | Fmax _ | Fmin _ -> Some P_fp
+  | Mov _ | Iadd _ | Isub _ | Imul _ | Imad _ | Idiv _ | Irem _ | Imin _
+  | Imax _ | Ishl _ | Ishr _ | Iand _ | Ior _
+  | Setp _ | And_p _ | Or_p _ | Not_p _ -> Some P_ialu
+  | Ld_global _ | Ld_global_i _ | Ld_shared _ | Ld_shared_i _
+  | St_global _ | St_shared _ | St_shared_i _ | Atom_global_add _ -> Some P_mem
+  | Bra _ | Bar | Ret -> Some P_ctrl
+
+(* Category indexing follows the field order of Interp.counters. *)
+let cat_index = function
+  | Instr.Cat_ialu -> 0
+  | Cat_fma -> 1
+  | Cat_fp_other -> 2
+  | Cat_ld_global -> 3
+  | Cat_st_global -> 4
+  | Cat_ld_shared -> 5
+  | Cat_st_shared -> 6
+  | Cat_atom -> 7
+  | Cat_bar -> 8
+  | Cat_branch -> 9
+  | Cat_pred -> 10
+  | Cat_mov -> 11
+
+let n_categories = 12
+
+(* Unified def/use sets over all three register classes. The guard
+   predicate is a use; a guarded definition is additionally a use of the
+   destination (the old value survives a masked write). *)
+let uses_defs (i : Instr.t) =
+  let u = ref [] and d = ref [] in
+  let ui r = u := D.R_i r :: !u in
+  let up r = u := D.R_p r :: !u in
+  let uf r = u := D.R_f r :: !u in
+  let io = function Ireg r -> ui r | Iimm _ | Iparam _ | Ispecial _ -> () in
+  let fo = function Freg r -> uf r | Fimm _ -> () in
+  (match i.Instr.op with
+   | Mov (dst, a) -> io a; d := [ D.R_i dst ]
+   | Iadd (dst, a, b) | Isub (dst, a, b) | Imul (dst, a, b)
+   | Idiv (dst, a, b) | Irem (dst, a, b) | Imin (dst, a, b)
+   | Imax (dst, a, b) | Ishl (dst, a, b) | Ishr (dst, a, b)
+   | Iand (dst, a, b) | Ior (dst, a, b) -> io a; io b; d := [ D.R_i dst ]
+   | Imad (dst, a, b, c) -> io a; io b; io c; d := [ D.R_i dst ]
+   | Setp (_, p, a, b) -> io a; io b; d := [ D.R_p p ]
+   | And_p (p, a, b) | Or_p (p, a, b) -> up a; up b; d := [ D.R_p p ]
+   | Not_p (p, a) -> up a; d := [ D.R_p p ]
+   | Movf (dst, a) -> fo a; d := [ D.R_f dst ]
+   | Fadd (dst, a, b) | Fsub (dst, a, b) | Fmul (dst, a, b)
+   | Fmax (dst, a, b) | Fmin (dst, a, b) -> fo a; fo b; d := [ D.R_f dst ]
+   | Ffma (dst, a, b, c) -> fo a; fo b; fo c; d := [ D.R_f dst ]
+   | Ld_global (dst, _, addr) -> io addr; d := [ D.R_f dst ]
+   | Ld_global_i (dst, _, addr) -> io addr; d := [ D.R_i dst ]
+   | Ld_shared (dst, addr) -> io addr; d := [ D.R_f dst ]
+   | Ld_shared_i (dst, addr) -> io addr; d := [ D.R_i dst ]
+   | St_global (_, addr, v) -> io addr; fo v
+   | St_shared (addr, v) -> io addr; fo v
+   | St_shared_i (addr, v) -> io addr; io v
+   | Atom_global_add (_, addr, v) -> io addr; fo v
+   | Label _ | Bra _ | Bar | Ret -> ());
+  (match i.Instr.guard with
+   | Some (p, _) ->
+     up p;
+     List.iter (fun r -> u := r :: !u) !d
+   | None -> ());
+  (!u, !d)
+
+let reg_id (p : Program.t) = function
+  | D.R_i r -> r
+  | D.R_f r -> p.n_iregs + r
+  | D.R_p r -> p.n_iregs + p.n_fregs + r
+
+let n_regs (p : Program.t) = p.n_iregs + p.n_fregs + p.n_pregs
+
+let lat_of lat (op : Instr.op) =
+  match op with
+  | Instr.Fadd _ | Fsub _ | Fmul _ | Ffma _ | Fmax _ | Fmin _ -> lat.fma
+  | Ld_shared _ | Ld_shared_i _ -> lat.shared
+  | Ld_global _ | Ld_global_i _ -> lat.global
+  | _ -> lat.alu
+
+type block_sched = {
+  block : int;
+  issued : int;
+  cycles : int;
+  stall_cycles : int;
+  crit_path : int;
+  dep_depth : int;
+  dual_issue : int;
+  mix : int array;
+}
+
+type loop_sched = {
+  header : int;
+  latch : int;
+  body : int list;
+  body_issued : int;
+  steady_cycles : int;
+  steady_stalls : int;
+  steady_fmas : int;
+  carried_crit_path : int;
+}
+
+type summary = {
+  stalls_per_slot : float;
+  fma_issue_rate : float;
+  crit_path_cycles : int;
+  dual_issue_frac : float;
+  ilp : float;
+  peak_fregs : int;
+  peak_iregs : int;
+  peak_pregs : int;
+  hot_loop : int option;
+}
+
+type t = {
+  blocks : block_sched array;
+  loops : loop_sched list;
+  summary : summary;
+}
+
+(* ------------------------------------------------------------------ *)
+(* In-order issue simulation                                          *)
+(* ------------------------------------------------------------------ *)
+
+type sim = {
+  ready : int array;           (* absolute cycle a register's value lands *)
+  prod_fp : bool array;        (* register last written by the FP pipe *)
+  mutable shared_ready : int;  (* completion of the latest shared store *)
+  mutable clock : int;         (* next free issue cycle *)
+  mutable issued : int;
+  mutable stalls : int;
+  mutable fp_stalls : int;     (* stalls whose binding producer was FP *)
+  mutable dual : int;
+  mutable fmas : int;
+  mutable prev : (int list * int list * pipe) option;
+      (* previous slot's (uses, defs, pipe) for dual-issue pairing *)
+}
+
+let fresh_sim nregs =
+  { ready = Array.make (max 1 nregs) 0;
+    prod_fp = Array.make (max 1 nregs) false;
+    shared_ready = 0;
+    clock = 0;
+    issued = 0;
+    stalls = 0;
+    fp_stalls = 0;
+    dual = 0;
+    fmas = 0;
+    prev = None }
+
+(* Pre-resolved per-pc operand ids so the simulation is array walks. *)
+let resolve_ud (p : Program.t) =
+  Array.map
+    (fun instr ->
+      let u, d = uses_defs instr in
+      (List.map (reg_id p) u, List.map (reg_id p) d))
+    p.Program.body
+
+let step lat (body : Instr.t array) ud sim pc =
+  let instr = body.(pc) in
+  match instr.Instr.op with
+  | Instr.Label _ -> ()
+  | op ->
+    let uid, did = ud.(pc) in
+    let dep = ref 0 in
+    (* The binding dependence: which producer class made us wait. Used to
+       split stalls into FP-chain stalls (the arithmetic-pipeline ceiling)
+       and everything else (address chains, staging-register reuse). *)
+    let dep_fp = ref false in
+    let raise_reg i =
+      if sim.ready.(i) > !dep then begin
+        dep := sim.ready.(i);
+        dep_fp := sim.prod_fp.(i)
+      end
+    in
+    let raise_other r =
+      if r > !dep then begin
+        dep := r;
+        dep_fp := false
+      end
+    in
+    List.iter raise_reg uid;
+    (* WAW: an in-order scoreboard may not overwrite a result still in
+       flight (no renaming). *)
+    List.iter raise_reg did;
+    (match op with
+     | Ld_shared _ | Ld_shared_i _ -> raise_other sim.shared_ready
+     | Bar ->
+       (* A barrier drains every outstanding result. Barrier stalls are
+          synchronization cost, never FP-chain cost. *)
+       Array.iter raise_other sim.ready;
+       raise_other sim.shared_ready
+     | _ -> ());
+    let issue_at = max sim.clock !dep in
+    let stall = issue_at - sim.clock in
+    sim.stalls <- sim.stalls + stall;
+    if stall > 0 && !dep_fp then sim.fp_stalls <- sim.fp_stalls + stall;
+    sim.issued <- sim.issued + 1;
+    (match Instr.categorize op with
+     | Some Instr.Cat_fma -> sim.fmas <- sim.fmas + 1
+     | _ -> ());
+    let done_at = issue_at + lat_of lat op in
+    let is_fp_arith =
+      match op with
+      | Fadd _ | Fsub _ | Fmul _ | Ffma _ | Fmax _ | Fmin _ -> true
+      | _ -> false
+    in
+    List.iter
+      (fun i ->
+        sim.ready.(i) <- done_at;
+        sim.prod_fp.(i) <- is_fp_arith)
+      did;
+    (match op with
+     | St_shared _ | St_shared_i _ ->
+       if issue_at + lat.shared > sim.shared_ready then
+         sim.shared_ready <- issue_at + lat.shared
+     | _ -> ());
+    (match sim.prev, pipe_of op with
+     | Some (puses, pdefs, ppipe), Some pipe
+       when pipe <> ppipe && stall = 0 ->
+       let inter a b = List.exists (fun x -> List.mem x b) a in
+       if
+         (not (inter uid pdefs)) && (not (inter did pdefs))
+         && not (inter did puses)
+       then sim.dual <- sim.dual + 1
+     | _ -> ());
+    (match pipe_of op with
+     | Some pp -> sim.prev <- Some (uid, did, pp)
+     | None -> ());
+    sim.clock <- issue_at + 1
+
+(* Dataflow-only critical path (cycles) and dependence depth
+   (instructions), both with infinite issue width. [Bar] acts as a
+   schedule barrier: everything after it depends on everything before. *)
+type crit = {
+  cp : int array;          (* per-register completion, cycles *)
+  dp : int array;          (* per-register chain length, instructions *)
+  mutable cp_shared : int;
+  mutable dp_shared : int;
+  mutable cp_floor : int;
+  mutable dp_floor : int;
+  mutable cp_max : int;
+  mutable dp_max : int;
+}
+
+let fresh_crit nregs =
+  { cp = Array.make (max 1 nregs) 0;
+    dp = Array.make (max 1 nregs) 0;
+    cp_shared = 0;
+    dp_shared = 0;
+    cp_floor = 0;
+    dp_floor = 0;
+    cp_max = 0;
+    dp_max = 0 }
+
+let crit_step lat (body : Instr.t array) ud c pc =
+  let instr = body.(pc) in
+  match instr.Instr.op with
+  | Instr.Label _ -> ()
+  | op ->
+    let uid, did = ud.(pc) in
+    let t0 = ref c.cp_floor and d0 = ref c.dp_floor in
+    List.iter
+      (fun i ->
+        if c.cp.(i) > !t0 then t0 := c.cp.(i);
+        if c.dp.(i) > !d0 then d0 := c.dp.(i))
+      uid;
+    (match op with
+     | Ld_shared _ | Ld_shared_i _ ->
+       if c.cp_shared > !t0 then t0 := c.cp_shared;
+       if c.dp_shared > !d0 then d0 := c.dp_shared
+     | Bar ->
+       if c.cp_max > !t0 then t0 := c.cp_max;
+       if c.dp_max > !d0 then d0 := c.dp_max
+     | _ -> ());
+    let t = !t0 + lat_of lat op and d = !d0 + 1 in
+    List.iter
+      (fun i ->
+        c.cp.(i) <- t;
+        c.dp.(i) <- d)
+      did;
+    (match op with
+     | St_shared _ | St_shared_i _ ->
+       if t > c.cp_shared then c.cp_shared <- t;
+       if d > c.dp_shared then c.dp_shared <- d
+     | Bar ->
+       c.cp_floor <- t;
+       c.dp_floor <- d
+     | _ -> ());
+    if t > c.cp_max then c.cp_max <- t;
+    if d > c.dp_max then c.dp_max <- d
+
+let block_mix (body : Instr.t array) (blk : Cfg.block) =
+  let mix = Array.make n_categories 0 in
+  for pc = blk.Cfg.first to blk.Cfg.last do
+    match Instr.categorize body.(pc).Instr.op with
+    | Some cat ->
+      let i = cat_index cat in
+      mix.(i) <- mix.(i) + 1
+    | None -> ()
+  done;
+  mix
+
+let analyze ?(lat = default_latency) (p : Program.t) =
+  match Cfg.build p with
+  | Error e -> Error e
+  | Ok cfg ->
+    let body = p.Program.body in
+    let ud = resolve_ud p in
+    let nregs = n_regs p in
+    let nb = Array.length cfg.Cfg.blocks in
+    let run_sim pcs sim = List.iter (step lat body ud sim) pcs in
+    let run_crit pcs c = List.iter (crit_step lat body ud c) pcs in
+    let block_pcs (blk : Cfg.block) =
+      List.init (blk.Cfg.last - blk.Cfg.first + 1) (fun i -> blk.Cfg.first + i)
+    in
+    let blocks =
+      Array.map
+        (fun blk ->
+          let pcs = block_pcs blk in
+          let sim = fresh_sim nregs in
+          run_sim pcs sim;
+          let c = fresh_crit nregs in
+          run_crit pcs c;
+          { block = blk.Cfg.id;
+            issued = sim.issued;
+            cycles = sim.clock;
+            stall_cycles = sim.stalls;
+            crit_path = c.cp_max;
+            dep_depth = c.dp_max;
+            dual_issue = sim.dual;
+            mix = block_mix body blk })
+        cfg.Cfg.blocks
+    in
+    (* Natural loops from back edges (target id <= source id; the
+       generators emit reducible, program-ordered CFGs, so the body is
+       the id interval [header, latch]). One loop per header, widest
+       latch wins. *)
+    let headers = Hashtbl.create 4 in
+    Array.iter
+      (fun (blk : Cfg.block) ->
+        List.iter
+          (fun s ->
+            if s <= blk.Cfg.id then
+              let latch =
+                match Hashtbl.find_opt headers s with
+                | Some l -> max l blk.Cfg.id
+                | None -> blk.Cfg.id
+              in
+              Hashtbl.replace headers s latch)
+          blk.Cfg.succs)
+      cfg.Cfg.blocks;
+    let loops =
+      Hashtbl.fold
+        (fun header latch acc ->
+          let ids = List.init (latch - header + 1) (fun i -> header + i) in
+          let pcs = List.concat_map (fun b -> block_pcs cfg.Cfg.blocks.(b)) ids in
+          (* Two back-to-back copies: the first warms the loop-carried
+             state, the second is the steady-state measurement. *)
+          let sim = fresh_sim nregs in
+          run_sim pcs sim;
+          let c1, s1, f1 = (sim.clock, sim.stalls, sim.fmas) in
+          let issued1 = sim.issued in
+          run_sim pcs sim;
+          let c = fresh_crit nregs in
+          run_crit pcs c;
+          let m1 = c.cp_max in
+          run_crit pcs c;
+          { header;
+            latch;
+            body = ids;
+            body_issued = issued1;
+            steady_cycles = sim.clock - c1;
+            steady_stalls = sim.stalls - s1;
+            steady_fmas = sim.fmas - f1;
+            carried_crit_path = c.cp_max - m1 }
+          :: acc)
+        headers []
+    in
+    let loops =
+      List.sort (fun a b -> compare (a.header, a.latch) (b.header, b.latch)) loops
+    in
+    let press = Regalloc.pressure p in
+    let hot =
+      List.fold_left
+        (fun acc l ->
+          match acc with
+          | Some best when best.body_issued >= l.body_issued -> acc
+          | _ -> Some l)
+        None loops
+    in
+    (* FMA issue rate under compute-side latencies only: global and
+       shared load-to-use latencies are charged to their own pipeline
+       terms (warp multithreading hides them there — Little's law for
+       DRAM, the shared-pipe term for shared), so charging them to the
+       per-warp arithmetic ceiling too would double-count. Loads are
+       fire-and-forget here, and only stalls whose binding producer is
+       the FP pipe enter the rate — the accumulator-chain hazard, which
+       is exactly the dependent-issue ceiling Eq. 2 models (u independent
+       accumulators against latency L give u/L, the old closed form). *)
+    let compute_lat = { lat with global = lat.alu; shared = lat.alu } in
+    let steady_rate pcs =
+      let sim = fresh_sim nregs in
+      List.iter (step compute_lat body ud sim) pcs;
+      let s1, f1 = (sim.fp_stalls, sim.fmas) in
+      List.iter (step compute_lat body ud sim) pcs;
+      let stalls = sim.fp_stalls - s1 and fmas = sim.fmas - f1 in
+      if fmas = 0 then 0.0
+      else float_of_int fmas /. float_of_int (fmas + stalls)
+    in
+    let summary =
+      match hot with
+      | Some l ->
+        let issued = float_of_int l.body_issued in
+        let stalls = float_of_int l.steady_stalls in
+        let depth =
+          List.fold_left
+            (fun acc b -> max acc blocks.(b).dep_depth)
+            1 l.body
+        in
+        let dual =
+          List.fold_left (fun acc b -> acc + blocks.(b).dual_issue) 0 l.body
+        in
+        { stalls_per_slot = (if issued > 0.0 then stalls /. issued else 0.0);
+          fma_issue_rate =
+            steady_rate
+              (List.concat_map (fun b -> block_pcs cfg.Cfg.blocks.(b)) l.body);
+          crit_path_cycles = max l.carried_crit_path 1;
+          dual_issue_frac =
+            (if issued > 0.0 then float_of_int dual /. issued else 0.0);
+          ilp = (if depth > 0 then issued /. float_of_int depth else issued);
+          peak_fregs = press.Regalloc.fregs;
+          peak_iregs = press.Regalloc.iregs;
+          peak_pregs = press.Regalloc.pregs;
+          hot_loop = Some l.header }
+      | None ->
+        (* Loop-free: one straight-line pass over the blocks in program
+           order approximates the single execution. *)
+        let pcs = List.init (Array.length body) Fun.id in
+        let sim = fresh_sim nregs in
+        run_sim pcs sim;
+        let c = fresh_crit nregs in
+        run_crit pcs c;
+        let issued = float_of_int sim.issued in
+        let rate =
+          let s = fresh_sim nregs in
+          List.iter (step compute_lat body ud s) pcs;
+          if s.fmas = 0 then 0.0
+          else float_of_int s.fmas /. float_of_int (s.fmas + s.fp_stalls)
+        in
+        { stalls_per_slot =
+            (if issued > 0.0 then float_of_int sim.stalls /. issued else 0.0);
+          fma_issue_rate = rate;
+          crit_path_cycles = c.cp_max;
+          dual_issue_frac =
+            (if issued > 0.0 then float_of_int sim.dual /. issued else 0.0);
+          ilp =
+            (if c.dp_max > 0 then issued /. float_of_int c.dp_max else issued);
+          peak_fregs = press.Regalloc.fregs;
+          peak_iregs = press.Regalloc.iregs;
+          peak_pregs = press.Regalloc.pregs;
+          hot_loop = None }
+    in
+    ignore nb;
+    Ok { blocks; loops; summary }
+
+(* ------------------------------------------------------------------ *)
+(* Lints                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type lint =
+  | Dead_store of { pc : int; reg : D.reg }
+  | Unread_register of D.reg
+  | Unreachable_code of { pc : int }
+  | Redundant_barrier of { pc : int }
+
+let lint_message = function
+  | Dead_store { pc; reg } ->
+    ( Some pc,
+      Printf.sprintf
+        "%s is written here but never read before being overwritten (dead \
+         store)"
+        (D.pp_reg reg) )
+  | Unread_register reg ->
+    (None, Printf.sprintf "%s is written but never read" (D.pp_reg reg))
+  | Unreachable_code { pc } ->
+    (Some pc, "unreachable code: no path from entry reaches this block")
+  | Redundant_barrier { pc } ->
+    ( Some pc,
+      "redundant bar.sync: no shared-memory access since the previous \
+       barrier in this block" )
+
+let lint (p : Program.t) =
+  match Cfg.build p with
+  | Error _ -> []
+  | Ok cfg ->
+    let body = p.Program.body in
+    let ud = resolve_ud p in
+    let nregs = n_regs p in
+    let nb = Array.length cfg.Cfg.blocks in
+    let reach = Cfg.reachable cfg in
+    let lints = ref [] in
+    let add l = lints := l :: !lints in
+    (* Unreachable blocks. *)
+    for b = 0 to nb - 1 do
+      if not reach.(b) then
+        add (Unreachable_code { pc = cfg.Cfg.blocks.(b).Cfg.first })
+    done;
+    (* Backward liveness over reachable blocks. *)
+    let live_in = Array.init nb (fun _ -> Array.make (max 1 nregs) false) in
+    let live_out_of b =
+      let out = Array.make (max 1 nregs) false in
+      List.iter
+        (fun s ->
+          let li = live_in.(s) in
+          for r = 0 to nregs - 1 do
+            if li.(r) then out.(r) <- true
+          done)
+        cfg.Cfg.blocks.(b).Cfg.succs;
+      out
+    in
+    let transfer b out =
+      let live = Array.copy out in
+      let blk = cfg.Cfg.blocks.(b) in
+      for pc = blk.Cfg.last downto blk.Cfg.first do
+        let uid, did = ud.(pc) in
+        List.iter (fun r -> live.(r) <- false) did;
+        List.iter (fun r -> live.(r) <- true) uid
+      done;
+      live
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for b = nb - 1 downto 0 do
+        if reach.(b) then begin
+          let li = transfer b (live_out_of b) in
+          if li <> live_in.(b) then begin
+            live_in.(b) <- li;
+            changed := true
+          end
+        end
+      done
+    done;
+    (* Dead stores: an unguarded definition not live immediately after
+       the instruction. Guarded definitions merge with the old value, so
+       the generators' mov-then-guarded-load staging idiom stays clean. *)
+    for b = 0 to nb - 1 do
+      if reach.(b) then begin
+        let blk = cfg.Cfg.blocks.(b) in
+        let live = live_out_of b in
+        for pc = blk.Cfg.last downto blk.Cfg.first do
+          let uid, did = ud.(pc) in
+          if body.(pc).Instr.guard = None then
+            List.iter
+              (fun r ->
+                if not live.(r) then
+                  add
+                    (Dead_store
+                       { pc;
+                         reg =
+                           (if r < p.n_iregs then D.R_i r
+                            else if r < p.n_iregs + p.n_fregs then
+                              D.R_f (r - p.n_iregs)
+                            else D.R_p (r - p.n_iregs - p.n_fregs)) }))
+              did;
+          List.iter (fun r -> live.(r) <- false) did;
+          List.iter (fun r -> live.(r) <- true) uid
+        done
+      end
+    done;
+    (* Registers written but never read, over reachable code. *)
+    let used = Array.make (max 1 nregs) false in
+    let defined = Array.make (max 1 nregs) false in
+    for b = 0 to nb - 1 do
+      if reach.(b) then begin
+        let blk = cfg.Cfg.blocks.(b) in
+        for pc = blk.Cfg.first to blk.Cfg.last do
+          let uid, did = ud.(pc) in
+          List.iter (fun r -> used.(r) <- true) uid;
+          List.iter (fun r -> defined.(r) <- true) did
+        done
+      end
+    done;
+    for r = nregs - 1 downto 0 do
+      if defined.(r) && not used.(r) then
+        add
+          (Unread_register
+             (if r < p.n_iregs then D.R_i r
+              else if r < p.n_iregs + p.n_fregs then D.R_f (r - p.n_iregs)
+              else D.R_p (r - p.n_iregs - p.n_fregs)))
+    done;
+    (* Redundant consecutive barriers within one block. *)
+    for b = 0 to nb - 1 do
+      if reach.(b) then begin
+        let blk = cfg.Cfg.blocks.(b) in
+        let seen_bar = ref false in
+        let shared_since = ref true in
+        for pc = blk.Cfg.first to blk.Cfg.last do
+          match body.(pc).Instr.op with
+          | Instr.Bar ->
+            if !seen_bar && not !shared_since then
+              add (Redundant_barrier { pc });
+            seen_bar := true;
+            shared_since := false
+          | Ld_shared _ | Ld_shared_i _ | St_shared _ | St_shared_i _ ->
+            shared_since := true
+          | _ -> ()
+        done
+      end
+    done;
+    List.rev !lints
+
+(* ------------------------------------------------------------------ *)
+(* Static trip counts                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let block_trips ?(max_steps = 4_000_000) ~grid ~block ~iargs (p : Program.t) =
+  match Cfg.build p with
+  | Error e -> Error e
+  | Ok cfg ->
+    let gx, gy, gz = grid and bx, by, bz = block in
+    let body = p.Program.body in
+    let n = Array.length body in
+    let labels = Program.find_labels p in
+    let trips = Array.make (Array.length cfg.Cfg.blocks) 0 in
+    let params =
+      Array.map (fun name -> List.assoc_opt name iargs) p.int_params
+    in
+    let steps = ref 0 in
+    let error = ref None in
+    let fail pc fmt =
+      Printf.ksprintf
+        (fun m ->
+          if !error = None then error := Some (Printf.sprintf "pc %d: %s" pc m))
+        fmt
+    in
+    (try
+       for cz = 0 to gz - 1 do
+         for cy = 0 to gy - 1 do
+           for cx = 0 to gx - 1 do
+             (* Uniform scalar state for one CTA: Some v = every thread
+                holds v; None = unknown or thread-varying. *)
+             let ints = Array.make (max 1 p.n_iregs) (Some 0) in
+             let preds = Array.make (max 1 p.n_pregs) (Some false) in
+             let ival = function
+               | Ireg r -> ints.(r)
+               | Iimm v -> Some v
+               | Iparam s -> params.(s)
+               | Ispecial sp -> (
+                   match sp with
+                   | Tid_x | Tid_y | Tid_z -> None
+                   | Ctaid_x -> Some cx
+                   | Ctaid_y -> Some cy
+                   | Ctaid_z -> Some cz
+                   | Ntid_x -> Some bx
+                   | Ntid_y -> Some by
+                   | Ntid_z -> Some bz
+                   | Nctaid_x -> Some gx
+                   | Nctaid_y -> Some gy
+                   | Nctaid_z -> Some gz)
+             in
+             let pc = ref 0 in
+             let running = ref true in
+             while !running do
+               if !pc >= n then begin
+                 fail (n - 1) "control fell off the end of the body";
+                 raise Exit
+               end;
+               incr steps;
+               if !steps > max_steps then begin
+                 fail !pc "abstract step budget (%d) exhausted" max_steps;
+                 raise Exit
+               end;
+               let blk = cfg.Cfg.block_of.(!pc) in
+               if cfg.Cfg.blocks.(blk).Cfg.first = !pc then
+                 trips.(blk) <- trips.(blk) + 1;
+               let instr = body.(!pc) in
+               let guard_val =
+                 match instr.Instr.guard with
+                 | None -> Some true
+                 | Some (pr, sense) -> (
+                     match preds.(pr) with
+                     | Some v -> Some (v = sense)
+                     | None -> None)
+               in
+               let set_i r v =
+                 match guard_val with
+                 | Some true -> ints.(r) <- v
+                 | Some false -> ()
+                 | None -> ints.(r) <- None
+               in
+               let set_p r v =
+                 match guard_val with
+                 | Some true -> preds.(r) <- v
+                 | Some false -> ()
+                 | None -> preds.(r) <- None
+               in
+               let lift2 f a b =
+                 match (ival a, ival b) with
+                 | Some x, Some y -> f x y
+                 | _ -> None
+               in
+               let arith f a b = lift2 (fun x y -> Some (f x y)) a b in
+               (match instr.Instr.op with
+                | Instr.Bra l -> (
+                    match guard_val with
+                    | Some true -> pc := Hashtbl.find labels l
+                    | Some false -> incr pc
+                    | None ->
+                      fail !pc
+                        "branch guard is not a statically known uniform value";
+                      raise Exit)
+                | Ret -> (
+                    match guard_val with
+                    | Some true -> running := false
+                    | Some false -> incr pc
+                    | None ->
+                      fail !pc
+                        "ret guard is not a statically known uniform value";
+                      raise Exit)
+                | Label _ | Bar -> incr pc
+                | Mov (d, a) -> set_i d (ival a); incr pc
+                | Iadd (d, a, b) -> set_i d (arith ( + ) a b); incr pc
+                | Isub (d, a, b) -> set_i d (arith ( - ) a b); incr pc
+                | Imul (d, a, b) -> set_i d (arith ( * ) a b); incr pc
+                | Imad (d, a, b, c) ->
+                  let v =
+                    match (ival a, ival b, ival c) with
+                    | Some x, Some y, Some z -> Some ((x * y) + z)
+                    | _ -> None
+                  in
+                  set_i d v;
+                  incr pc
+                | Idiv (d, a, b) ->
+                  set_i d
+                    (lift2 (fun x y -> if y = 0 then None else Some (x / y)) a b);
+                  incr pc
+                | Irem (d, a, b) ->
+                  set_i d
+                    (lift2
+                       (fun x y -> if y = 0 then None else Some (x mod y))
+                       a b);
+                  incr pc
+                | Imin (d, a, b) -> set_i d (arith min a b); incr pc
+                | Imax (d, a, b) -> set_i d (arith max a b); incr pc
+                | Ishl (d, a, b) ->
+                  set_i d
+                    (lift2
+                       (fun x y ->
+                         if y < 0 || y > 62 then None else Some (x lsl y))
+                       a b);
+                  incr pc
+                | Ishr (d, a, b) ->
+                  set_i d
+                    (lift2
+                       (fun x y ->
+                         if y < 0 || y > 62 then None else Some (x asr y))
+                       a b);
+                  incr pc
+                | Iand (d, a, b) -> set_i d (arith ( land ) a b); incr pc
+                | Ior (d, a, b) -> set_i d (arith ( lor ) a b); incr pc
+                | Setp (c, pr, a, b) ->
+                  set_p pr (lift2 (fun x y -> Some (eval_cmp c x y)) a b);
+                  incr pc
+                | And_p (d, a, b) ->
+                  set_p d
+                    (match (preds.(a), preds.(b)) with
+                     | Some false, _ | _, Some false -> Some false
+                     | Some x, Some y -> Some (x && y)
+                     | _ -> None);
+                  incr pc
+                | Or_p (d, a, b) ->
+                  set_p d
+                    (match (preds.(a), preds.(b)) with
+                     | Some true, _ | _, Some true -> Some true
+                     | Some x, Some y -> Some (x || y)
+                     | _ -> None);
+                  incr pc
+                | Not_p (d, a) ->
+                  set_p d (Option.map not preds.(a));
+                  incr pc
+                | Ld_global_i (d, _, _) | Ld_shared_i (d, _) ->
+                  set_i d None;
+                  incr pc
+                | Movf _ | Fadd _ | Fsub _ | Fmul _ | Ffma _ | Fmax _ | Fmin _
+                | Ld_global _ | Ld_shared _ | St_global _ | St_shared _
+                | St_shared_i _ | Atom_global_add _ ->
+                  incr pc)
+             done
+           done
+         done
+       done
+     with Exit -> ());
+    (match !error with None -> Ok trips | Some e -> Error e)

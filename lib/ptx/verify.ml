@@ -8,6 +8,10 @@ type kind =
   | Shared_race
   | Shared_bounds
   | Unanalyzable
+  | Dead_store
+  | Unread_register
+  | Unreachable_code
+  | Redundant_barrier
 
 let kind_name = function
   | Structure -> "structure"
@@ -16,6 +20,10 @@ let kind_name = function
   | Shared_race -> "shared-race"
   | Shared_bounds -> "shared-bounds"
   | Unanalyzable -> "unanalyzable"
+  | Dead_store -> "dead-store"
+  | Unread_register -> "unread-register"
+  | Unreachable_code -> "unreachable-code"
+  | Redundant_barrier -> "redundant-barrier"
 
 type diag = {
   kind : kind;
@@ -107,6 +115,23 @@ let run ?(iargs = []) ~block (p : Program.t) =
           err Use_before_def ~pc "%s read before any definition on some path"
             (Dataflow.pp_reg reg))
         (Dataflow.def_before_use p cfg);
+      (* Scheduling lints from the scoreboard's liveness analysis:
+         advisory (warnings), so [ok] — the generators' legality oracle —
+         still means "no errors". *)
+      List.iter
+        (fun l ->
+          let kind =
+            match l with
+            | Scoreboard.Dead_store _ -> Dead_store
+            | Scoreboard.Unread_register _ -> Unread_register
+            | Scoreboard.Unreachable_code _ -> Unreachable_code
+            | Scoreboard.Redundant_barrier _ -> Redundant_barrier
+          in
+          let pc, message = Scoreboard.lint_message l in
+          match pc with
+          | Some pc -> warn ~pc kind "%s" message
+          | None -> warn kind "%s" message)
+        (Scoreboard.lint p);
       (* Symbolic uniformity / affine pass. *)
       let bx, by, bz = block in
       let int_params =

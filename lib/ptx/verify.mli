@@ -21,6 +21,12 @@ type kind =
   | Unanalyzable        (** warning: an address or guard escapes the
                             affine domain, so race/bounds/bank analysis
                             skipped the site *)
+  | Dead_store          (** warning ({!Scoreboard.lint}): value written
+                            but never read before being overwritten *)
+  | Unread_register     (** warning: register written but never read *)
+  | Unreachable_code    (** warning: block with no path from entry *)
+  | Redundant_barrier   (** warning: bar.sync with no shared access since
+                            the previous barrier in its block *)
 
 val kind_name : kind -> string
 

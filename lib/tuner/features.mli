@@ -13,18 +13,34 @@
     extent, see {!conv_features}. *)
 
 val dim : int
-(** Number of features, 16. *)
+(** Number of paper features, 16. *)
 
-val gemm_features : log:bool -> Codegen.Gemm_params.input -> int array -> float array
+val schedule_dim : int
+(** Number of features in the [~schedule:true] extended mode, 19: the 16
+    paper features plus three static-schedule features from
+    {!Ptx.Scoreboard} — dependence critical path per iteration, stall
+    fraction (stall cycles over total cycles, in [0,1)), and peak
+    register pressure. An extension beyond the paper; the ablation suite
+    measures its effect on held-out MSE. *)
+
+val gemm_features :
+  ?schedule:bool -> log:bool -> Codegen.Gemm_params.input -> int array ->
+  float array
 (** [gemm_features ~log input config_array]: with [log] the sizes and
     tuning values go through log2 (flags stay 0/1); without it they are
-    passed raw (the ablation column of Table 2). *)
+    passed raw (the ablation column of Table 2). With [~schedule:true]
+    the kernel is regenerated, the scoreboard runs, and the three
+    schedule features are appended ({!schedule_dim} slots total; critical
+    path and pressure respect [log], the stall fraction is already
+    normalized). *)
 
-val conv_features : log:bool -> Codegen.Conv_params.input -> int array -> float array
+val conv_features :
+  ?schedule:bool -> log:bool -> Codegen.Conv_params.input -> int array ->
+  float array
 (** Implicit-GEMM features of a convolution, with R·S folded into the
     data-type slot's spare bits — concretely the same 16 slots, with the
     transposition flags reused for log2(R·S) since convolutions have no
-    layout flags. *)
+    layout flags. [~schedule] as in {!gemm_features}. *)
 
 type scaler = {
   mean : float;

@@ -51,7 +51,9 @@ let train ?(arch = default_arch) ?(epochs = 20) ?(log_features = true) rng
   let x_raw = if log_features then ds.features_log else ds.features_raw in
   let feat_mean, feat_std = fit_feature_scaler x_raw in
   let x = standardize ~feat_mean ~feat_std x_raw in
-  let sizes = Array.concat [ [| Features.dim |]; arch; [| 1 |] ] in
+  (* Input width follows the dataset (16 paper features, or 19 in the
+     schedule-extended ablation). *)
+  let sizes = Array.concat [ [| x_raw.Mlp.Tensor.cols |]; arch; [| 1 |] ] in
   let net = Mlp.Network.create rng ~sizes in
   let (_ : Mlp.Train.history) = Mlp.Train.fit ~epochs rng net ~x ~y in
   { op = ds.op; device = ds.device; net; scaler; log_features; feat_mean; feat_std }

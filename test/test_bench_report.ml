@@ -231,17 +231,20 @@ let test_bootstrap_ci () =
 
 (* --- attribution -------------------------------------------------------- *)
 
-let perf_report ~arith ~global_bytes ~shared ~overhead =
+let perf_report ~arith ~global_bytes ~shared ~overhead ~stalls =
   { Gpu.Perf_model.seconds = arith +. shared +. overhead;
     tflops = 1.0; occupancy = 1.0; warps_per_sm = 1; blocks_per_sm = 1;
     l2_hit_rate = 0.0; effective_dram_gbs = 0.0; global_bytes;
     bound = Gpu.Perf_model.Memory; arith_seconds = arith;
     mem_seconds = 1e-9 *. global_bytes; shared_seconds = shared;
-    overhead_seconds = overhead }
+    overhead_seconds = overhead; stall_cycles = stalls }
 
 let synthetic_sample i =
   let c = Ptx.Interp.zero_counters () in
   c.Ptx.Interp.ialu <- 100 * i;
+  c.Ptx.Interp.fma <- 40 * i;
+  c.Ptx.Interp.ld_shared <- 8 * i;
+  c.Ptx.Interp.ld_global <- 2 * i;
   c.Ptx.Interp.gld_transactions <- 10 * i;
   c.Ptx.Interp.gst_transactions <- 5 * i;
   c.Ptx.Interp.shared_transactions <- 7 * i;
@@ -252,7 +255,8 @@ let synthetic_sample i =
         ~arith:(1e-9 *. float_of_int (100 * i))
         ~global_bytes:(32.0 *. float_of_int (15 * i))
         ~shared:(3e-9 *. float_of_int (7 * i))
-        ~overhead:(4e-9 *. float_of_int i);
+        ~overhead:(4e-9 *. float_of_int i)
+        ~stalls:(2.5 *. float_of_int (50 * i));
     counters = c }
 
 let test_attribution_proportional () =

@@ -1,0 +1,436 @@
+(* Static scoreboard analysis: differential tests against the
+   interpreter's dynamic counters (static per-block issue mix times trip
+   counts must match exactly), stall-model sanity on hand-built chains,
+   liveness/pressure consistency with Regalloc, and the scheduling
+   lints. *)
+
+open Ptx.Types
+module I = Ptx.Instr
+module S = Ptx.Scoreboard
+module P = Codegen.Gemm_params
+module G = Codegen.Gemm
+module CP = Codegen.Conv_params
+module C = Codegen.Conv
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let prog ?(shared = 0) ?(shared_i = 0) ?(nf = 8) ?(ni = 8) ?(np = 4) body =
+  { Ptx.Program.name = "sb";
+    dtype = F32;
+    buf_params = [||];
+    int_params = [||];
+    shared_words = shared;
+    shared_int_words = shared_i;
+    body = Array.of_list body;
+    n_fregs = nf;
+    n_iregs = ni;
+    n_pregs = np }
+
+let ins op = I.mk op
+let gins p op = I.mk ~guard:(p, true) op
+
+let analyze_exn p =
+  match S.analyze p with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "analyze: %s" e
+
+(* --- static mix x trips == dynamic counters ---------------------------- *)
+
+(* Category name, counter projection, mix index (S.cat_index order). *)
+let counter_views =
+  [ ("ialu", (fun (k : Ptx.Interp.counters) -> k.ialu), I.Cat_ialu);
+    ("fma", (fun k -> k.fma), I.Cat_fma);
+    ("fp_other", (fun k -> k.fp_other), I.Cat_fp_other);
+    ("ld_global", (fun k -> k.ld_global), I.Cat_ld_global);
+    ("st_global", (fun k -> k.st_global), I.Cat_st_global);
+    ("ld_shared", (fun k -> k.ld_shared), I.Cat_ld_shared);
+    ("st_shared", (fun k -> k.st_shared), I.Cat_st_shared);
+    ("atom", (fun k -> k.atom), I.Cat_atom);
+    ("bar", (fun k -> k.bar), I.Cat_bar);
+    ("branch", (fun k -> k.branch), I.Cat_branch);
+    ("pred", (fun k -> k.pred), I.Cat_pred);
+    ("mov", (fun k -> k.mov), I.Cat_mov) ]
+
+let check_counts name p ~grid ~block ~iargs (k : Ptx.Interp.counters) =
+  let bx, by, bz = block in
+  let threads = bx * by * bz in
+  let t = analyze_exn p in
+  match S.block_trips ~grid ~block ~iargs p with
+  | Error e -> Alcotest.failf "%s: block_trips: %s" name e
+  | Ok trips ->
+    Alcotest.(check int)
+      (name ^ ": trips covers every block")
+      (Array.length t.S.blocks) (Array.length trips);
+    List.iter
+      (fun (cname, proj, cat) ->
+        let idx = S.cat_index cat in
+        let expected =
+          Array.fold_left
+            (fun acc (b : S.block_sched) ->
+              acc + (trips.(b.S.block) * b.S.mix.(idx)))
+            0 t.S.blocks
+          * threads
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "%s: %s" name cname)
+          expected (proj k))
+      counter_views
+
+let check_gemm_counts name ?bounds (i : P.input) (c : P.config) =
+  Alcotest.(check bool) (name ^ ": legal") true (P.structurally_legal i c);
+  let a = Array.init (i.m * i.k) (fun x -> float_of_int (x mod 7) -. 3.0) in
+  let b = Array.init (i.k * i.n) (fun x -> float_of_int (x mod 5) -. 2.0) in
+  let _, k = G.run_counted ?bounds i c ~a ~b () in
+  let p = G.generate ?bounds i c in
+  check_counts name p ~grid:(G.grid i c) ~block:(G.block c)
+    ~iargs:[ ("M", i.m); ("N", i.n); ("K", i.k) ]
+    k
+
+let test_gemm_counts () =
+  let cfg ?(ms = 2) ?(ns = 2) ?(ks = 1) ?(ml = 16) ?(nl = 16) ?(u = 8)
+      ?(kl = 1) ?(kg = 1) ?(vec = 1) ?(db = 1) () =
+    { P.ms; ns; ks; ml; nl; u; kl; kg; vec; db }
+  in
+  check_gemm_counts "gemm 32^3" (P.input 32 32 32) (cfg ());
+  check_gemm_counts "gemm ragged" (P.input 17 23 29) (cfg ());
+  check_gemm_counts "gemm ks2" (P.input 24 24 40) (cfg ~ks:2 ());
+  check_gemm_counts "gemm kl2" (P.input 24 24 40) (cfg ~kl:2 ());
+  check_gemm_counts "gemm kg2" (P.input 24 24 64) (cfg ~kg:2 ());
+  check_gemm_counts "gemm a_trans" (P.input ~a_trans:true 20 18 25) (cfg ());
+  check_gemm_counts "gemm db2" (P.input 32 32 32) (cfg ~db:2 ());
+  check_gemm_counts "gemm unchecked" ~bounds:P.Unchecked (P.input 32 32 32)
+    (cfg ())
+
+let test_conv_counts () =
+  let ci = CP.input ~n:2 ~c:3 ~k:4 ~p:6 ~q:6 ~r:3 ~s:3 () in
+  let cfg =
+    { P.ms = 2; ns = 2; ks = 1; ml = 16; nl = 16; u = 8; kl = 1; kg = 1;
+      vec = 1; db = 1 }
+  in
+  let gi = CP.gemm_input ci in
+  let image =
+    Array.init
+      (ci.CP.n * ci.CP.c * CP.h ci * CP.w ci)
+      (fun x -> float_of_int (x mod 9) -. 4.0)
+  in
+  let filter =
+    Array.init (ci.c * ci.r * ci.s * ci.k) (fun x ->
+        float_of_int (x mod 3) -. 1.0)
+  in
+  let _, k = C.run_counted ci cfg ~image ~filter in
+  let p = C.generate ci cfg in
+  let grid =
+    ((gi.P.m + cfg.ml - 1) / cfg.ml, (gi.P.n + cfg.nl - 1) / cfg.nl, cfg.kg)
+  in
+  check_counts "conv" p ~grid
+    ~block:(P.threads_per_block cfg, 1, 1)
+    ~iargs:[ ("M", gi.P.m); ("N", gi.P.n); ("K", gi.P.k) ]
+    k
+
+(* The divergent branch-based bounds mode must be reported as
+   unanalyzable rather than silently miscounted. *)
+let test_branch_mode_unanalyzable () =
+  let i = P.input 17 23 29 in
+  let c =
+    { P.ms = 2; ns = 2; ks = 1; ml = 16; nl = 16; u = 8; kl = 1; kg = 1;
+      vec = 1; db = 1 }
+  in
+  let p = G.generate ~bounds:P.Branch i c in
+  match
+    S.block_trips ~grid:(G.grid i c) ~block:(G.block c)
+      ~iargs:[ ("M", i.m); ("N", i.n); ("K", i.k) ]
+      p
+  with
+  | Error _ -> ()
+  | Ok _ ->
+    Alcotest.fail "branch-mode kernel should have unanalyzable trip counts"
+
+(* Random straight-line programs with guarded (masked) instructions:
+   masked slots still issue, so the static mix matches exactly. *)
+let test_random_straight_line () =
+  let gen_op rng =
+    match Util.Rng.int rng 9 with
+    | 0 -> I.Iadd (Util.Rng.int rng 8, Ireg (Util.Rng.int rng 8), Iimm 3)
+    | 1 -> I.Imul (Util.Rng.int rng 8, Iimm 5, Ispecial Tid_x)
+    | 2 -> I.Movf (Util.Rng.int rng 8, Fimm 1.5)
+    | 3 ->
+      I.Ffma
+        ( Util.Rng.int rng 8,
+          Freg (Util.Rng.int rng 8),
+          Fimm 2.0,
+          Freg (Util.Rng.int rng 8) )
+    | 4 -> I.Fadd (Util.Rng.int rng 8, Freg (Util.Rng.int rng 8), Fimm 1.0)
+    | 5 -> I.Setp (Lt, Util.Rng.int rng 4, Ispecial Tid_x, Iimm 2)
+    | 6 -> I.Mov (Util.Rng.int rng 8, Iimm 9)
+    | 7 -> I.Imin (Util.Rng.int rng 8, Ireg (Util.Rng.int rng 8), Iimm 4)
+    | _ -> I.Fmul (Util.Rng.int rng 8, Freg (Util.Rng.int rng 8), Fimm 0.5)
+  in
+  let rng = Util.Rng.create 4242 in
+  for case = 0 to 24 do
+    let n = 5 + Util.Rng.int rng 40 in
+    let body =
+      List.init n (fun _ ->
+          let op = gen_op rng in
+          (* Guard through p0, set by a tid compare early on: some lanes
+             masked, categories still counted. *)
+          if Util.Rng.int rng 3 = 0 then gins 0 op else ins op)
+    in
+    let body =
+      (ins (I.Setp (Lt, 0, Ispecial Tid_x, Iimm 3)) :: body) @ [ ins I.Ret ]
+    in
+    let p = prog body in
+    let block = (4, 2, 1) in
+    let k =
+      Ptx.Interp.run p ~grid:(2, 1, 1) ~block ~bufs:[] ~iargs:[]
+    in
+    check_counts (Printf.sprintf "random straight-line %d" case) p
+      ~grid:(2, 1, 1) ~block ~iargs:[] k
+  done
+
+(* A hand-built affine loop: counter-driven trip counts resolve per CTA. *)
+let test_affine_loop_counts () =
+  let p =
+    prog
+      [ ins (I.Mov (0, Iimm 0));
+        ins (I.Mov (1, Ispecial Ctaid_x));
+        ins (I.Movf (0, Fimm 0.0));
+        ins (I.Label "loop");
+        ins (I.Ffma (0, Freg 0, Fimm 1.5, Fimm 1.0));
+        ins (I.Iadd (0, Ireg 0, Iimm 1));
+        ins (I.Iadd (1, Ireg 1, Iimm 2));
+        ins (I.Setp (Lt, 0, Ireg 0, Iimm 10));
+        gins 0 (I.Bra "loop");
+        ins I.Ret ]
+  in
+  let block = (8, 1, 1) in
+  let k = Ptx.Interp.run p ~grid:(3, 1, 1) ~block ~bufs:[] ~iargs:[] in
+  check_counts "affine loop" p ~grid:(3, 1, 1) ~block ~iargs:[] k
+
+(* --- stall model sanity ------------------------------------------------ *)
+
+let test_dependent_chain_stalls () =
+  (* One serial FMA accumulator chain: every FMA waits out the full
+     pipeline latency, so the issue rate approaches 1/fma_latency. *)
+  let chain =
+    List.init 24 (fun _ -> ins (I.Ffma (0, Freg 0, Fimm 2.0, Fimm 1.0)))
+  in
+  let t = analyze_exn (prog ([ ins (I.Movf (0, Fimm 0.0)) ] @ chain @ [ ins I.Ret ])) in
+  Alcotest.(check bool)
+    "chain stalls" true
+    (t.S.summary.S.stalls_per_slot > 1.0);
+  Alcotest.(check bool)
+    "chain rate near 1/lat" true
+    (t.S.summary.S.fma_issue_rate < 0.25);
+  (* Eight independent accumulators cover the latency: no FMA stalls. *)
+  let wide =
+    List.concat
+      (List.init 8 (fun r -> [ ins (I.Movf (r, Fimm 0.0)) ]))
+    @ List.concat
+        (List.init 6 (fun _ ->
+             List.init 8 (fun r ->
+                 ins (I.Ffma (r, Freg r, Fimm 2.0, Fimm 1.0)))))
+    @ [ ins I.Ret ]
+  in
+  let t = analyze_exn (prog wide) in
+  Alcotest.(check bool)
+    "wide rate high" true
+    (t.S.summary.S.fma_issue_rate > 0.85);
+  Alcotest.(check bool)
+    "wide ilp wide" true (t.S.summary.S.ilp > 3.0)
+
+let test_loop_steady_state () =
+  (* The loop-carried accumulator chain only shows in the steady state:
+     iteration 2 must stall on iteration 1's FMA. *)
+  let p =
+    prog
+      [ ins (I.Mov (0, Iimm 0));
+        ins (I.Movf (0, Fimm 0.0));
+        ins (I.Label "loop");
+        ins (I.Ffma (0, Freg 0, Fimm 2.0, Fimm 1.0));
+        ins (I.Iadd (0, Ireg 0, Iimm 1));
+        ins (I.Setp (Lt, 0, Ireg 0, Iimm 100));
+        gins 0 (I.Bra "loop");
+        ins I.Ret ]
+  in
+  let t = analyze_exn p in
+  (match t.S.loops with
+   | [ l ] ->
+     Alcotest.(check bool) "steady stalls" true (l.S.steady_stalls > 0);
+     Alcotest.(check bool)
+       "carried critical path includes fma latency" true
+       (l.S.carried_crit_path >= S.default_latency.S.fma)
+   | ls -> Alcotest.failf "expected one loop, got %d" (List.length ls));
+  Alcotest.(check bool) "hot loop chosen" true (t.S.summary.S.hot_loop <> None)
+
+let test_barrier_drains () =
+  (* A global load's latency is exposed by a barrier right after it. *)
+  let p ~with_bar =
+    prog ~shared:4
+      [ ins (I.Mov (0, Iimm 0));
+        ins (I.St_shared (Iimm 0, Fimm 1.0));
+        (if with_bar then ins I.Bar else ins (I.Mov (1, Iimm 1)));
+        ins I.Ret ]
+  in
+  let stalls p_ =
+    let t = analyze_exn p_ in
+    Array.fold_left (fun acc b -> acc + b.S.stall_cycles) 0 t.S.blocks
+  in
+  Alcotest.(check bool)
+    "bar waits for shared store" true
+    (stalls (p ~with_bar:true) > stalls (p ~with_bar:false))
+
+(* --- pressure vs Regalloc ---------------------------------------------- *)
+
+let test_pressure_vs_regalloc () =
+  let cfg =
+    { P.ms = 4; ns = 4; ks = 1; ml = 32; nl = 32; u = 8; kl = 1; kg = 1;
+      vec = 1; db = 1 }
+  in
+  let i = P.input 64 64 64 in
+  let p = G.generate i cfg in
+  let t = analyze_exn p in
+  let press = Ptx.Regalloc.pressure p in
+  Alcotest.(check int) "peak fregs" press.Ptx.Regalloc.fregs
+    t.S.summary.S.peak_fregs;
+  Alcotest.(check int) "peak iregs" press.Ptx.Regalloc.iregs
+    t.S.summary.S.peak_iregs;
+  (* The allocator can never beat MaxLive, and never exceeds the virtual
+     counts: liveness under-counting would violate the first bound. *)
+  let alloc = Ptx.Regalloc.allocate p in
+  Alcotest.(check bool) "alloc >= maxlive (f)" true
+    (alloc.Ptx.Program.n_fregs >= press.Ptx.Regalloc.fregs);
+  Alcotest.(check bool) "alloc >= maxlive (i)" true
+    (alloc.Ptx.Program.n_iregs >= press.Ptx.Regalloc.iregs);
+  Alcotest.(check bool) "alloc <= virtual (f)" true
+    (alloc.Ptx.Program.n_fregs <= p.Ptx.Program.n_fregs);
+  (* More thread work must not reduce peak float pressure. *)
+  let cfg2 = { cfg with P.ms = 2; ns = 2 } in
+  let t2 = analyze_exn (G.generate (P.input 64 64 64) cfg2) in
+  Alcotest.(check bool) "ms4ns4 >= ms2ns2 pressure" true
+    (t.S.summary.S.peak_fregs >= t2.S.summary.S.peak_fregs)
+
+(* --- lints ------------------------------------------------------------- *)
+
+let lint_kinds p =
+  List.map
+    (function
+      | S.Dead_store _ -> "dead-store"
+      | S.Unread_register _ -> "unread-register"
+      | S.Unreachable_code _ -> "unreachable"
+      | S.Redundant_barrier _ -> "redundant-barrier")
+    (S.lint p)
+
+let test_lint_dead_store () =
+  let kinds =
+    lint_kinds
+      (prog
+         [ ins (I.Movf (0, Fimm 1.0));
+           ins (I.Movf (0, Fimm 2.0));
+           ins (I.St_shared (Iimm 0, Freg 0));
+           ins I.Ret ]
+      |> fun p -> { p with Ptx.Program.shared_words = 4 })
+  in
+  Alcotest.(check bool) "dead store found" true (List.mem "dead-store" kinds)
+
+let test_lint_guarded_merge_not_dead () =
+  (* The generators' staging idiom: mov 0 then guarded load — the mov is
+     a live merge input, not a dead store. *)
+  let p =
+    { (prog
+         [ ins (I.Setp (Lt, 0, Ispecial Tid_x, Iimm 2));
+           ins (I.Movf (0, Fimm 0.0));
+           gins 0 (I.Ld_global (0, 0, Ispecial Tid_x));
+           ins (I.St_shared (Ispecial Tid_x, Freg 0));
+           ins I.Ret ])
+      with
+      Ptx.Program.buf_params = [| "A" |];
+      shared_words = 8 }
+  in
+  Alcotest.(check (list string)) "clean" [] (lint_kinds p)
+
+let test_lint_unread_register () =
+  let kinds =
+    lint_kinds
+      (prog [ ins (I.Mov (5, Iimm 3)); ins (I.Mov (5, Iimm 4)); ins I.Ret ])
+  in
+  Alcotest.(check bool) "unread found" true
+    (List.mem "unread-register" kinds)
+
+let test_lint_unreachable () =
+  let kinds =
+    lint_kinds
+      (prog
+         [ ins (I.Bra "end");
+           ins (I.Mov (0, Iimm 1));
+           ins (I.Label "end");
+           ins I.Ret ])
+  in
+  Alcotest.(check bool) "unreachable found" true (List.mem "unreachable" kinds)
+
+let test_lint_redundant_barrier () =
+  let kinds =
+    lint_kinds
+      (prog ~shared:4
+         [ ins (I.St_shared (Iimm 0, Fimm 1.0));
+           ins I.Bar;
+           ins I.Bar;
+           ins (I.Ld_shared (0, Iimm 0));
+           ins I.Ret ])
+  in
+  Alcotest.(check bool) "redundant bar found" true
+    (List.mem "redundant-barrier" kinds);
+  (* A shared access between two barriers keeps both meaningful. *)
+  let kinds =
+    lint_kinds
+      (prog ~shared:4
+         [ ins (I.St_shared (Iimm 0, Fimm 1.0));
+           ins I.Bar;
+           ins (I.Ld_shared (0, Iimm 0));
+           ins I.Bar;
+           ins I.Ret ])
+  in
+  Alcotest.(check bool) "separated bars clean" true
+    (not (List.mem "redundant-barrier" kinds))
+
+let test_generated_kernels_lint_free () =
+  let cfg ?(ms = 2) ?(ns = 2) ?(ks = 1) ?(ml = 16) ?(nl = 16) ?(u = 8)
+      ?(kl = 1) ?(kg = 1) ?(vec = 1) ?(db = 1) () =
+    { P.ms; ns; ks; ml; nl; u; kl; kg; vec; db }
+  in
+  let check name p =
+    match S.lint p with
+    | [] -> ()
+    | ls ->
+      Alcotest.failf "%s: %d lints, first: %s" name (List.length ls)
+        (snd (S.lint_message (List.hd ls)))
+  in
+  check "gemm basic" (G.generate (P.input 32 32 32) (cfg ()));
+  check "gemm ragged" (G.generate (P.input 17 23 29) (cfg ()));
+  check "gemm splits"
+    (G.generate (P.input 24 24 160) (cfg ~ks:2 ~kl:2 ~kg:2 ~u:8 ()));
+  check "gemm trans"
+    (G.generate (P.input ~a_trans:true ~b_trans:true 20 18 25) (cfg ()));
+  let ci = CP.input ~n:2 ~c:3 ~k:4 ~p:6 ~q:6 ~r:3 ~s:3 () in
+  check "conv" (C.generate ci (cfg ()))
+
+let () =
+  Alcotest.run "scoreboard"
+    [ ( "differential",
+        [ quick "gemm mix x trips == counters" test_gemm_counts;
+          quick "conv mix x trips == counters" test_conv_counts;
+          quick "branch mode unanalyzable" test_branch_mode_unanalyzable;
+          quick "random straight-line" test_random_straight_line;
+          quick "affine loop" test_affine_loop_counts ] );
+      ( "stalls",
+        [ quick "dependent chain stalls" test_dependent_chain_stalls;
+          quick "loop steady state" test_loop_steady_state;
+          quick "barrier drains" test_barrier_drains ] );
+      ( "pressure",
+        [ quick "scoreboard matches Regalloc MaxLive" test_pressure_vs_regalloc ] );
+      ( "lints",
+        [ quick "dead store" test_lint_dead_store;
+          quick "guarded merge is live" test_lint_guarded_merge_not_dead;
+          quick "unread register" test_lint_unread_register;
+          quick "unreachable code" test_lint_unreachable;
+          quick "redundant barrier" test_lint_redundant_barrier;
+          quick "generated kernels lint-free" test_generated_kernels_lint_free ] ) ]
