@@ -36,7 +36,35 @@ let print_plan (plan : Isaac.plan) =
       [| "re-benchmarked"; Printf.sprintf "%.2f TFLOPS" plan.measurement.tflops |];
       [| "legal configs searched"; string_of_int plan.n_legal |] ]
 
-let run profile_path conv explain m n k dtype a_trans b_trans cn cc ckf cpq crs_ =
+(* Planning-latency breakdown (--timing): the per-phase wall clock the
+   search recorded, plus the end-to-end total. *)
+let print_timing (plan : Isaac.plan) =
+  match plan.phases with
+  | [] -> print_endline "plan served from cache: no timing recorded"
+  | phases ->
+    let total = List.fold_left (fun acc (_, t) -> acc +. t) 0.0 phases in
+    print_newline ();
+    Util.Table.print
+      ~header:[| "phase"; "time" |]
+      (List.map
+         (fun (name, t) -> [| name; Printf.sprintf "%.2f ms" (t *. 1e3) |])
+         phases
+      @ [ [| "total"; Printf.sprintf "%.2f ms" (total *. 1e3) |] ])
+
+let engine_conv =
+  let parse = function
+    | "batched" -> Ok `Batched
+    | "scalar" -> Ok `Scalar
+    | _ -> Error (`Msg "unknown engine (batched/scalar)")
+  in
+  Arg.conv
+    ( parse,
+      fun fmt e ->
+        Format.fprintf fmt "%s"
+          (match e with `Batched -> "batched" | `Scalar -> "scalar") )
+
+let run profile_path conv explain timing engine_kind m n k dtype a_trans b_trans
+    cn cc ckf cpq crs_ =
   let profile =
     match Tuner.Profile.load profile_path with
     | Ok p -> p
@@ -53,8 +81,10 @@ let run profile_path conv explain m n k dtype a_trans b_trans cn cc ckf cpq crs_
     else begin
       Printf.printf "CONV N=%d C=%d K=%d P=Q=%d R=S=%d (%s) on %s\n" cn cc ckf cpq
         crs_ (Ptx.Types.dtype_name dtype) device.name;
-      match Isaac.plan_conv engine input with
-      | Some plan -> print_plan plan
+      match Isaac.plan_conv ~engine:engine_kind engine input with
+      | Some plan ->
+        print_plan plan;
+        if timing then print_timing plan
       | None -> prerr_endline "no legal kernel found"
     end
   end
@@ -66,8 +96,10 @@ let run profile_path conv explain m n k dtype a_trans b_trans cn cc ckf cpq crs_
         (if a_trans then 'T' else 'N')
         (if b_trans then 'T' else 'N')
         (Ptx.Types.dtype_name dtype) device.name;
-      match Isaac.plan_gemm engine input with
-      | Some plan -> print_plan plan
+      match Isaac.plan_gemm ~engine:engine_kind engine input with
+      | Some plan ->
+        print_plan plan;
+        if timing then print_timing plan
       | None -> prerr_endline "no legal kernel found"
     end
   end
@@ -79,6 +111,18 @@ let cmd =
   let conv = Arg.(value & flag & info [ "conv" ] ~doc:"Query a convolution instead of GEMM.") in
   let explain =
     Arg.(value & flag & info [ "explain" ] ~doc:"Print a full analysis of the chosen kernel.")
+  in
+  let timing =
+    Arg.(value & flag
+         & info [ "timing" ]
+             ~doc:"Print the planning-latency breakdown (featurize, \
+                   inference, argmax, ...) alongside the plan.")
+  in
+  let engine_kind =
+    Arg.(value & opt engine_conv `Batched
+         & info [ "engine" ]
+             ~doc:"Search engine: $(b,batched) (default) or $(b,scalar) (the \
+                   reference path; identical plan, slower).")
   in
   let m = Arg.(value & opt int 1024 & info [ "m" ] ~doc:"GEMM M.") in
   let n = Arg.(value & opt int 1024 & info [ "n" ] ~doc:"GEMM N.") in
@@ -93,6 +137,7 @@ let cmd =
   let crs_ = Arg.(value & opt int 3 & info [ "crs" ] ~doc:"CONV filter R=S.") in
   Cmd.v
     (Cmd.info "isaac_query" ~doc:"Infer the best kernel for an input from a tuned profile")
-    Term.(const run $ profile $ conv $ explain $ m $ n $ k $ dtype $ at $ bt $ cn $ cc $ ckf $ cpq $ crs_)
+    Term.(const run $ profile $ conv $ explain $ timing $ engine_kind $ m $ n $ k
+          $ dtype $ at $ bt $ cn $ cc $ ckf $ cpq $ crs_)
 
 let () = exit (Cmd.eval cmd)

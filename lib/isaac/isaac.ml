@@ -6,6 +6,7 @@ type plan = {
   measurement : Gpu.Executor.measurement;
   predicted_tflops : float;
   n_legal : int;
+  phases : (string * float) list;
 }
 
 type t = {
@@ -84,9 +85,10 @@ let plan_of_result (r : Tuner.Search.result) =
   { config = r.best;
     measurement = r.best_measurement;
     predicted_tflops = predicted;
-    n_legal = r.n_legal }
+    n_legal = r.n_legal;
+    phases = r.phases }
 
-let plan_gemm ?top_k t (i : GP.input) =
+let plan_gemm ?top_k ?engine t (i : GP.input) =
   match Hashtbl.find_opt t.gemm_cache i with
   | Some cached ->
     Obs.Metrics.incr "plan.cache_hit";
@@ -97,13 +99,14 @@ let plan_gemm ?top_k t (i : GP.input) =
       Obs.Span.with_ "plan"
         ~meta:(fun () -> [ ("op", Obs.Json.String "gemm") ])
         (fun () ->
-          Tuner.Search.exhaustive_gemm ?top_k t.rng t.device ~profile:t.profile i)
+          Tuner.Search.exhaustive_gemm ?top_k ?engine t.rng t.device
+            ~profile:t.profile i)
     in
     let plan = Option.map plan_of_result result in
     Hashtbl.replace t.gemm_cache i plan;
     plan
 
-let plan_conv ?top_k t (i : CP.input) =
+let plan_conv ?top_k ?engine t (i : CP.input) =
   match Hashtbl.find_opt t.conv_cache i with
   | Some cached ->
     Obs.Metrics.incr "plan.cache_hit";
@@ -114,7 +117,8 @@ let plan_conv ?top_k t (i : CP.input) =
       Obs.Span.with_ "plan"
         ~meta:(fun () -> [ ("op", Obs.Json.String "conv") ])
         (fun () ->
-          Tuner.Search.exhaustive_conv ?top_k t.rng t.device ~profile:t.profile i)
+          Tuner.Search.exhaustive_conv ?top_k ?engine t.rng t.device
+            ~profile:t.profile i)
     in
     let plan = Option.map plan_of_result result in
     Hashtbl.replace t.conv_cache i plan;
@@ -255,7 +259,9 @@ let plan_of_config t cost config =
   match Gpu.Executor.measure_best_of t.load_rng t.device cost with
   | None -> None
   | Some m ->
-    Some { config; measurement = m; predicted_tflops = m.tflops; n_legal = 0 }
+    Some
+      { config; measurement = m; predicted_tflops = m.tflops; n_legal = 0;
+        phases = [] }
 
 type plan_entry =
   | Gemm_entry of GP.input * GP.config

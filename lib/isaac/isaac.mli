@@ -30,6 +30,12 @@ type plan = {
   measurement : Gpu.Executor.measurement; (** device re-benchmark result *)
   predicted_tflops : float;               (** the model's estimate *)
   n_legal : int;                           (** legal configs searched *)
+  phases : (string * float) list;
+  (** planning wall-clock per pipeline phase ([enumerate], [featurize],
+      [inference], [argmax], [rebench]) as reported by
+      {!Tuner.Search.result.phases}; empty for plans re-measured from a
+      {!load_plans} cache file, which skip the search entirely. Shown by
+      [isaac_query --timing]. *)
 }
 
 val tune :
@@ -65,11 +71,24 @@ val of_profile : Gpu.Device.t -> Tuner.Profile.t -> t
 val profile : t -> Tuner.Profile.t
 val device : t -> Gpu.Device.t
 
-val plan_gemm : ?top_k:int -> t -> Codegen.Gemm_params.input -> plan option
+val plan_gemm :
+  ?top_k:int ->
+  ?engine:Tuner.Search.engine ->
+  t ->
+  Codegen.Gemm_params.input ->
+  plan option
 (** Runtime inference for a GEMM input. Results are cached per input, so
-    repeated calls are free (the paper's filesystem cache). *)
+    repeated calls are free (the paper's filesystem cache). [engine]
+    selects the {!Tuner.Search} scoring engine (default [`Batched]); the
+    [`Scalar] reference chooses the identical config, only slower, so
+    the plan cache may safely mix engines. *)
 
-val plan_conv : ?top_k:int -> t -> Codegen.Conv_params.input -> plan option
+val plan_conv :
+  ?top_k:int ->
+  ?engine:Tuner.Search.engine ->
+  t ->
+  Codegen.Conv_params.input ->
+  plan option
 
 val gemm :
   t -> Codegen.Gemm_params.input -> a:float array -> b:float array -> float array

@@ -16,6 +16,8 @@ val create : Util.Rng.t -> sizes:int array -> t
 (** [create rng ~sizes] with [sizes = [|inputs; hidden...; 1|]]. *)
 
 val sizes : t -> int array
+(** Layer widths as passed to {!create}: [[|inputs; hidden...; 1|]]. *)
+
 val num_weights : t -> int
 (** Total trainable parameters (weights + biases), as reported in
     Table 2's "#weights" column. *)
@@ -24,6 +26,29 @@ val predict : t -> Tensor.t -> float array
 (** Batch forward pass: (batch × inputs) → batch predictions. *)
 
 val predict_one : t -> float array -> float
+(** Single-sample convenience: wraps the features in a 1-row batch and
+    runs {!predict}. This is the {e scalar} planning path — one network
+    evaluation per candidate configuration — retained as the
+    differential reference for {!forward_batch}. *)
+
+val forward_batch : t -> input:Matrix.t -> Matrix.t
+(** Batched forward pass over unboxed {!Matrix} storage: [input] is
+    (batch × inputs), one feature vector per row; the result is
+    (batch × 1) network outputs. Evaluates the whole batch as one
+    matrix product per layer with eight-row weight reuse — the planning
+    hot path that scores thousands of candidate configurations per
+    query ({!Tuner.Search}).
+
+    Float contract: per element the arithmetic (ascending-[k]
+    single-accumulator dot product, then bias add, then relu) is
+    identical to {!predict}'s {!Tensor} pipeline, so outputs are
+    bit-equal to the scalar path on the same rows, for any batch size
+    (including 1 and ragged tails). The differential tests in
+    [test/test_mlp.ml] assert exact equality. *)
+
+val predict_matrix : t -> Matrix.t -> float array
+(** {!forward_batch} with the (batch × 1) result flattened to one
+    prediction per row — the batched analogue of {!predict}. *)
 
 type adam = {
   lr : float;
@@ -33,6 +58,7 @@ type adam = {
 }
 
 val default_adam : adam
+(** lr 1e-3, β₁ 0.9, β₂ 0.999, ε 1e-8 — the standard Adam settings. *)
 
 val train_batch : t -> adam -> x:Tensor.t -> y:float array -> float
 (** One optimizer step on a minibatch; returns the batch MSE before the
@@ -45,9 +71,11 @@ val copy : t -> t
 (** Deep copy (weights and optimizer state). *)
 
 val save : t -> out_channel -> unit
+(** Write the plain-text serialization (architecture then weights) used
+    by the profile cache. *)
+
 val load : in_channel -> t
-(** Plain-text serialization (architecture then weights), used by the
-    profile cache. *)
+(** Read back what {!save} wrote. *)
 
 val save_buf : Buffer.t -> t -> unit
 (** Append the same serialization to a buffer — how {!Tuner.Profile}

@@ -20,7 +20,10 @@ val of_array : rows:int -> cols:int -> float array -> t
 (** Wrap an existing array (no copy). Length must match. *)
 
 val get : t -> int -> int -> float
+(** [get m i j] is element [(i, j)] (row [i], column [j]). *)
+
 val set : t -> int -> int -> float -> unit
+(** [set m i j v] stores [v] at [(i, j)]. *)
 
 val random_he : Util.Rng.t -> int -> int -> t
 (** He-normal initialization: N(0, sqrt(2 / cols)) — the standard choice
@@ -42,11 +45,20 @@ val add_row_inplace : t -> float array -> unit
 (** Add a row vector to every row (bias). *)
 
 val relu_inplace : t -> unit
+(** Clamp every element to [max 0] in place (hidden-layer activation). *)
+
 val relu_mask_inplace : t -> t -> unit
 (** [relu_mask_inplace delta z]: zero the entries of [delta] where the
     corresponding [z] entry is ≤ 0 (backprop through relu). *)
 
 val col_sums : t -> float array
+(** Per-column sums — the bias-gradient reduction over a minibatch. *)
+
 val scale_inplace : t -> float -> unit
+(** Multiply every element by a scalar, in place. *)
+
 val sub : t -> t -> t
+(** Element-wise difference (fresh matrix); shapes must match. *)
+
 val copy : t -> t
+(** Deep copy (fresh data array). *)

@@ -42,6 +42,33 @@ val conv_features :
     transposition flags reused for log2(R·S) since convolutions have no
     layout flags. [~schedule] as in {!gemm_features}. *)
 
+type query
+(** Featurization cache for one planning query: the six static input
+    slots (shapes, data-type size, layout flags — identical for every
+    candidate configuration of that query) precomputed once, so scoring
+    a lattice of thousands of candidates recomputes only the ten tuning
+    slots per row, each a memoized-log2 table lookup. Values are
+    bit-identical to the uncached {!gemm_features}/{!conv_features}
+    (asserted by the differential tests). *)
+
+val gemm_query : log:bool -> Codegen.Gemm_params.input -> query
+(** Precompute the static feature slots of a GEMM input. *)
+
+val conv_query : log:bool -> Codegen.Conv_params.input -> query
+(** Precompute the static slots of a convolution's implicit-GEMM view
+    (R·S folded into the layout-flag slot, as in {!conv_features}). *)
+
+val fill_query : query -> int array -> Mlp.Matrix.t -> row:int -> unit
+(** [fill_query q config x ~row] writes the {!dim}-wide feature vector
+    of [config] (a flat 10-slot tuning configuration) into row [row] of
+    the batch matrix [x] — the write side of the batched scoring path.
+    [x] must have {!dim} columns. *)
+
+val query_features : query -> int array -> float array
+(** One row through {!fill_query}, returned as a plain array (tests and
+    scalar callers). Equals [gemm_features]/[conv_features] of the same
+    (input, config) bit-for-bit. *)
+
 type scaler = {
   mean : float;
   std : float;

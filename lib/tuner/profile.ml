@@ -61,6 +61,32 @@ let train ?(arch = default_arch) ?(epochs = 20) ?(log_features = true) rng
 let predict_std_batch t x =
   Mlp.Network.predict t.net (standardize ~feat_mean:t.feat_mean ~feat_std:t.feat_std x)
 
+let predict_std_one t features =
+  let x = Mlp.Tensor.of_array ~rows:1 ~cols:(Array.length features) features in
+  (predict_std_batch t x).(0)
+
+(* Same (x - mean) / std arithmetic as [standardize], applied in place
+   on Bigarray storage — the batched scorer fills a fresh matrix per
+   query, so there is nothing to preserve. Walks rows in storage order
+   (row-major) so the pass is a single sequential sweep. *)
+let standardize_matrix_inplace t (x : Mlp.Matrix.t) =
+  let d = x.Mlp.Matrix.cols and n = x.Mlp.Matrix.rows in
+  assert (Array.length t.feat_mean = d);
+  let data = x.Mlp.Matrix.data in
+  let mean = t.feat_mean and std = t.feat_std in
+  for i = 0 to n - 1 do
+    let base = i * d in
+    for j = 0 to d - 1 do
+      Bigarray.Array1.unsafe_set data (base + j)
+        ((Bigarray.Array1.unsafe_get data (base + j) -. Array.unsafe_get mean j)
+         /. Array.unsafe_get std j)
+    done
+  done
+
+let predict_std_matrix t x =
+  standardize_matrix_inplace t x;
+  Mlp.Network.predict_matrix t.net x
+
 let mse t (ds : Dataset.t) =
   let x = features_of t ds in
   let y = Array.map (Features.target t.scaler) ds.tflops in

@@ -41,6 +41,21 @@ val predict_std_batch : t -> Mlp.Tensor.t -> float array
     exhaustive search ranks by). Rows are un-standardized feature
     vectors matching [log_features]. *)
 
+val predict_std_one : t -> float array -> float
+(** One feature vector through feature standardization and the network,
+    in the standardized log-target space — the scalar planning path
+    ({!Search}'s [`Scalar] engine scores one candidate at a time with
+    this). *)
+
+val predict_std_matrix : t -> Mlp.Matrix.t -> float array
+(** Batched counterpart of {!predict_std_one} over unboxed
+    {!Mlp.Matrix} storage, one un-standardized feature row per
+    candidate. {b Mutates its argument}: the matrix is standardized in
+    place before {!Mlp.Network.forward_batch} runs over it (callers
+    fill a fresh matrix per query). Per row the arithmetic is identical
+    to the scalar path, so predictions are bit-equal to
+    {!predict_std_one} on the same features. *)
+
 val save : t -> string -> unit
 (** Persist through {!Util.Artifact.write} (kind ["isaac-profile"]):
     atomic temp-fsync-rename with a checksummed header, so a crash

@@ -1,6 +1,8 @@
 module GP = Codegen.Gemm_params
 module CP = Codegen.Conv_params
 
+type engine = [ `Batched | `Scalar ]
+
 type candidate = {
   config : GP.config;
   predicted_tflops : float;
@@ -12,38 +14,245 @@ type result = {
   candidates : candidate array;
   n_legal : int;
   n_scored : int;
+  n_visited : int;
+  phases : (string * float) list;
 }
 
-(* One forward pass over the space into a growable array (the space has
-   tens of thousands of legal points; consing a list and converting later
-   doubles the allocation). The result is reversed so callers keep seeing
-   the reverse-grid order the list version always produced. *)
-let legal_configs ~structurally_legal ~cost device =
-  let buf = ref [||] in
+(* Growable push into an array (the space has tens of thousands of legal
+   points; consing a list and converting later doubles the allocation).
+   Results are reversed by the enumerators so callers keep seeing the
+   reverse-grid order the historical list API always produced. *)
+let grow_push buf n cfg =
+  if !n = Array.length !buf then begin
+    let bigger = Array.make (max 1024 (2 * !n)) cfg in
+    Array.blit !buf 0 bigger 0 !n;
+    buf := bigger
+  end;
+  !buf.(!n) <- cfg;
+  incr n
+
+let rev_of buf n = Array.init n (fun i -> buf.(n - 1 - i))
+
+(* --- pruned enumeration -------------------------------------------------- *)
+
+let min_of a = Array.fold_left min a.(0) a
+let max_of a = Array.fold_left max a.(0) a
+
+(* Bound-pruned enumeration of the legal GEMM lattice, specialized to
+   the grid's parameter order (ms, ns, ks, ml, nl, u, kl, kg, vec, db).
+   The structure is {!Config_space.iter_pruned} with the pruning
+   predicate inlined level by level, so every check runs at the
+   outermost loop level where its inputs are known and loop-invariant
+   work (thread counts, staging divisions, register bounds) is hoisted
+   out of the inner loops — the generic walk pays a closure dispatch
+   and re-derives these per node, which at ~10^5 legal points is most
+   of the enumeration time.
+
+   Soundness (never prune a legal leaf — DESIGN.md "Planning hot
+   path"): a subtree is skipped only when an exact check on
+   already-assigned parameters fails, or a monotone {e lower} bound on
+   a resource (registers, shared memory, threads) computed from the
+   assigned prefix and the minima/maxima of the still-free parameters
+   already exceeds a device cap. A skipped region therefore contains
+   no legal configuration, so it cannot contain the argmax over the
+   legal set.
+
+   Completeness (never let an illegal leaf survive): by the innermost
+   loop every conjunct of [Gemm_params.structurally_legal] and
+   [Gpu.Occupancy.legal] has been checked exactly — tile divisibility
+   at the ml/nl levels, thread shape / K-splits / reduction scratch at
+   the kl level, the grid split at the kg level, vector staging plus
+   the exact register estimate at the vec level (vec decides the
+   fp16x2 register width; for F32/F64 the kl-level bound is already
+   exact), and the staging shared-memory footprint at the db level.
+   Surviving leaves {e are} the legal set and are emitted without
+   re-verification; the register and shared-memory arithmetic below
+   deliberately mirrors [Gemm_params.regs_estimate] / [shared_words],
+   and the differential tests in [test_tuner.ml] pin this enumerator
+   to element-for-element equality with [legal_configs_reference]
+   (which keeps the original build-the-cost-record semantics).
+
+   Leaves are stored packed — [Config_space.num_params] ints per
+   config in one flat int array, in forward grid order — so
+   enumerating ~10^5 legal points allocates one flat array instead of
+   promoting 10^5 short-lived records through the minor heap; config
+   records are materialized later, and only for the configurations
+   that are actually scored. The walk runs twice — once to count,
+   once to fill an exactly-sized buffer — because the walk itself is
+   a few percent of the cost of repeatedly growing (allocate + zero +
+   copy, each large enough to pace a major GC slice) a doubling
+   buffer in the major heap. *)
+type packed_enum = { packed : int array; count : int; visited : int }
+
+let nparams = Config_space.num_params Config_space.gemm
+
+(* One bound-pruned walk of the legal set; calls [emit] once per legal
+   configuration, in forward grid order. *)
+let walk_legal_gemm device (i : GP.input) ~emit =
+  let bytes = Ptx.Types.dtype_bytes i.dtype in
+  let shared_max = device.Gpu.Device.shared_per_block_max in
+  let regs_max = device.Gpu.Device.regs_per_thread_max in
+  let regs_sm = device.Gpu.Device.regs_per_sm in
+  let max_threads = min 1024 device.Gpu.Device.max_threads_per_block in
+  let warp = device.Gpu.Device.warp_size in
+  let min_u = min_of GP.values_u in
+  let max_kl = max_of GP.values_kl in
+  let f16 = i.dtype = Ptx.Types.F16 in
+  (* Registers per value is minimized by the vectorized-fp16 variant, so
+     rv_min is a lower bound over the still-free [vec] (and exact for
+     F32/F64, whose width never depends on vec). *)
+  let rv_min =
+    match i.dtype with
+    | Ptx.Types.F64 -> 2.0
+    | Ptx.Types.F32 -> 1.0
+    | Ptx.Types.F16 -> 0.5
+  in
+  Array.iter (fun ms ->
+  Array.iter (fun ns ->
+  Array.iter (fun ks ->
+  Array.iter (fun ml ->
+  if ml mod ms = 0 then
+  Array.iter (fun nl ->
+  if nl mod ns = 0 then begin
+    let mn = ml / ms * (nl / ns) in
+    (* threads = mn * kl with kl >= 1, so mn alone already busts the
+       cap; and even the largest kl cannot reach a full warp. Staging
+       needs (ml+nl)*u*db shared words with db >= 1, u >= min_u. *)
+    if mn <= max_threads && mn * max_kl >= 32
+       && (ml + nl) * min_u * bytes <= shared_max
+    then
+      Array.iter (fun u ->
+      (* Exact staging lower bound once u is known (db >= 1). *)
+      if (ml + nl) * u * bytes <= shared_max then begin
+        let la = ml * u and lb = nl * u in
+        Array.iter (fun kl ->
+        let threads = mn * kl in
+        (* Thread-shape and K-split checks are exact from here on. *)
+        if threads >= 32 && threads <= max_threads
+           && threads mod 32 = 0 && threads mod warp = 0
+           && u mod kl = 0
+           && (u / kl) mod ks = 0
+           && la mod threads = 0
+           && lb mod threads = 0
+           && not (kl > 1 && ml * nl * bytes > shared_max)
+        then begin
+          let lat = la / threads and lbt = lb / threads in
+          let regs_of rv =
+            int_of_float
+              (Float.ceil
+                 ((float_of_int (ms * ns * ks) *. rv)
+                  +. (float_of_int (ms + ns) *. rv *. 2.0)
+                  +. (float_of_int ((ml + nl) * u / threads) *. rv)
+                  +. 24.0))
+          in
+          let regs_lb = regs_of rv_min in
+          (* Exact register estimate of the non-vectorized F16 variant
+             (vec = 1), hoisted out of the vec loop. *)
+          let regs_novec_ok =
+            (not f16)
+            || (let r = regs_of 1.0 in
+                r <= regs_max && r * threads <= regs_sm)
+          in
+          if regs_lb <= regs_max && regs_lb * threads <= regs_sm then
+            Array.iter (fun kg ->
+            (* A grid split must leave a full prefetch iteration. *)
+            if kg = 1 || (i.k + kg - 1) / kg >= u then
+              Array.iter (fun vec ->
+              (* Staging must divide between threads in whole vectors;
+                 vec also fixes fp16x2 vectorization, making the
+                 register estimate exact (F32/F64 were exact above). *)
+              if lat mod vec = 0 && lbt mod vec = 0
+                 && ((not f16) || vec >= 2 || regs_novec_ok)
+              then
+                Array.iter (fun db ->
+                (* Exact staging footprint; the kl > 1 reduction
+                   scratch was checked at the kl level, and
+                   [shared_words] is the max of the two. *)
+                if (ml + nl) * u * db * bytes <= shared_max then
+                  emit ms ns ks ml nl u kl kg vec db)
+                GP.values_db)
+              GP.values_vec)
+            GP.values_kg
+        end)
+        GP.values_kl
+      end)
+      GP.values_u
+  end)
+  GP.values_nl)
+  GP.values_ml)
+  GP.values_ks)
+  GP.values_ns)
+  GP.values_ms
+
+let legal_configs_fast_packed device (i : GP.input) =
+  let count = ref 0 in
+  walk_legal_gemm device i
+    ~emit:(fun _ _ _ _ _ _ _ _ _ _ -> incr count);
+  let total = !count in
+  let buf = Array.make (total * nparams) 0 in
   let n = ref 0 in
+  walk_legal_gemm device i
+    ~emit:(fun ms ns ks ml nl u kl kg vec db ->
+      let o = !n * nparams in
+      Array.unsafe_set buf o ms;
+      Array.unsafe_set buf (o + 1) ns;
+      Array.unsafe_set buf (o + 2) ks;
+      Array.unsafe_set buf (o + 3) ml;
+      Array.unsafe_set buf (o + 4) nl;
+      Array.unsafe_set buf (o + 5) u;
+      Array.unsafe_set buf (o + 6) kl;
+      Array.unsafe_set buf (o + 7) kg;
+      Array.unsafe_set buf (o + 8) vec;
+      Array.unsafe_set buf (o + 9) db;
+      incr n);
+  { packed = buf; count = total; visited = total }
+
+(* Config [j] in the caller-facing (reverse grid) order lives at packed
+   slot [count - 1 - j]. *)
+let packed_config e j =
+  let o = (e.count - 1 - j) * nparams in
+  let p = e.packed in
+  { GP.ms = p.(o); ns = p.(o + 1); ks = p.(o + 2); ml = p.(o + 3);
+    nl = p.(o + 4); u = p.(o + 5); kl = p.(o + 6); kg = p.(o + 7);
+    vec = p.(o + 8); db = p.(o + 9) }
+
+let legal_configs_fast device (i : GP.input) =
+  let e = legal_configs_fast_packed device i in
+  (Array.init e.count (packed_config e), e.visited)
+
+(* Reference enumeration: one unpruned pass over the whole space, with
+   legality decided by building the full cost record — the original
+   semantics, retained as the [`Scalar] engine and as the differential
+   baseline for the pruned path. *)
+let legal_configs_reference ~structurally_legal ~cost device =
+  let buf = ref [||] and n = ref 0 and visited = ref 0 in
   Config_space.iter Config_space.gemm (fun arr ->
+      incr visited;
       let cfg = GP.config_of_array arr in
-      if structurally_legal cfg && Gpu.Executor.legal device (cost cfg) then begin
-        if !n = Array.length !buf then begin
-          let bigger = Array.make (max 1024 (2 * !n)) cfg in
-          Array.blit !buf 0 bigger 0 !n;
-          buf := bigger
-        end;
-        !buf.(!n) <- cfg;
-        incr n
-      end);
-  let a = !buf and m = !n in
-  Array.init m (fun i -> a.(m - 1 - i))
+      if structurally_legal cfg && Gpu.Executor.legal device (cost cfg) then
+        grow_push buf n cfg);
+  (rev_of !buf !n, !visited)
 
 let legal_gemm_config_array device (i : GP.input) =
-  legal_configs device
-    ~structurally_legal:(fun c -> GP.structurally_legal i c)
-    ~cost:(fun c -> GP.cost i c)
+  fst (legal_configs_fast device i)
 
+(* CONV legality is GEMM legality of the implicit-GEMM view:
+   [CP.structurally_legal] delegates to it, and [CP.cost] keeps the base
+   record's per-block resource fields untouched. *)
 let legal_conv_config_array device (i : CP.input) =
-  legal_configs device
-    ~structurally_legal:(fun c -> CP.structurally_legal i c)
-    ~cost:(fun c -> CP.cost i c)
+  fst (legal_configs_fast device (CP.gemm_input i))
+
+let legal_gemm_config_array_ref device (i : GP.input) =
+  fst
+    (legal_configs_reference device
+       ~structurally_legal:(fun c -> GP.structurally_legal i c)
+       ~cost:(fun c -> GP.cost i c))
+
+let legal_conv_config_array_ref device (i : CP.input) =
+  fst
+    (legal_configs_reference device
+       ~structurally_legal:(fun c -> CP.structurally_legal i c)
+       ~cost:(fun c -> CP.cost i c))
 
 let legal_gemm_configs device i = Array.to_list (legal_gemm_config_array device i)
 let legal_conv_configs device i = Array.to_list (legal_conv_config_array device i)
@@ -59,108 +268,196 @@ let subsample cap items =
     Array.init ((n + stride - 1) / stride) (fun i -> items.(i * stride))
   end
 
-let exhaustive ~legal_configs ~features_of ~cost ?(top_k = 100) ?cap ?noise
-    ?domains rng device ~profile =
+(* Same selection over the packed representation — materializes records
+   only for the configurations that will be scored. *)
+let subsample_packed cap e =
+  if e.count <= cap then Array.init e.count (packed_config e)
+  else begin
+    let stride = (e.count + cap - 1) / cap in
+    Array.init
+      ((e.count + stride - 1) / stride)
+      (fun i -> packed_config e (i * stride))
+  end
+
+(* Batched scoring: fill one shared feature matrix through the per-query
+   featurization cache, standardize + forward it as matrix-matrix work,
+   fanning row ranges across domains. Rows are independent, so the
+   result is identical for any domain count. *)
+let score_batched ~domains ~query profile cfgs =
+  let n = Array.length cfgs in
+  let x, t_feat =
+    Obs.Span.timed (fun () ->
+        let x = Mlp.Matrix.create n Features.dim in
+        Util.Parallel.iter_ranges ~domains ~total:n (fun ~offset ~size ->
+            for row = offset to offset + size - 1 do
+              Features.fill_query query (GP.config_to_array cfgs.(row)) x ~row
+            done);
+        x)
+  in
+  let pred, t_inf =
+    Obs.Span.timed (fun () ->
+        if domains <= 1 then Profile.predict_std_matrix profile x
+        else begin
+          let out = Array.make n 0.0 in
+          let chunks =
+            Util.Parallel.run_chunks_offsets ~domains ~total:n
+              (fun ~chunk:_ ~offset ~size ->
+                let sub = Mlp.Matrix.sub_rows x ~off:offset ~len:size in
+                (offset, Profile.predict_std_matrix profile sub))
+          in
+          List.iter
+            (fun (off, p) -> Array.blit p 0 out off (Array.length p))
+            chunks;
+          out
+        end)
+  in
+  (pred, t_feat, t_inf)
+
+(* Scalar scoring: re-featurize every candidate from scratch and run the
+   network one row at a time — the historical per-candidate path, kept
+   as the differential reference the batched engine must match
+   bit-for-bit. *)
+let score_scalar ~domains ~features_of profile cfgs =
+  let feats, t_feat = Obs.Span.timed (fun () -> Array.map features_of cfgs) in
+  let pred, t_inf =
+    Obs.Span.timed (fun () ->
+        if domains <= 1 then Array.map (Profile.predict_std_one profile) feats
+        else
+          Util.Parallel.map_array ~domains (Profile.predict_std_one profile)
+            feats)
+  in
+  (pred, t_feat, t_inf)
+
+let exhaustive ~legal_fast ~legal_ref ~query ~features_of ~cost ?(top_k = 100)
+    ?cap ?noise ?domains ?(engine = `Batched) rng device ~profile =
   let cap = match cap with Some c -> c | None -> default_cap () in
   let domains =
     match domains with
     | Some d -> d
     | None -> Util.Parallel.recommended_domains ()
   in
-  let all =
-    Obs.Span.with_ "search.enumerate" (fun () -> legal_configs device)
+  let enum, t_enum =
+    Obs.Span.with_ "search.enumerate" (fun () ->
+        Obs.Span.timed (fun () ->
+            match engine with
+            | `Batched -> `Packed (legal_fast device)
+            | `Scalar ->
+              let all, visited = legal_ref device in
+              `Materialized (all, visited)))
   in
-  let n_legal = Array.length all in
+  let n_legal, n_visited =
+    match enum with
+    | `Packed e -> (e.count, e.visited)
+    | `Materialized (all, visited) -> (Array.length all, visited)
+  in
   if n_legal = 0 then None
   else begin
-    let scored_cfgs = subsample cap all in
+    let scored_cfgs =
+      match enum with
+      | `Packed e -> subsample_packed cap e
+      | `Materialized (all, _) -> subsample cap all
+    in
     let n = Array.length scored_cfgs in
-    let pred =
+    let pred, t_feat, t_inf =
       Obs.Span.with_ "search.score"
         ~meta:(fun () ->
           [ ("n_legal", Obs.Json.Int n_legal);
             ("n_scored", Obs.Json.Int n);
-            ("domains", Obs.Json.Int domains) ])
+            ("domains", Obs.Json.Int domains);
+            ( "engine",
+              Obs.Json.String
+                (match engine with `Batched -> "batched" | `Scalar -> "scalar")
+            ) ])
         (fun () ->
-          let dim = Features.dim in
-          let x = Mlp.Tensor.create n dim in
-          Array.iteri
-            (fun row cfg ->
-              let f = features_of cfg in
-              Array.blit f 0 x.Mlp.Tensor.data (row * dim) dim)
-            scored_cfgs;
-          (* Model scoring is the latency of §6's runtime inference; fan
-             the batch out over domains when asked. *)
-          if domains <= 1 then Profile.predict_std_batch profile x
-          else begin
-            let out = Array.make n 0.0 in
-            let base = n / domains and extra = n mod domains in
-            let offset chunk = (chunk * base) + min chunk extra in
-            let chunks =
-              Util.Parallel.run_chunks ~domains ~total:n (fun ~chunk ~size ->
-                  let off = offset chunk in
-                  let sub = Mlp.Tensor.create size dim in
-                  Array.blit x.Mlp.Tensor.data (off * dim) sub.Mlp.Tensor.data 0
-                    (size * dim);
-                  (off, Profile.predict_std_batch profile sub))
-            in
-            List.iter (fun (off, p) -> Array.blit p 0 out off (Array.length p)) chunks;
-            out
-          end)
+          match engine with
+          | `Batched -> score_batched ~domains ~query profile scored_cfgs
+          | `Scalar -> score_scalar ~domains ~features_of profile scored_cfgs)
     in
-    let order = Array.init n (fun i -> i) in
-    Array.sort (fun a b -> compare pred.(b) pred.(a)) order;
-    let k = min top_k n in
-    let candidates =
-      Array.init k (fun rank ->
-          let idx = order.(rank) in
-          { config = scored_cfgs.(idx);
-            predicted_tflops = Features.untarget profile.Profile.scaler pred.(idx) })
+    let candidates, t_argmax =
+      Obs.Span.timed (fun () ->
+          let order = Array.init n (fun i -> i) in
+          (* Float.compare, not polymorphic compare: the latter is an
+             out-of-line C call per comparison, ~3x the whole sort. *)
+          Array.sort (fun a b -> Float.compare pred.(b) pred.(a)) order;
+          let k = min top_k n in
+          Array.init k (fun rank ->
+              let idx = order.(rank) in
+              { config = scored_cfgs.(idx);
+                predicted_tflops =
+                  Features.untarget profile.Profile.scaler pred.(idx) }))
     in
     (* Re-benchmark the short-list on the device and keep the fastest. *)
-    let best =
+    let best, t_rebench =
       Obs.Span.with_ "search.rebench"
-        ~meta:(fun () -> [ ("top_k", Obs.Json.Int k) ])
+        ~meta:(fun () -> [ ("top_k", Obs.Json.Int (Array.length candidates)) ])
         (fun () ->
-          let best = ref None in
-          Array.iter
-            (fun cand ->
-              match
-                Gpu.Executor.measure_best_of ?noise rng device (cost cand.config)
-              with
-              | None -> ()
-              | Some m ->
-                if Obs.Trace.enabled () then
-                  Obs.Trace.emit "config"
-                    [ ("phase", Obs.Json.String "rebench");
-                      ("config", Obs.Json.String (GP.describe cand.config));
-                      ("predicted_tflops", Obs.Json.Float cand.predicted_tflops);
-                      ("tflops", Obs.Json.Float m.tflops);
-                      ("seconds", Obs.Json.Float m.seconds) ];
-                (match !best with
-                 | Some (_, bm) when bm.Gpu.Executor.seconds <= m.seconds -> ()
-                 | _ -> best := Some (cand.config, m)))
-            candidates;
-          !best)
+          Obs.Span.timed (fun () ->
+              let best = ref None in
+              Array.iter
+                (fun cand ->
+                  match
+                    Gpu.Executor.measure_best_of ?noise rng device
+                      (cost cand.config)
+                  with
+                  | None -> ()
+                  | Some m ->
+                    if Obs.Trace.enabled () then
+                      Obs.Trace.emit "config"
+                        [ ("phase", Obs.Json.String "rebench");
+                          ("config", Obs.Json.String (GP.describe cand.config));
+                          ( "predicted_tflops",
+                            Obs.Json.Float cand.predicted_tflops );
+                          ("tflops", Obs.Json.Float m.tflops);
+                          ("seconds", Obs.Json.Float m.seconds) ];
+                    (match !best with
+                     | Some (_, bm) when bm.Gpu.Executor.seconds <= m.seconds ->
+                       ()
+                     | _ -> best := Some (cand.config, m)))
+                candidates;
+              !best))
     in
     match best with
     | None -> None
     | Some (cfg, m) ->
-      Some { best = cfg; best_measurement = m; candidates; n_legal; n_scored = n }
+      Some
+        { best = cfg;
+          best_measurement = m;
+          candidates;
+          n_legal;
+          n_scored = n;
+          n_visited;
+          phases =
+            [ ("enumerate", t_enum); ("featurize", t_feat);
+              ("inference", t_inf); ("argmax", t_argmax);
+              ("rebench", t_rebench) ] }
   end
 
-let exhaustive_gemm ?top_k ?cap ?noise ?domains rng device ~profile (i : GP.input) =
-  exhaustive ?top_k ?cap ?noise ?domains rng device ~profile
-    ~legal_configs:(fun d -> legal_gemm_config_array d i)
+let exhaustive_gemm ?top_k ?cap ?noise ?domains ?engine rng device ~profile
+    (i : GP.input) =
+  let log = profile.Profile.log_features in
+  exhaustive ?top_k ?cap ?noise ?domains ?engine rng device ~profile
+    ~legal_fast:(fun d -> legal_configs_fast_packed d i)
+    ~legal_ref:(fun d ->
+      legal_configs_reference d
+        ~structurally_legal:(fun c -> GP.structurally_legal i c)
+        ~cost:(fun c -> GP.cost i c))
+    ~query:(Features.gemm_query ~log i)
     ~features_of:(fun cfg ->
-      Features.gemm_features ~log:true i (GP.config_to_array cfg))
+      Features.gemm_features ~log i (GP.config_to_array cfg))
     ~cost:(fun cfg -> GP.cost i cfg)
 
-let exhaustive_conv ?top_k ?cap ?noise ?domains rng device ~profile (i : CP.input) =
-  exhaustive ?top_k ?cap ?noise ?domains rng device ~profile
-    ~legal_configs:(fun d -> legal_conv_config_array d i)
+let exhaustive_conv ?top_k ?cap ?noise ?domains ?engine rng device ~profile
+    (i : CP.input) =
+  let log = profile.Profile.log_features in
+  exhaustive ?top_k ?cap ?noise ?domains ?engine rng device ~profile
+    ~legal_fast:(fun d -> legal_configs_fast_packed d (CP.gemm_input i))
+    ~legal_ref:(fun d ->
+      legal_configs_reference d
+        ~structurally_legal:(fun c -> CP.structurally_legal i c)
+        ~cost:(fun c -> CP.cost i c))
+    ~query:(Features.conv_query ~log i)
     ~features_of:(fun cfg ->
-      Features.conv_features ~log:true i (GP.config_to_array cfg))
+      Features.conv_features ~log i (GP.config_to_array cfg))
     ~cost:(fun cfg -> CP.cost i cfg)
 
 let oracle ~legal_configs ~cost device =

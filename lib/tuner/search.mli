@@ -7,11 +7,36 @@
     candidates on the device "to smooth out the inherent noise of our
     predictive model".
 
-    Under [ISAAC_TRACE] the three stages report as [search.enumerate],
+    Two scoring engines implement the same pipeline (see DESIGN.md,
+    "Planning hot path"):
+
+    - [`Batched] (the default): bound-pruned lattice enumeration whose
+      surviving leaves are exactly the legal set (the deepest pruning
+      levels check every legality conjunct), per-query featurization caching
+      ({!Features.query}), and one matrix-matrix network evaluation per
+      layer over the whole candidate batch ({!Mlp.Network.forward_batch}),
+      fanned across domains.
+    - [`Scalar]: the historical reference — unpruned enumeration with
+      full cost-record legality, per-candidate featurization and one
+      network evaluation per candidate.
+
+    Float contract: the two engines compute bit-identical predictions
+    (same enumeration order, same feature values, same accumulation
+    order in the network), so they sort candidates identically, consume
+    the rebench [rng] identically, and return the {e same chosen config}
+    — asserted by differential tests and by the deterministic
+    [plan_argmax_equal] bench check in CI.
+
+    Under [ISAAC_TRACE] the stages report as [search.enumerate],
     [search.score] and [search.rebench] spans, and every re-benchmarked
     candidate emits a [config] event carrying both its predicted and
     measured TFLOPS — the data for studying model miscalibration on the
     short-list. *)
+
+type engine = [ `Batched | `Scalar ]
+(** Which scoring engine {!exhaustive_gemm}/{!exhaustive_conv} run.
+    Both return identical results; [`Scalar] exists as the differential
+    reference and for planning-latency comparisons. *)
 
 type candidate = {
   config : Codegen.Gemm_params.config;
@@ -24,19 +49,43 @@ type result = {
   candidates : candidate array;   (** top-k by model prediction, ranked *)
   n_legal : int;                  (** size of the legal space searched *)
   n_scored : int;                 (** configurations scored by the model *)
+  n_visited : int;                (** lattice leaves materialized by the
+                                      enumerator: the full grid for
+                                      [`Scalar], the post-pruning survivors
+                                      (= the legal set) for [`Batched] *)
+  phases : (string * float) list;
+  (** wall-clock seconds per pipeline phase, in order: [enumerate]
+      (legal-space construction), [featurize] (feature-matrix fill),
+      [inference] (network forward), [argmax] (sort + top-k) and
+      [rebench] (on-device short-list timing). Surfaced by
+      [isaac_query --timing]. *)
 }
 
 val legal_gemm_config_array :
   Gpu.Device.t -> Codegen.Gemm_params.input -> Codegen.Gemm_params.config array
 (** All fully legal configurations for this input, enumerated in a single
-    pass over the space (reverse grid order, matching what the historical
-    list API produced). This is what {!exhaustive_gemm} and {!oracle_gemm}
-    consume internally. *)
+    bound-pruned pass over the space (reverse grid order, matching what
+    the historical list API produced; identical to
+    {!legal_gemm_config_array_ref} element-for-element). This is what
+    {!exhaustive_gemm}'s [`Batched] engine and {!oracle_gemm} consume
+    internally. *)
 
 val legal_conv_config_array :
   Gpu.Device.t -> Codegen.Conv_params.input -> Codegen.Gemm_params.config array
-(** CONV analogue of {!legal_gemm_config_array} (CONV reuses the GEMM
-    configuration record via the implicit-GEMM formulation). *)
+(** CONV analogue of {!legal_gemm_config_array}: CONV legality is GEMM
+    legality of the implicit-GEMM view ([Conv_params.gemm_input]), so the
+    same pruned enumerator runs on that view. *)
+
+val legal_gemm_config_array_ref :
+  Gpu.Device.t -> Codegen.Gemm_params.input -> Codegen.Gemm_params.config array
+(** Reference enumeration — one unpruned pass over the whole grid with
+    legality decided by building each candidate's full cost record. The
+    [`Scalar] engine uses this; the differential tests assert it equals
+    {!legal_gemm_config_array} exactly. *)
+
+val legal_conv_config_array_ref :
+  Gpu.Device.t -> Codegen.Conv_params.input -> Codegen.Gemm_params.config array
+(** CONV analogue of {!legal_gemm_config_array_ref}. *)
 
 val legal_gemm_configs :
   Gpu.Device.t -> Codegen.Gemm_params.input -> Codegen.Gemm_params.config list
@@ -52,6 +101,7 @@ val exhaustive_gemm :
   ?cap:int ->
   ?noise:float ->
   ?domains:int ->
+  ?engine:engine ->
   Util.Rng.t ->
   Gpu.Device.t ->
   profile:Profile.t ->
@@ -63,15 +113,19 @@ val exhaustive_gemm :
     scored instead, trading the global-optimum guarantee for latency
     exactly like shrinking the paper's "specified search range".
     [None] when no configuration is legal (never happens for the spaces
-    shipped here). [domains > 1] spreads model scoring over OCaml 5
-    domains; it defaults to [Util.Parallel.recommended_domains ()], so
-    ISAAC_DOMAINS governs it. Results are identical for any value. *)
+    shipped here). [domains > 1] spreads featurization and model scoring
+    over OCaml 5 domains; it defaults to
+    [Util.Parallel.recommended_domains ()], so ISAAC_DOMAINS governs it.
+    [engine] defaults to [`Batched]. Results are identical for any
+    [domains] and either [engine] (given equal [rng] state). Features
+    follow the profile's [log_features] flag. *)
 
 val exhaustive_conv :
   ?top_k:int ->
   ?cap:int ->
   ?noise:float ->
   ?domains:int ->
+  ?engine:engine ->
   Util.Rng.t ->
   Gpu.Device.t ->
   profile:Profile.t ->

@@ -43,6 +43,13 @@ let run_chunks_offsets ~domains ~total f =
     List.map (function Ok v -> v | Error e -> raise e) results
   end
 
+let iter_ranges ~domains ~total f =
+  let (_ : unit list) =
+    run_chunks_offsets ~domains ~total (fun ~chunk:_ ~offset ~size ->
+        f ~offset ~size)
+  in
+  ()
+
 let map_array ~domains f arr =
   let total = Array.length arr in
   if domains <= 1 || total < 2 * domains then Array.map f arr

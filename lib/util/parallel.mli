@@ -32,3 +32,11 @@ val run_chunks_offsets :
     order) — no worker outlives the call, even on failure. Used by the
     interpreter's grid fan-out, where a trap in one chunk must not leave
     other domains racing on the output buffers. *)
+
+val iter_ranges :
+  domains:int -> total:int -> (offset:int -> size:int -> unit) -> unit
+(** [iter_ranges ~domains ~total f] runs [f] over contiguous
+    [offset, size) ranges covering [0, total), one domain per range, and
+    joins them all (exceptions propagate as in {!run_chunks_offsets}).
+    For side-effecting workers that write disjoint slices of a shared
+    buffer — the batched planner fills its feature matrix this way. *)

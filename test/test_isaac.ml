@@ -34,6 +34,27 @@ let test_plan_gemm () =
     Alcotest.(check bool) "positive speed" true (plan.measurement.tflops > 0.0);
     Alcotest.(check bool) "explored space" true (plan.n_legal > 1000)
 
+(* The [`Scalar] reference engine must plan the identical config, and
+   the default batched plan must carry the phase breakdown
+   [isaac_query --timing] prints. *)
+let test_plan_engines_and_phases () =
+  let engine = Lazy.force gemm_engine in
+  let profile = Isaac.profile engine in
+  let fresh () = Isaac.of_profile Gpu.Device.gtx980ti profile in
+  let input = GP.input 640 128 640 in
+  let batched = Option.get (Isaac.plan_gemm (fresh ()) input) in
+  let scalar = Option.get (Isaac.plan_gemm ~engine:`Scalar (fresh ()) input) in
+  Alcotest.(check bool) "identical config" true
+    (GP.equal_config batched.config scalar.config);
+  Alcotest.(check (float 0.0)) "identical measurement"
+    scalar.measurement.tflops batched.measurement.tflops;
+  Alcotest.(check (list string)) "phase names"
+    [ "enumerate"; "featurize"; "inference"; "argmax"; "rebench" ]
+    (List.map fst batched.phases);
+  List.iter
+    (fun (_, t) -> Alcotest.(check bool) "non-negative phase time" true (t >= 0.0))
+    batched.phases
+
 let test_plan_cache () =
   let engine = Lazy.force gemm_engine in
   let input = GP.input 384 384 384 in
@@ -300,6 +321,7 @@ let () =
   Alcotest.run "isaac"
     [ ("planning",
        [ slow "plan gemm" test_plan_gemm;
+         slow "engines + phases" test_plan_engines_and_phases;
          slow "plan cache" test_plan_cache;
          slow "input awareness" test_input_awareness ]);
       ("execution",

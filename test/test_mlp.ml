@@ -136,6 +136,67 @@ let test_save_load_roundtrip () =
       Alcotest.(check (array (float 1e-12))) "same predictions"
         (Mlp.Network.predict net x) (Mlp.Network.predict net2 x))
 
+(* --- batched forward (Matrix path) --------------------------------------- *)
+
+let test_matrix_roundtrip () =
+  let a = Array.init 12 float_of_int in
+  let m = Mlp.Matrix.of_array ~rows:4 ~cols:3 a in
+  Alcotest.(check (array (float 0.0))) "roundtrip" a (Mlp.Matrix.to_array m);
+  Alcotest.(check (float 0.0)) "get" 7.0 (Mlp.Matrix.get m 2 1)
+
+let test_matrix_sub_rows_shares_storage () =
+  let m = Mlp.Matrix.of_array ~rows:4 ~cols:3 (Array.init 12 float_of_int) in
+  let v = Mlp.Matrix.sub_rows m ~off:1 ~len:2 in
+  Alcotest.(check int) "view rows" 2 v.Mlp.Matrix.rows;
+  Alcotest.(check (float 0.0)) "view offset" 3.0 (Mlp.Matrix.get v 0 0);
+  Mlp.Matrix.set v 1 2 99.0;
+  Alcotest.(check (float 0.0)) "write visible in parent" 99.0 (Mlp.Matrix.get m 2 2)
+
+(* The float contract of the planning hot path: the batched Bigarray
+   forward must be bit-equal to the Tensor pipeline — exact zero
+   tolerance — for any batch size, including 1 and ragged tails of the
+   4-row blocking. *)
+let test_forward_batch_matches_predict () =
+  List.iter
+    (fun sizes ->
+      let net = Mlp.Network.create rng ~sizes in
+      List.iter
+        (fun batch ->
+          let x = random_mat batch sizes.(0) in
+          let want = Mlp.Network.predict net x in
+          let got = Mlp.Network.predict_matrix net (Mlp.Matrix.of_tensor x) in
+          Alcotest.(check (array (float 0.0)))
+            (Printf.sprintf "bit-equal at batch=%d" batch)
+            want got)
+        [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 14; 16; 17; 33 ])
+    [ [| 16; 32; 1 |]; [| 16; 32; 64; 32; 1 |]; [| 3; 5; 1 |] ]
+
+let test_forward_batch_rows_match_scalar () =
+  let net = Mlp.Network.create rng ~sizes:[| 16; 32; 64; 32; 1 |] in
+  let x = random_mat 37 16 in
+  let batch = Mlp.Network.predict_matrix net (Mlp.Matrix.of_tensor x) in
+  Array.iteri
+    (fun r p ->
+      let row = Array.init 16 (fun j -> Mlp.Tensor.get x r j) in
+      Alcotest.(check (float 0.0)) "row = scalar path"
+        (Mlp.Network.predict_one net row) p)
+    batch
+
+let prop_forward_batch_bit_equal =
+  QCheck.Test.make ~name:"forward_batch bit-equals predict" ~count:30
+    QCheck.(triple (int_range 1 24) (int_range 1 40) (int_range 0 1000))
+    (fun (inputs, batch, seed) ->
+      let r = Util.Rng.create (1 + seed) in
+      let hidden = Array.init (1 + (seed mod 3)) (fun i -> 8 + (i * 4)) in
+      let sizes = Array.concat [ [| inputs |]; hidden; [| 1 |] ] in
+      let net = Mlp.Network.create r ~sizes in
+      let x = Mlp.Tensor.create batch inputs in
+      Array.iteri
+        (fun i _ -> x.Mlp.Tensor.data.(i) <- Util.Rng.gaussian r)
+        x.Mlp.Tensor.data;
+      Mlp.Network.predict net x
+      = Mlp.Network.predict_matrix net (Mlp.Matrix.of_tensor x))
+
 let test_split () =
   let x = random_mat 100 3 in
   let y = Array.init 100 float_of_int in
@@ -177,4 +238,10 @@ let () =
          quick "history shape" test_history_shape;
          quick "save/load" test_save_load_roundtrip;
          QCheck_alcotest.to_alcotest prop_copy_independent ]);
+      ("matrix",
+       [ quick "roundtrip" test_matrix_roundtrip;
+         quick "sub_rows view" test_matrix_sub_rows_shares_storage;
+         quick "forward_batch = predict" test_forward_batch_matches_predict;
+         quick "rows match scalar path" test_forward_batch_rows_match_scalar;
+         QCheck_alcotest.to_alcotest prop_forward_batch_bit_equal ]);
       ("train", [ quick "split" test_split ]) ]

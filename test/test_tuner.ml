@@ -7,6 +7,7 @@ let () = Unix.putenv "ISAAC_SEARCH_CAP" "4000"  (* keep searches fast in tests *
 
 let rng () = Util.Rng.create 2718
 module GP = Codegen.Gemm_params
+module CP = Codegen.Conv_params
 
 (* --- config space -------------------------------------------------------- *)
 
@@ -45,6 +46,37 @@ let test_random_in_grid () =
         Alcotest.(check bool) "value from grid" true (Array.exists (( = ) v) p.values))
       cfg
   done
+
+(* [iter_pruned] must visit exactly the leaves no prefix of which was
+   pruned, in [iter] order — for any prune predicate, sound or not. *)
+let prop_iter_pruned_equals_filtered =
+  QCheck.Test.make ~name:"iter_pruned = iter + prefix filter" ~count:50
+    QCheck.small_int (fun seed ->
+      let space : Tuner.Config_space.t =
+        [| { name = "a"; values = [| 1; 2; 3 |] };
+           { name = "b"; values = [| 1; 2 |] };
+           { name = "c"; values = [| 1; 2; 3; 4 |] };
+           { name = "d"; values = [| 1; 2; 3 |] } |]
+      in
+      (* Deterministic pseudo-random predicate of (prefix values, depth). *)
+      let prune buf d =
+        let h = ref (seed + 17) in
+        for i = 0 to d do
+          h := (!h * 31) + buf.(i)
+        done;
+        !h mod 4 = 0
+      in
+      let pruned = ref [] in
+      Tuner.Config_space.iter_pruned space ~prune (fun b ->
+          pruned := Array.copy b :: !pruned);
+      let filtered = ref [] in
+      Tuner.Config_space.iter space (fun b ->
+          let dead = ref false in
+          for d = 0 to Array.length b - 1 do
+            dead := !dead || prune b d
+          done;
+          if not !dead then filtered := Array.copy b :: !filtered);
+      !pruned = !filtered)
 
 (* --- sampler -------------------------------------------------------------- *)
 
@@ -108,6 +140,37 @@ let test_gemm_features () =
   Alcotest.(check (float 1e-9)) "log2 tuning value" 3.0 f.(6);
   let raw = Tuner.Features.gemm_features ~log:false i cfg in
   Alcotest.(check (float 1e-9)) "raw m" 64.0 raw.(0)
+
+(* Per-query featurization cache: cached rows must be bit-identical to
+   the uncached featurizers, in both log and raw modes. *)
+let test_query_features_match_uncached () =
+  let r = rng () in
+  let gemm_inputs =
+    [ GP.input 512 512 512;
+      GP.input ~a_trans:true ~dtype:Ptx.Types.F16 2560 16 2560;
+      GP.input ~b_trans:true ~dtype:Ptx.Types.F64 7 9 60000 ]
+  in
+  List.iter
+    (fun log ->
+      List.iter
+        (fun i ->
+          let q = Tuner.Features.gemm_query ~log i in
+          for _ = 1 to 50 do
+            let cfg = Tuner.Config_space.random r Tuner.Config_space.gemm in
+            Alcotest.(check (array (float 0.0))) "gemm bit-equal"
+              (Tuner.Features.gemm_features ~log i cfg)
+              (Tuner.Features.query_features q cfg)
+          done)
+        gemm_inputs;
+      let ci = CP.input ~n:2 ~c:16 ~k:32 ~p:8 ~q:8 ~r:3 ~s:3 () in
+      let q = Tuner.Features.conv_query ~log ci in
+      for _ = 1 to 50 do
+        let cfg = Tuner.Config_space.random r Tuner.Config_space.gemm in
+        Alcotest.(check (array (float 0.0))) "conv bit-equal"
+          (Tuner.Features.conv_features ~log ci cfg)
+          (Tuner.Features.query_features q cfg)
+      done)
+    [ true; false ]
 
 let test_target_scaler_roundtrip () =
   let s = Tuner.Features.fit_target_scaler [| 0.5; 1.0; 2.0; 4.0 |] in
@@ -269,19 +332,171 @@ let test_subsample_cap () =
   in
   Alcotest.(check bool) "scored at most ~cap" true (result.n_scored <= 600)
 
+(* --- pruned enumeration vs reference ------------------------------------- *)
+
+let check_config_arrays name (want : GP.config array) (got : GP.config array) =
+  Alcotest.(check int) (name ^ ": same count") (Array.length want)
+    (Array.length got);
+  Array.iteri
+    (fun i c ->
+      if not (GP.equal_config want.(i) c) then
+        Alcotest.failf "%s: config %d differs: %s vs %s" name i
+          (GP.describe want.(i)) (GP.describe c))
+    got
+
+(* Soundness + completeness of the bound-pruned enumerator: the legal
+   arrays must equal the unpruned full-cost reference element for
+   element (same set, same order). Equal legal sets imply the pruned
+   search can never change the argmax. Shapes cover ragged sizes, deep-K
+   (exercises the kg bound), every dtype (the register lower bound), and
+   randomly drawn inputs. *)
+let test_pruned_legal_sets_match_reference () =
+  let r = Util.Rng.create 4242 in
+  let random_input () =
+    GP.input
+      ~dtype:(Util.Rng.choice r [| Ptx.Types.F16; Ptx.Types.F32; Ptx.Types.F64 |])
+      ~a_trans:(Util.Rng.bool r) ~b_trans:(Util.Rng.bool r)
+      (1 + Util.Rng.int r 3000)
+      (1 + Util.Rng.int r 3000)
+      (1 + Util.Rng.int r 60000)
+  in
+  let cases =
+    [ (Gpu.Device.gtx980ti, GP.input 512 512 512);
+      (Gpu.Device.gtx980ti, GP.input ~a_trans:true 2560 16 2560);
+      (Gpu.Device.gtx980ti, GP.input ~dtype:Ptx.Types.F16 ~b_trans:true 64 64 8);
+      (Gpu.Device.p100, GP.input ~dtype:Ptx.Types.F64 256 256 256);
+      (Gpu.Device.p100, GP.input 7 9 13);
+      (Gpu.Device.gtx980ti, random_input ());
+      (Gpu.Device.p100, random_input ()) ]
+  in
+  List.iter
+    (fun (device, input) ->
+      check_config_arrays
+        (Printf.sprintf "gemm %dx%dx%d" input.GP.m input.GP.n input.GP.k)
+        (Tuner.Search.legal_gemm_config_array_ref device input)
+        (Tuner.Search.legal_gemm_config_array device input))
+    cases
+
+let test_pruned_conv_legal_matches_reference () =
+  let device = Gpu.Device.gtx980ti in
+  List.iter
+    (fun input ->
+      check_config_arrays "conv"
+        (Tuner.Search.legal_conv_config_array_ref device input)
+        (Tuner.Search.legal_conv_config_array device input))
+    [ CP.input ~n:2 ~c:16 ~k:32 ~p:8 ~q:8 ~r:3 ~s:3 ();
+      CP.input ~n:1 ~c:3 ~k:64 ~p:112 ~q:112 ~r:7 ~s:7 ~stride:2 ~pad:3
+        ~dtype:Ptx.Types.F16 () ]
+
+(* The two scoring engines must pick bit-identical plans: same legal set,
+   same predictions, same sort, same rebench rng consumption. Batched
+   runs with 3 domains to also cross engine equality with
+   domain-invariance. *)
+let test_engines_choose_identical_plans () =
+  let r = rng () in
+  let device = Gpu.Device.gtx980ti in
+  let profile = tiny_profile r device in
+  List.iter
+    (fun input ->
+      let run engine domains =
+        let r = Util.Rng.create 77 in
+        Option.get
+          (Tuner.Search.exhaustive_gemm ~top_k:10 ~cap:5000 ~domains ~engine r
+             device ~profile input)
+      in
+      let b = run `Batched 3 and s = run `Scalar 1 in
+      Alcotest.(check bool) "same best config" true (GP.equal_config b.best s.best);
+      Alcotest.(check int) "same n_legal" s.n_legal b.n_legal;
+      Alcotest.(check int) "same n_scored" s.n_scored b.n_scored;
+      Alcotest.(check (float 0.0)) "bit-equal measurement"
+        s.best_measurement.tflops b.best_measurement.tflops;
+      Alcotest.(check int) "same top-k" (Array.length s.candidates)
+        (Array.length b.candidates);
+      Array.iteri
+        (fun i (c : Tuner.Search.candidate) ->
+          Alcotest.(check bool) "same candidate" true
+            (GP.equal_config c.config s.candidates.(i).config);
+          Alcotest.(check (float 0.0)) "bit-equal prediction"
+            s.candidates.(i).predicted_tflops c.predicted_tflops)
+        b.candidates;
+      Alcotest.(check bool) "pruning visits fewer leaves" true
+        (b.n_visited < s.n_visited);
+      Alcotest.(check (list string)) "phase names"
+        [ "enumerate"; "featurize"; "inference"; "argmax"; "rebench" ]
+        (List.map fst b.phases))
+    [ GP.input 512 512 512; GP.input ~b_trans:true 2560 16 2560 ]
+
+let test_engines_choose_identical_conv_plans () =
+  let r = rng () in
+  let device = Gpu.Device.gtx980ti in
+  let ds = Tuner.Dataset.generate_conv r device ~n:800 in
+  let profile = Tuner.Profile.train ~arch:[| 32; 32 |] ~epochs:10 r ds in
+  let input = CP.input ~n:2 ~c:16 ~k:32 ~p:8 ~q:8 ~r:3 ~s:3 () in
+  let run engine =
+    let r = Util.Rng.create 78 in
+    Option.get
+      (Tuner.Search.exhaustive_conv ~top_k:10 ~cap:5000 ~engine r device
+         ~profile input)
+  in
+  let b = run `Batched and s = run `Scalar in
+  Alcotest.(check bool) "same best config" true (GP.equal_config b.best s.best);
+  Alcotest.(check (float 0.0)) "bit-equal measurement" s.best_measurement.tflops
+    b.best_measurement.tflops
+
+(* Pruning can never change the argmax: over randomly drawn lattices
+   (shape, dtype, layout, device), the bound-pruned batched search and
+   the full-grid scalar reference must pick the identical plan — same
+   best config and a bit-equal re-benchmarked measurement. Each case is
+   expensive (the reference walks all 806k grid leaves), so the count
+   stays small; the legal-set differential above covers many more
+   lattices per second and implies this property. *)
+let prop_pruning_never_changes_argmax =
+  let profile =
+    lazy (tiny_profile (Util.Rng.create 31415) Gpu.Device.gtx980ti)
+  in
+  QCheck.Test.make ~name:"pruned argmax = reference argmax" ~count:5
+    QCheck.small_int (fun seed ->
+      let r = Util.Rng.create (seed + 9001) in
+      let input =
+        GP.input
+          ~dtype:
+            (Util.Rng.choice r [| Ptx.Types.F16; Ptx.Types.F32; Ptx.Types.F64 |])
+          ~a_trans:(Util.Rng.bool r) ~b_trans:(Util.Rng.bool r)
+          (1 + Util.Rng.int r 4000)
+          (1 + Util.Rng.int r 512)
+          (1 + Util.Rng.int r 8000)
+      in
+      let device =
+        if Util.Rng.bool r then Gpu.Device.gtx980ti else Gpu.Device.p100
+      in
+      let run engine =
+        (* Fresh rng per engine: identical rebench draws. *)
+        Tuner.Search.exhaustive_gemm ~top_k:5 ~cap:2000 ~domains:1 ~engine
+          (Util.Rng.create 55) device ~profile:(Lazy.force profile) input
+      in
+      match (run `Batched, run `Scalar) with
+      | None, None -> true
+      | Some b, Some s ->
+        GP.equal_config b.best s.best
+        && b.n_legal = s.n_legal
+        && b.best_measurement.tflops = s.best_measurement.tflops
+      | _ -> false)
+
 let () =
   Alcotest.run "tuner"
     [ ("config space",
        [ quick "size" test_space_size;
          quick "iter count" test_space_iter_count;
          quick "value index" test_value_index;
-         quick "random in grid" test_random_in_grid ]);
+         quick "random in grid" test_random_in_grid;
+         QCheck_alcotest.to_alcotest prop_iter_pruned_equals_filtered ]);
       ("sampler",
        [ quick "learns marginals" test_sampler_learns_marginals;
          quick "dirichlet prior" test_sampler_dirichlet_prior_no_zero;
          quick "sample_legal" test_sample_legal ]);
       ("features",
        [ quick "gemm features" test_gemm_features;
+         quick "query cache bit-equal" test_query_features_match_uncached;
          quick "target scaler" test_target_scaler_roundtrip ]);
       ("dataset",
        [ quick "gemm generation" test_dataset_generation;
@@ -294,4 +509,14 @@ let () =
          Alcotest.test_case "search returns legal" `Slow test_search_returns_legal;
          Alcotest.test_case "search beats median" `Slow test_search_beats_median_kernel;
          Alcotest.test_case "oracle upper bound" `Slow test_oracle_is_upper_bound;
-         Alcotest.test_case "cap subsampling" `Slow test_subsample_cap ]) ]
+         Alcotest.test_case "cap subsampling" `Slow test_subsample_cap ]);
+      ("pruned enumeration",
+       [ Alcotest.test_case "gemm legal sets match reference" `Slow
+           test_pruned_legal_sets_match_reference;
+         Alcotest.test_case "conv legal sets match reference" `Slow
+           test_pruned_conv_legal_matches_reference;
+         Alcotest.test_case "engines choose identical plans" `Slow
+           test_engines_choose_identical_plans;
+         Alcotest.test_case "conv engines agree" `Slow
+           test_engines_choose_identical_conv_plans;
+         QCheck_alcotest.to_alcotest prop_pruning_never_changes_argmax ]) ]
