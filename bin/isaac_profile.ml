@@ -120,32 +120,67 @@ let print_counters events =
       ~header:[| "counter"; "value" |]
       (List.map (fun (k, v) -> [| k; string_of_int v |]) rows)
 
+(* A trace that flushed more than once (checkpointed runs) carries
+   several [hist] events per name; render one merged row per name.
+   count/sum/max merge exactly; mean is recomputed from the merged
+   sums; quantiles are count-weighted averages — approximate, but the
+   windows came from the same distribution. *)
+type hist_acc = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_max : float;
+  mutable wq : float array; (* count-weighted p50/p90/p99 sums *)
+}
+
 let print_hists events =
-  let rows =
-    List.filter_map
-      (fun ev ->
-        if str_field "ev" ev <> Some "hist" then None
-        else
-          match str_field "name" ev with
-          | None -> None
-          | Some name ->
-            let f k = match num_field k ev with
-              | Some v -> fmt_secs v
-              | None -> "-"
-            in
-            Some
-              [| name;
-                 (match int_field "count" ev with
-                  | Some c -> string_of_int c
-                  | None -> "-");
-                 f "mean"; f "p50"; f "p90"; f "p99"; f "max" |])
-      events
-  in
-  if rows <> [] then begin
+  let tbl : (string, hist_acc) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun ev ->
+      if str_field "ev" ev = Some "hist" then
+        match (str_field "name" ev, int_field "count" ev) with
+        | Some name, Some count when count > 0 ->
+          let acc =
+            match Hashtbl.find_opt tbl name with
+            | Some a -> a
+            | None ->
+              let a =
+                { h_count = 0; h_sum = 0.0; h_max = Float.neg_infinity;
+                  wq = Array.make 3 0.0 }
+              in
+              order := name :: !order;
+              Hashtbl.add tbl name a;
+              a
+          in
+          acc.h_count <- acc.h_count + count;
+          acc.h_sum <- acc.h_sum +. Option.value ~default:0.0 (num_field "sum" ev);
+          (match num_field "max" ev with
+           | Some m -> acc.h_max <- Float.max acc.h_max m
+           | None -> ());
+          List.iteri
+            (fun i k ->
+              match num_field k ev with
+              | Some v -> acc.wq.(i) <- acc.wq.(i) +. (float_of_int count *. v)
+              | None -> ())
+            [ "p50"; "p90"; "p99" ]
+        | _ -> ())
+    events;
+  if !order <> [] then begin
     print_endline "";
     Util.Table.print
       ~header:[| "histogram"; "count"; "mean"; "p50"; "p90"; "p99"; "max" |]
-      rows
+      (List.rev_map
+         (fun name ->
+           let a = Hashtbl.find tbl name in
+           let n = float_of_int a.h_count in
+           [| name;
+              string_of_int a.h_count;
+              fmt_secs (a.h_sum /. n);
+              fmt_secs (a.wq.(0) /. n);
+              fmt_secs (a.wq.(1) /. n);
+              fmt_secs (a.wq.(2) /. n);
+              (if a.h_max = Float.neg_infinity then "-" else fmt_secs a.h_max) |])
+         !order)
   end
 
 let print_series events =
@@ -223,14 +258,25 @@ let section title =
   Printf.printf "\n-- %s %s\n" title
     (String.make (max 0 (60 - String.length title)) '-')
 
+(* Lenient load: traces from killed or still-running processes end in a
+   truncated line, and a rotated trace may be empty but for its marker.
+   Report what was skipped and profile what parsed instead of erroring. *)
 let load_events path =
-  try Obs.Trace.read_file path
-  with Obs.Json.Parse_error msg ->
-    Printf.eprintf "isaac_profile: %s: not a valid JSONL trace (%s)\n" path msg;
-    exit 1
+  let events, skipped = Obs.Trace.read_file_partial path in
+  if skipped > 0 then
+    Printf.eprintf
+      "isaac_profile: %s: skipped %d unparseable line%s (truncated trace?)\n"
+      path skipped
+      (if skipped = 1 then "" else "s");
+  events
 
 let run_single path top =
   let events = load_events path in
+  if events = [] then
+    Printf.printf
+      "trace %s: no events (empty or fully truncated trace) — nothing to profile.\n"
+      path
+  else begin
   (match
      List.find_opt (fun ev -> str_field "ev" ev = Some "trace_start") events
    with
@@ -260,6 +306,7 @@ let run_single path top =
   print_series events;
   section "hottest configurations";
   print_configs ~top events
+  end
 
 (* --- cross-run comparison ------------------------------------------------ *)
 

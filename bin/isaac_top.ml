@@ -1,0 +1,165 @@
+(* isaac_top: console view of an ISAAC_TELEMETRY snapshot file.
+
+   The telemetry exporter appends one JSON snapshot per line; isaac_top
+   renders the newest one — counters, gauges, latency histograms and
+   model-drift cells — either once (--once, for CI and scripts) or live,
+   re-reading the file on an interval:
+
+     ISAAC_TELEMETRY=/tmp/t.jsonl,2 isaac_query --profile t.profile ...
+     isaac_top /tmp/t.jsonl            # live, refreshes every 2s
+     isaac_top --once /tmp/t.jsonl     # render newest snapshot and exit *)
+
+open Cmdliner
+module J = Obs.Json
+
+let fmt_secs s =
+  if Float.abs s >= 1.0 then Printf.sprintf "%.2f s" s
+  else if Float.abs s >= 1e-3 then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else Printf.sprintf "%.1f us" (s *. 1e6)
+
+(* Histogram values are rendered as durations when the name says they
+   are seconds (the convention every built-in histogram follows). *)
+let fmt_value ~name v =
+  if Float.is_nan v then "-"
+  else if
+    String.length name >= 2 && String.sub name (String.length name - 2) 2 = "_s"
+  then fmt_secs v
+  else Printf.sprintf "%.4g" v
+
+let obj_fields = function J.Obj fields -> fields | _ -> []
+
+let num_field k ev = Option.bind (J.member k ev) J.to_float
+let int_field k ev = Option.bind (J.member k ev) J.to_int
+
+let section title =
+  Printf.printf "\n-- %s %s\n" title
+    (String.make (max 0 (60 - String.length title)) '-')
+
+let render snap =
+  (match (int_field "seq" snap, num_field "unix_time" snap) with
+   | Some seq, Some t ->
+     let age = Unix.gettimeofday () -. t in
+     let tm = Unix.localtime t in
+     Printf.printf
+       "isaac telemetry — snapshot #%d at %04d-%02d-%02d %02d:%02d:%02d (age %s)\n"
+       seq (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+       tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+       (fmt_secs (Float.max 0.0 age))
+   | _ -> print_endline "isaac telemetry — snapshot");
+  let counters = Option.value ~default:J.Null (J.member "counters" snap) in
+  let rows =
+    List.filter_map
+      (fun (name, v) ->
+        Option.map (fun n -> [| name; string_of_int n |]) (J.to_int v))
+      (obj_fields counters)
+  in
+  section "counters";
+  if rows = [] then print_endline "none."
+  else Util.Table.print ~header:[| "counter"; "total" |] rows;
+  let gauges = Option.value ~default:J.Null (J.member "gauges" snap) in
+  let rows =
+    List.filter_map
+      (fun (name, v) ->
+        Option.map (fun x -> [| name; fmt_value ~name x |]) (J.to_float v))
+      (obj_fields gauges)
+  in
+  section "gauges";
+  if rows = [] then print_endline "none."
+  else Util.Table.print ~header:[| "gauge"; "value" |] rows;
+  let hists = Option.value ~default:J.Null (J.member "hists" snap) in
+  let rows =
+    List.filter_map
+      (fun (name, h) ->
+        match int_field "count" h with
+        | None -> None
+        | Some count ->
+          let f k =
+            match num_field k h with
+            | Some v -> fmt_value ~name v
+            | None -> "-"
+          in
+          Some
+            [| name; string_of_int count; f "mean"; f "p50"; f "p95"; f "p99";
+               f "max" |])
+      (obj_fields hists)
+  in
+  section "histograms";
+  if rows = [] then print_endline "none."
+  else
+    Util.Table.print
+      ~header:[| "histogram"; "count"; "mean"; "p50"; "p95"; "p99"; "max" |]
+      rows;
+  let model = Option.value ~default:J.Null (J.member "model" snap) in
+  let rows =
+    List.concat_map
+      (fun (op, per_op) ->
+        List.filter_map
+          (fun (bucket, cell) ->
+            match (int_field "n" cell, num_field "mae_rel" cell) with
+            | Some n, Some mae ->
+              Some
+                [| op; bucket; string_of_int n;
+                   Printf.sprintf "%.1f%%" (100.0 *. mae) |]
+            | _ -> None)
+          (obj_fields
+             (Option.value ~default:J.Null (J.member "buckets" per_op))))
+      (obj_fields model)
+  in
+  section "model drift (predicted vs measured)";
+  if rows = [] then print_endline "no rebenched predictions yet."
+  else
+    Util.Table.print
+      ~header:[| "op"; "input bucket"; "n"; "mean abs rel error" |]
+      rows
+
+(* Newest parseable snapshot in the file; lenient about a line the
+   exporter is mid-append on. *)
+let load_newest path =
+  match Obs.Trace.read_file_partial path with
+  | exception Sys_error msg ->
+    Printf.eprintf "isaac_top: %s\n" msg;
+    None
+  | [], _ ->
+    Printf.eprintf "isaac_top: %s: no parseable snapshot\n" path;
+    None
+  | snaps, _ -> Some (List.nth snaps (List.length snaps - 1))
+
+let run path once interval =
+  if once then (
+    match load_newest path with
+    | None -> exit 1
+    | Some snap ->
+      render snap;
+      exit 0)
+  else begin
+    let rec loop () =
+      print_string "\027[2J\027[H";
+      (match load_newest path with
+       | Some snap -> render snap
+       | None -> Printf.printf "waiting for %s ...\n" path);
+      Printf.printf "\n(refreshing every %gs; Ctrl-C to quit)\n%!" interval;
+      Unix.sleepf interval;
+      loop ()
+    in
+    loop ()
+  end
+
+let cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SNAPSHOT"
+         ~doc:"JSONL snapshot file written by ISAAC_TELEMETRY=$(docv),interval.")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ]
+         ~doc:"Render the newest snapshot once and exit (exit 1 if none).")
+  in
+  let interval =
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS"
+         ~doc:"Refresh period in live mode.")
+  in
+  Cmd.v
+    (Cmd.info "isaac_top"
+       ~doc:"Live console view of ISAAC serving telemetry snapshots")
+    Term.(const run $ path $ once $ interval)
+
+let () = exit (Cmd.eval cmd)

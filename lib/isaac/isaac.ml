@@ -17,13 +17,38 @@ type t = {
      [rng], merely loading a plan cache would perturb every subsequent
      [plan_*] search, making planning results depend on load order. *)
   load_rng : Util.Rng.t;
-  gemm_cache : (GP.input, plan option) Hashtbl.t;
-  conv_cache : (CP.input, plan option) Hashtbl.t;
+  (* Cache values carry their insertion time so serving telemetry can
+     histogram the age of plans being served (stale-cache detection). *)
+  gemm_cache : (GP.input, plan option * float) Hashtbl.t;
+  conv_cache : (CP.input, plan option * float) Hashtbl.t;
 }
 
 let src = Logs.Src.create "isaac" ~doc:"ISAAC auto-tuner"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Serving telemetry handles (cumulative, distinct from the trace-scoped
+   Metrics counters used alongside them). *)
+let t_cache_hit = Obs.Telemetry.counter "plan.cache_hit"
+let t_cache_miss = Obs.Telemetry.counter "plan.cache_miss"
+let t_plan_latency = Obs.Telemetry.histo "plan.latency_s"
+let t_hit_age = Obs.Telemetry.histo "plan.cache_hit_age_s"
+
+let record_plan_hit ~t0 ~inserted_at =
+  Obs.Metrics.incr "plan.cache_hit";
+  if Obs.Telemetry.enabled () then begin
+    let now = Unix.gettimeofday () in
+    Obs.Telemetry.Counter.incr t_cache_hit;
+    Obs.Telemetry.Histo.observe t_hit_age (Float.max 0.0 (now -. inserted_at));
+    Obs.Telemetry.Histo.observe t_plan_latency (Float.max 0.0 (now -. t0))
+  end
+
+let record_plan_miss ~t0 =
+  if Obs.Telemetry.enabled () then begin
+    Obs.Telemetry.Counter.incr t_cache_miss;
+    Obs.Telemetry.Histo.observe t_plan_latency
+      (Float.max 0.0 (Unix.gettimeofday () -. t0))
+  end
 
 let of_profile device (profile : Tuner.Profile.t) =
   if profile.device <> device.Gpu.Device.name then
@@ -54,6 +79,7 @@ let tune ?samples ?(epochs = 20) ?arch ?dtypes ?(noise = Gpu.Executor.default_no
         ("samples", Obs.Json.Int samples);
         ("epochs", Obs.Json.Int epochs) ])
     (fun () ->
+      Obs.Telemetry.incr "tune.runs";
       Log.info (fun m ->
           m "tuning %s on %s: %d samples, %d domains"
             (match op with `Gemm -> "GEMM" | `Conv -> "CONV")
@@ -89,40 +115,46 @@ let plan_of_result (r : Tuner.Search.result) =
     phases = r.phases }
 
 let plan_gemm ?top_k ?engine t (i : GP.input) =
-  match Hashtbl.find_opt t.gemm_cache i with
-  | Some cached ->
-    Obs.Metrics.incr "plan.cache_hit";
-    cached
-  | None ->
-    Obs.Metrics.incr "plan.cache_miss";
-    let result =
-      Obs.Span.with_ "plan"
-        ~meta:(fun () -> [ ("op", Obs.Json.String "gemm") ])
-        (fun () ->
-          Tuner.Search.exhaustive_gemm ?top_k ?engine t.rng t.device
-            ~profile:t.profile i)
-    in
-    let plan = Option.map plan_of_result result in
-    Hashtbl.replace t.gemm_cache i plan;
-    plan
+  Obs.Span.with_request (fun () ->
+      let t0 = if Obs.Telemetry.enabled () then Unix.gettimeofday () else 0.0 in
+      match Hashtbl.find_opt t.gemm_cache i with
+      | Some (cached, inserted_at) ->
+        record_plan_hit ~t0 ~inserted_at;
+        cached
+      | None ->
+        Obs.Metrics.incr "plan.cache_miss";
+        let result =
+          Obs.Span.with_ "plan"
+            ~meta:(fun () -> [ ("op", Obs.Json.String "gemm") ])
+            (fun () ->
+              Tuner.Search.exhaustive_gemm ?top_k ?engine t.rng t.device
+                ~profile:t.profile i)
+        in
+        let plan = Option.map plan_of_result result in
+        Hashtbl.replace t.gemm_cache i (plan, Unix.gettimeofday ());
+        record_plan_miss ~t0;
+        plan)
 
 let plan_conv ?top_k ?engine t (i : CP.input) =
-  match Hashtbl.find_opt t.conv_cache i with
-  | Some cached ->
-    Obs.Metrics.incr "plan.cache_hit";
-    cached
-  | None ->
-    Obs.Metrics.incr "plan.cache_miss";
-    let result =
-      Obs.Span.with_ "plan"
-        ~meta:(fun () -> [ ("op", Obs.Json.String "conv") ])
-        (fun () ->
-          Tuner.Search.exhaustive_conv ?top_k ?engine t.rng t.device
-            ~profile:t.profile i)
-    in
-    let plan = Option.map plan_of_result result in
-    Hashtbl.replace t.conv_cache i plan;
-    plan
+  Obs.Span.with_request (fun () ->
+      let t0 = if Obs.Telemetry.enabled () then Unix.gettimeofday () else 0.0 in
+      match Hashtbl.find_opt t.conv_cache i with
+      | Some (cached, inserted_at) ->
+        record_plan_hit ~t0 ~inserted_at;
+        cached
+      | None ->
+        Obs.Metrics.incr "plan.cache_miss";
+        let result =
+          Obs.Span.with_ "plan"
+            ~meta:(fun () -> [ ("op", Obs.Json.String "conv") ])
+            (fun () ->
+              Tuner.Search.exhaustive_conv ?top_k ?engine t.rng t.device
+                ~profile:t.profile i)
+        in
+        let plan = Option.map plan_of_result result in
+        Hashtbl.replace t.conv_cache i (plan, Unix.gettimeofday ());
+        record_plan_miss ~t0;
+        plan)
 
 let gemm t i ~a ~b =
   match plan_gemm t i with
@@ -236,21 +268,21 @@ let save_plans t path =
   Hashtbl.iter
     (fun (i : GP.input) plan ->
       match plan with
-      | Some p ->
+      | Some p, _ ->
         Buffer.add_string buf
           (Printf.sprintf "gemm %d %d %d %s %b %b : %s\n" i.m i.n i.k
              (dtype_tag i.dtype) i.a_trans i.b_trans (config_fields p.config))
-      | None -> ())
+      | None, _ -> ())
     t.gemm_cache;
   Hashtbl.iter
     (fun (i : CP.input) plan ->
       match plan with
-      | Some p ->
+      | Some p, _ ->
         Buffer.add_string buf
           (Printf.sprintf "conv %d %d %d %d %d %d %d %d %d %s : %s\n" i.n i.c
              i.k i.p i.q i.r i.s i.stride i.pad (dtype_tag i.dtype)
              (config_fields p.config))
-      | None -> ())
+      | None, _ -> ())
     t.conv_cache;
   Util.Artifact.write ~path ~kind:plans_kind ~version:plans_version
     (Buffer.contents buf)
@@ -315,7 +347,20 @@ let load_plans t path =
   match
     Util.Artifact.read ~path ~kind:plans_kind ~max_version:plans_version
   with
-  | Error e -> Error (Util.Artifact.error_to_string ~path e)
+  | Error e ->
+    let msg = Util.Artifact.error_to_string ~path e in
+    (* Under telemetry, annotate the failure report with the flight
+       recorder's recent-event context (which requests were in flight
+       when the artifact turned out bad). *)
+    let flight =
+      if Obs.Telemetry.enabled () then begin
+        Obs.Telemetry.incr "plans.load_failures";
+        Obs.Telemetry.Flight.record ~kind:"artifact.error" ~name:path msg;
+        match Obs.Telemetry.Flight.dump () with "" -> "" | d -> "\n" ^ d
+      end
+      else ""
+    in
+    Error (msg ^ flight)
   | Ok (_, payload) -> (
     match String.split_on_char '\n' payload with
     | [] -> Error (path ^ ": empty plan cache payload")
@@ -348,13 +393,15 @@ let load_plans t path =
             | Gemm_entry (input, cfg) ->
               if GP.structurally_legal input cfg then begin
                 Hashtbl.replace t.gemm_cache input
-                  (plan_of_config t (GP.cost input cfg) cfg);
+                  (plan_of_config t (GP.cost input cfg) cfg,
+                   Unix.gettimeofday ());
                 incr installed
               end
             | Conv_entry (input, cfg) ->
               if CP.structurally_legal input cfg then begin
                 Hashtbl.replace t.conv_cache input
-                  (plan_of_config t (CP.cost input cfg) cfg);
+                  (plan_of_config t (CP.cost input cfg) cfg,
+                   Unix.gettimeofday ());
                 incr installed
               end)
           entries;

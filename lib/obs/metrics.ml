@@ -1,75 +1,27 @@
-let lock = Mutex.create ()
+(* Trace-scoped metrics, now a thin adapter over Telemetry's sharded
+   lock-free primitives: counters are per-domain [Atomic.fetch_and_add]
+   shards merged on read, histograms the log-bucketed mergeable kind.
+   This removes the old global mutex from every [add]/[observe] and
+   makes flush idempotent by construction — each name maps to exactly
+   one entity regardless of how many domains touched it, so a flush can
+   never emit duplicate rows for one histogram.
 
-let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
+   The registry here is private and reset on flush (the trace contract:
+   summary events describe the window since the last flush). The
+   cumulative serving registry lives in [Telemetry]'s global; call
+   sites that want both report to both. *)
 
-(* Histogram: streaming moments plus a deterministic decimating
-   reservoir. The reservoir keeps every [stride]-th observation; when it
-   fills, every other kept sample is dropped and the stride doubles, so
-   quantiles stay unbiased for smoothly varying streams and the memory
-   bound is hard. *)
-let reservoir_cap = 4096
-
-type hist = {
-  mutable count : int;
-  mutable sum : float;
-  mutable min_v : float;
-  mutable max_v : float;
-  mutable kept : float array;
-  mutable n_kept : int;
-  mutable stride : int;
-}
-
-let hists : (string, hist) Hashtbl.t = Hashtbl.create 32
-
-let locked f =
-  Mutex.lock lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+let reg = Telemetry.Registry.create ()
 
 let add name n =
   if Trace.enabled () then
-    locked (fun () ->
-        match Hashtbl.find_opt counters name with
-        | Some r -> r := !r + n
-        | None -> Hashtbl.add counters name (ref n))
+    Telemetry.Counter.add (Telemetry.Registry.counter reg name) n
 
 let incr name = add name 1
 
 let observe name v =
   if Trace.enabled () then
-    locked (fun () ->
-        let h =
-          match Hashtbl.find_opt hists name with
-          | Some h -> h
-          | None ->
-            let h =
-              { count = 0; sum = 0.0; min_v = Float.infinity;
-                max_v = Float.neg_infinity;
-                kept = Array.make 64 0.0; n_kept = 0; stride = 1 }
-            in
-            Hashtbl.add hists name h;
-            h
-        in
-        h.count <- h.count + 1;
-        h.sum <- h.sum +. v;
-        if v < h.min_v then h.min_v <- v;
-        if v > h.max_v then h.max_v <- v;
-        if (h.count - 1) mod h.stride = 0 then begin
-          if h.n_kept = Array.length h.kept then
-            if h.n_kept < reservoir_cap then begin
-              let bigger = Array.make (2 * h.n_kept) 0.0 in
-              Array.blit h.kept 0 bigger 0 h.n_kept;
-              h.kept <- bigger
-            end
-            else begin
-              for i = 0 to (h.n_kept / 2) - 1 do
-                h.kept.(i) <- h.kept.(2 * i)
-              done;
-              h.n_kept <- h.n_kept / 2;
-              h.stride <- h.stride * 2
-            end;
-          h.kept.(h.n_kept) <- v;
-          h.n_kept <- h.n_kept + 1
-        end)
+    Telemetry.Histo.observe (Telemetry.Registry.histo reg name) v
 
 let point ?unit_ name ~x ~y =
   if Trace.enabled () then
@@ -78,53 +30,37 @@ let point ?unit_ name ~x ~y =
       @ match unit_ with None -> [] | Some u -> [ ("unit", Json.String u) ])
 
 let counter_value name =
-  locked (fun () -> Option.map ( ! ) (Hashtbl.find_opt counters name))
-
-let quantile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then Float.nan
-  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+  Option.map Telemetry.Counter.value (Telemetry.Registry.find_counter reg name)
 
 let flush () =
-  let counter_events, hist_events =
-    locked (fun () ->
-        let cs =
-          Hashtbl.fold
-            (fun name r acc ->
-              (name, [ ("name", Json.String name); ("value", Json.Int !r) ]) :: acc)
-            counters []
-        in
-        let hs =
-          Hashtbl.fold
-            (fun name h acc ->
-              let sorted = Array.sub h.kept 0 h.n_kept in
-              Array.sort compare sorted;
-              ( name,
-                [ ("name", Json.String name);
-                  ("count", Json.Int h.count);
-                  ("sum", Json.Float h.sum);
-                  ("min", Json.Float h.min_v);
-                  ("max", Json.Float h.max_v);
-                  ("mean", Json.Float (h.sum /. float_of_int (max 1 h.count)));
-                  ("p50", Json.Float (quantile sorted 0.50));
-                  ("p90", Json.Float (quantile sorted 0.90));
-                  ("p99", Json.Float (quantile sorted 0.99)) ] )
-              :: acc)
-            hists []
-        in
-        Hashtbl.reset counters;
-        Hashtbl.reset hists;
-        (cs, hs))
+  let counter_events =
+    List.map
+      (fun (name, c) ->
+        [ ("name", Json.String name);
+          ("value", Json.Int (Telemetry.Counter.value c)) ])
+      (Telemetry.Registry.counters reg)
   in
-  (* Emit outside the metrics lock: Trace has its own, and emitting under
-     both invites ordering bugs. Sort for deterministic output. *)
-  let by_name (a, _) (b, _) = compare a b in
-  List.iter (fun (_, f) -> Trace.emit "counter" f) (List.sort by_name counter_events);
-  List.iter (fun (_, f) -> Trace.emit "hist" f) (List.sort by_name hist_events)
+  let hist_events =
+    List.map
+      (fun (name, h) ->
+        let s = Telemetry.Histo.snapshot h in
+        [ ("name", Json.String name);
+          ("count", Json.Int s.Telemetry.Histo.count);
+          ("sum", Json.Float s.Telemetry.Histo.sum);
+          ("min", Json.Float s.Telemetry.Histo.min_v);
+          ("max", Json.Float s.Telemetry.Histo.max_v);
+          ("mean", Json.Float (Telemetry.Histo.mean s));
+          ("p50", Json.Float (Telemetry.Histo.quantile s 0.50));
+          ("p90", Json.Float (Telemetry.Histo.quantile s 0.90));
+          ("p99", Json.Float (Telemetry.Histo.quantile s 0.99)) ])
+      (Telemetry.Registry.histos reg)
+  in
+  Telemetry.Registry.clear reg;
+  (* Registry listings are already name-sorted; emit outside any metrics
+     state so Trace's own lock is the only one held while writing. *)
+  List.iter (fun f -> Trace.emit "counter" f) counter_events;
+  List.iter (fun f -> Trace.emit "hist" f) hist_events
 
-let reset () =
-  locked (fun () ->
-      Hashtbl.reset counters;
-      Hashtbl.reset hists)
+let reset () = Telemetry.Registry.clear reg
 
 let () = Trace.at_stop flush

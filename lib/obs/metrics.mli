@@ -1,15 +1,20 @@
-(** Named counters, histograms and time-series points.
+(** Named counters, histograms and time-series points (trace-scoped).
 
-    Counters and histograms accumulate in-process (guarded by one global
-    mutex, so OCaml 5 worker domains can report concurrently) and are
-    emitted as [counter] / [hist] summary events when the trace sink
-    closes. Series points ([point] events) are written through
-    immediately — they are low-volume by construction (one per training
-    epoch, not one per sample).
+    A thin adapter over {!Telemetry}'s sharded lock-free primitives:
+    counters accumulate in per-domain [Atomic] shards merged on read,
+    histograms in log-bucketed mergeable shards, so OCaml 5 worker
+    domains report concurrently without any global mutex. Summaries are
+    emitted as [counter] / [hist] events when the trace sink closes (one
+    event per name, however many domains contributed). Series points
+    ([point] events) are written through immediately — they are
+    low-volume by construction (one per training epoch, not one per
+    sample).
 
     Every entry point is a no-op returning immediately when the sink is
     disabled; nothing is accumulated, so an untraced process pays one
-    boolean load per call. *)
+    boolean load per call. This registry is private to the trace window
+    — it resets on {!flush} — and is distinct from {!Telemetry}'s
+    cumulative global registry. *)
 
 val incr : string -> unit
 (** [incr name] adds 1 to counter [name], creating it at 0. *)
@@ -19,9 +24,9 @@ val add : string -> int -> unit
 
 val observe : string -> float -> unit
 (** [observe name v] records one histogram observation. The summary
-    event carries count/sum/min/max/mean and p50/p90/p99 quantiles
-    estimated from a deterministic decimating reservoir (exact below
-    4096 observations, every 2^k-th sample beyond). *)
+    event carries count/sum/min/max/mean and p50/p90/p99 quantiles from
+    the log-bucketed histogram (≤ ~2% relative error for positive
+    in-range values; count/sum/min/max are exact). *)
 
 val point : ?unit_:string -> string -> x:float -> y:float -> unit
 (** [point series ~x ~y] emits one [point] event immediately (e.g.

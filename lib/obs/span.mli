@@ -1,4 +1,4 @@
-(** Hierarchical timing spans.
+(** Hierarchical timing spans and request-scoped correlation ids.
 
     [with_ "phase" f] times [f ()] on the monotonized clock and, when the
     trace sink is enabled, emits a [span] event on completion carrying
@@ -9,17 +9,39 @@
     domains (the profile report attributes worker time to the worker's
     own top-level span).
 
-    When the sink is disabled, [with_ name f] is exactly [f ()] — no
+    When {!Telemetry} is enabled, every closing span is additionally
+    appended to the telemetry flight recorder (kind ["span"], or
+    ["span.error"] if [f] raised), and spans carry the current request
+    id so one plan request's spans correlate across domains.
+
+    When both sinks are disabled, [with_ name f] is exactly [f ()] — no
     clock read, no allocation beyond the closure the caller already
     built. *)
 
 val with_ :
   ?meta:(unit -> (string * Json.t) list) -> string -> (unit -> 'a) -> 'a
-(** [with_ name f] runs [f], emitting a [span] event when tracing. The
-    [meta] thunk is forced only when enabled, at span close — use it for
-    fields that are costly to render (config descriptions, counts). If
-    [f] raises, the span is still closed with an ["error":true] field
-    and the exception is re-raised. *)
+(** [with_ name f] runs [f], emitting a [span] event when tracing (with
+    a ["req"] field when a request id is in scope) and a flight-recorder
+    entry when telemetry is on. The [meta] thunk is forced only when
+    tracing, at span close — use it for fields that are costly to render
+    (config descriptions, counts). If [f] raises, the span is still
+    closed with an ["error":true] field and the exception is re-raised. *)
+
+val with_request : ?id:int -> (unit -> 'a) -> 'a
+(** [with_request f] runs [f] with a request id installed in the calling
+    domain (a fresh process-unique id unless [id] is given), restoring
+    the previous id afterwards. Nested calls shadow. No-op wrapper when
+    both trace and telemetry are disabled. *)
+
+val current_request : unit -> int option
+(** The request id in scope on the calling domain, if any. Parallel
+    stages capture this before fanning out and install it in each
+    worker via {!set_request}. *)
+
+val set_request : int option -> unit
+(** Install (or with [None] clear) a request id on the calling domain.
+    Intended for worker domains whose lifetime is contained in the
+    request; they need not restore the previous value. *)
 
 val timed : (unit -> 'a) -> 'a * float
 (** [timed f] is [(f (), elapsed_seconds)] (clamped non-negative),

@@ -1,8 +1,11 @@
 type sink = {
-  oc : out_channel;
+  mutable oc : out_channel; (* guarded by [lock]; swapped on rotation *)
+  path : string;
   t0 : float;  (* monotonic origin of the trace *)
-  lock : Mutex.t;  (* serializes writes; guards [closed] *)
+  lock : Mutex.t;  (* serializes writes; guards [closed]/[oc]/[bytes] *)
   mutable closed : bool;
+  mutable bytes : int; (* bytes written to the current file *)
+  max_bytes : int option; (* rotation threshold; None = unbounded *)
 }
 
 (* Cross-domain lifecycle: [on] and [sink] are atomics so emitters on any
@@ -34,8 +37,34 @@ let mono () =
   in
   clamp ()
 
+let monotonic = mono
+
 let now () =
   match Atomic.get sink with None -> 0.0 | Some s -> mono () -. s.t0
+
+(* Rotate under the sink lock: close, shift the current file to a [.1]
+   suffix (clobbering any previous one — a single rotation generation is
+   the documented retention), reopen fresh, and leave a marker event so
+   readers of the new file know data precedes it. [Sys.rename] is atomic
+   on POSIX, so a concurrent reader of [path] sees either the old or the
+   new file, never a torn one. *)
+let rotate_locked s =
+  close_out s.oc;
+  let old = s.path ^ ".1" in
+  if Sys.file_exists old then Sys.remove old;
+  Sys.rename s.path old;
+  s.oc <- open_out s.path;
+  s.bytes <- 0;
+  let marker =
+    Json.to_string
+      (Json.Obj
+         [ ("ev", Json.String "trace_rotate");
+           ("ts", Json.Float (mono () -. s.t0));
+           ("rotated_to", Json.String old) ])
+  in
+  output_string s.oc marker;
+  output_char s.oc '\n';
+  s.bytes <- s.bytes + String.length marker + 1
 
 let emit ev fields =
   match Atomic.get sink with
@@ -50,8 +79,13 @@ let emit ev fields =
       ~finally:(fun () -> Mutex.unlock s.lock)
       (fun () ->
         if not s.closed then begin
+          (match s.max_bytes with
+           | Some cap when s.bytes > 0 && s.bytes + String.length line + 1 > cap ->
+             rotate_locked s
+           | _ -> ());
           output_string s.oc line;
-          output_char s.oc '\n'
+          output_char s.oc '\n';
+          s.bytes <- s.bytes + String.length line + 1
         end)
 
 let stop () =
@@ -83,7 +117,7 @@ let at_stop f =
   finalizers := f :: !finalizers;
   Mutex.unlock master
 
-let start ~path =
+let start ?max_bytes ~path () =
   Mutex.lock master;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock master)
@@ -91,7 +125,9 @@ let start ~path =
       if Atomic.get sink = None then begin
         let oc = open_out path in
         Atomic.set sink
-          (Some { oc; t0 = mono (); lock = Mutex.create (); closed = false });
+          (Some
+             { oc; path; t0 = mono (); lock = Mutex.create (); closed = false;
+               bytes = 0; max_bytes });
         Atomic.set on true;
         if not !exit_hook_installed then begin
           exit_hook_installed := true;
@@ -104,10 +140,16 @@ let start ~path =
       end)
 
 (* Honour ISAAC_TRACE as soon as any instrumented code touches this
-   module, so binaries need no explicit initialization. *)
+   module, so binaries need no explicit initialization. ISAAC_TRACE_MAX_MB
+   caps the file size via single-generation rotation to [path.1]. *)
 let () =
   match Sys.getenv_opt "ISAAC_TRACE" with
-  | Some path when path <> "" -> start ~path
+  | Some path when path <> "" ->
+    let max_bytes =
+      let mb = Util.Env_config.float "ISAAC_TRACE_MAX_MB" 0.0 in
+      if mb > 0.0 then Some (int_of_float (mb *. 1024.0 *. 1024.0)) else None
+    in
+    start ?max_bytes ~path ()
   | _ -> ()
 
 let read_file path =
@@ -126,3 +168,19 @@ let read_file path =
             raise (Json.Parse_error (Printf.sprintf "line %d: %s" lineno msg)))
       in
       go 1 [])
+
+let read_file_partial path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc skipped =
+        match input_line ic with
+        | exception End_of_file -> (List.rev acc, skipped)
+        | line when String.trim line = "" -> go acc skipped
+        | line -> (
+          match Json.of_string line with
+          | v -> go (v :: acc) skipped
+          | exception Json.Parse_error _ -> go acc (skipped + 1))
+      in
+      go [] 0)

@@ -7,6 +7,12 @@
     acceptance bound is < 2% on a full tuning run; the no-op test in
     [test/test_obs.ml] pins this).
 
+    Long-running processes can cap the file size with
+    [ISAAC_TRACE_MAX_MB=N]: when an append would push the current file
+    past the cap, it is atomically renamed to [file.jsonl.1] (replacing
+    any previous rotation) and a fresh file is started with a
+    [trace_rotate] marker event, so total disk usage stays under ~2N MB.
+
     The sink is safe to use concurrently from multiple OCaml 5 domains —
     the tuner's benchmarking loops fan out — and event timestamps are
     monotonized (wall clock clamped to its high-water mark, since this
@@ -18,10 +24,12 @@ val enabled : unit -> bool
 (** Whether a sink is currently open. The one check every instrumented
     call site performs first. *)
 
-val start : path:string -> unit
+val start : ?max_bytes:int -> path:string -> unit -> unit
 (** Open (truncate) [path] and emit the [trace_start] header event.
-    No-op if a sink is already open. Called automatically at program
-    start when [ISAAC_TRACE] is set; exposed for tests and embedders. *)
+    [max_bytes] enables size-capped rotation (see above; the env path
+    derives it from [ISAAC_TRACE_MAX_MB]). No-op if a sink is already
+    open. Called automatically at program start when [ISAAC_TRACE] is
+    set; exposed for tests and embedders. *)
 
 val stop : unit -> unit
 (** Flush registered finalizers (metric summaries), emit [trace_end],
@@ -34,6 +42,11 @@ val at_stop : (unit -> unit) -> unit
 val now : unit -> float
 (** Monotonized seconds since the trace started (0.0 when disabled). *)
 
+val monotonic : unit -> float
+(** The raw monotonized clock (seconds since the epoch, clamped to its
+    high-water mark). Usable for durations independently of whether a
+    sink is open — {!Span} times telemetry-only spans with it. *)
+
 val emit : string -> (string * Json.t) list -> unit
 (** [emit ev fields] appends [{"ev":ev,"ts":now(),...fields}] as one
     line. Thread-safe; no-op when disabled. Callers must ensure field
@@ -43,3 +56,9 @@ val read_file : string -> Json.t list
 (** Parse a trace file back into one value per line, skipping blank
     lines. Raises [Json.Parse_error] (with the line number prepended) on
     malformed input and [Sys_error] on I/O failure. *)
+
+val read_file_partial : string -> Json.t list * int
+(** Like {!read_file} but lenient: unparseable lines (e.g. a line
+    truncated by a crash or rotation race) are skipped rather than
+    raised on. Returns the parsed values and the number of skipped
+    lines. *)

@@ -345,8 +345,23 @@ let run ?(max_dynamic = 200_000_000) ?domains (p : Program.t) ~grid ~block
   let trap_at k opc fmt =
     Printf.ksprintf
       (fun s ->
+        let where = describe opc in
+        (* When serving telemetry is live, record the trap in the flight
+           ring and append the recorder's recent-event context to the
+           failure report — the post-mortem for a kernel that faults
+           mid-request. *)
+        let flight =
+          if Obs.Telemetry.enabled () then begin
+            Obs.Telemetry.Flight.record ~kind:"trap" ~name:p.name
+              (s ^ " at " ^ where);
+            match Obs.Telemetry.Flight.dump () with
+            | "" -> ""
+            | d -> "\n" ^ d
+          end
+          else ""
+        in
         raise
-          (Trap (Printf.sprintf "%s at %s [%s]" s (describe opc) (summary k))))
+          (Trap (Printf.sprintf "%s at %s [%s]%s" s where (summary k) flight)))
       fmt
   in
   let is_half = p.dtype = F16 in

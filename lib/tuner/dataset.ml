@@ -329,6 +329,7 @@ let generate_generic ?(domains = 1) ?static_ok ?checkpoint ~op ~noise ~sampler
       row := !row + rows)
     chunks;
   Obs.Metrics.add "dataset.samples" n;
+  Obs.Telemetry.add "dataset.rows" n;
   { op; device = device.Gpu.Device.name; features_log = flog; features_raw = fraw;
     tflops = ys })
 
@@ -347,6 +348,7 @@ let config_event ~op ~phase cfg_array (m : Gpu.Executor.measurement) =
 let measure_gemm rng device input cfg_array ~noise =
   if Util.Faultsim.fire "bench_fail" then begin
     Obs.Metrics.incr "dataset.bench_failures";
+    Obs.Telemetry.incr "dataset.bench_failures";
     None
   end
   else
@@ -360,6 +362,7 @@ let measure_gemm rng device input cfg_array ~noise =
 let measure_conv rng device input cfg_array ~noise =
   if Util.Faultsim.fire "bench_fail" then begin
     Obs.Metrics.incr "dataset.bench_failures";
+    Obs.Telemetry.incr "dataset.bench_failures";
     None
   end
   else

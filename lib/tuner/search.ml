@@ -84,6 +84,20 @@ let max_of a = Array.fold_left max a.(0) a
    buffer in the major heap. *)
 type packed_enum = { packed : int array; count : int; visited : int }
 
+(* Serving telemetry: per-phase latency histograms (observed once per
+   completed search) and the model-quality channel fed by the rebench
+   stage, where every model prediction meets a real measurement. Inputs
+   are bucketed by FLOP magnitude so drift localizes to a size region
+   rather than washing out in a global average. *)
+let t_phase_hists =
+  List.map
+    (fun ph -> (ph, Obs.Telemetry.histo ("search." ^ ph ^ "_s")))
+    [ "enumerate"; "featurize"; "inference"; "argmax"; "rebench" ]
+
+let flops_bucket flops =
+  if not (Float.is_finite flops) || flops <= 0.0 then "na"
+  else Printf.sprintf "2^%d" (snd (Float.frexp flops) - 1)
+
 let nparams = Config_space.num_params Config_space.gemm
 
 (* One bound-pruned walk of the legal set; calls [emit] once per legal
@@ -285,10 +299,15 @@ let subsample_packed cap e =
    result is identical for any domain count. *)
 let score_batched ~domains ~query profile cfgs =
   let n = Array.length cfgs in
+  (* Worker domains start with empty DLS — hand them the caller's
+     request id so their spans/flight events correlate with the plan
+     request that spawned them. *)
+  let req = Obs.Span.current_request () in
   let x, t_feat =
     Obs.Span.timed (fun () ->
         let x = Mlp.Matrix.create n Features.dim in
         Util.Parallel.iter_ranges ~domains ~total:n (fun ~offset ~size ->
+            Obs.Span.set_request req;
             for row = offset to offset + size - 1 do
               Features.fill_query query (GP.config_to_array cfgs.(row)) x ~row
             done);
@@ -302,6 +321,7 @@ let score_batched ~domains ~query profile cfgs =
           let chunks =
             Util.Parallel.run_chunks_offsets ~domains ~total:n
               (fun ~chunk:_ ~offset ~size ->
+                Obs.Span.set_request req;
                 let sub = Mlp.Matrix.sub_rows x ~off:offset ~len:size in
                 (offset, Profile.predict_std_matrix profile sub))
           in
@@ -328,8 +348,9 @@ let score_scalar ~domains ~features_of profile cfgs =
   in
   (pred, t_feat, t_inf)
 
-let exhaustive ~legal_fast ~legal_ref ~query ~features_of ~cost ?(top_k = 100)
-    ?cap ?noise ?domains ?(engine = `Batched) rng device ~profile =
+let exhaustive ~op ~flops ~legal_fast ~legal_ref ~query ~features_of ~cost
+    ?(top_k = 100) ?cap ?noise ?domains ?(engine = `Batched) rng device
+    ~profile =
   let cap = match cap with Some c -> c | None -> default_cap () in
   let domains =
     match domains with
@@ -401,6 +422,11 @@ let exhaustive ~legal_fast ~legal_ref ~query ~features_of ~cost ?(top_k = 100)
                   with
                   | None -> ()
                   | Some m ->
+                    (* Every rebench pairs a model prediction with a
+                       fresh measurement: feed the drift tracker. *)
+                    Obs.Telemetry.Model.record ~op
+                      ~bucket:(flops_bucket flops)
+                      ~predicted:cand.predicted_tflops ~measured:m.tflops;
                     if Obs.Trace.enabled () then
                       Obs.Trace.emit "config"
                         [ ("phase", Obs.Json.String "rebench");
@@ -419,6 +445,18 @@ let exhaustive ~legal_fast ~legal_ref ~query ~features_of ~cost ?(top_k = 100)
     match best with
     | None -> None
     | Some (cfg, m) ->
+      let phases =
+        [ ("enumerate", t_enum); ("featurize", t_feat);
+          ("inference", t_inf); ("argmax", t_argmax);
+          ("rebench", t_rebench) ]
+      in
+      if Obs.Telemetry.enabled () then
+        List.iter
+          (fun (ph, t) ->
+            match List.assoc_opt ph t_phase_hists with
+            | Some h -> Obs.Telemetry.Histo.observe h t
+            | None -> ())
+          phases;
       Some
         { best = cfg;
           best_measurement = m;
@@ -426,16 +464,14 @@ let exhaustive ~legal_fast ~legal_ref ~query ~features_of ~cost ?(top_k = 100)
           n_legal;
           n_scored = n;
           n_visited;
-          phases =
-            [ ("enumerate", t_enum); ("featurize", t_feat);
-              ("inference", t_inf); ("argmax", t_argmax);
-              ("rebench", t_rebench) ] }
+          phases }
   end
 
 let exhaustive_gemm ?top_k ?cap ?noise ?domains ?engine rng device ~profile
     (i : GP.input) =
   let log = profile.Profile.log_features in
-  exhaustive ?top_k ?cap ?noise ?domains ?engine rng device ~profile
+  exhaustive ?top_k ?cap ?noise ?domains ?engine rng device ~profile ~op:"gemm"
+    ~flops:(2.0 *. float_of_int i.m *. float_of_int i.n *. float_of_int i.k)
     ~legal_fast:(fun d -> legal_configs_fast_packed d i)
     ~legal_ref:(fun d ->
       legal_configs_reference d
@@ -449,7 +485,9 @@ let exhaustive_gemm ?top_k ?cap ?noise ?domains ?engine rng device ~profile
 let exhaustive_conv ?top_k ?cap ?noise ?domains ?engine rng device ~profile
     (i : CP.input) =
   let log = profile.Profile.log_features in
-  exhaustive ?top_k ?cap ?noise ?domains ?engine rng device ~profile
+  let gi = CP.gemm_input i in
+  exhaustive ?top_k ?cap ?noise ?domains ?engine rng device ~profile ~op:"conv"
+    ~flops:(2.0 *. float_of_int gi.m *. float_of_int gi.n *. float_of_int gi.k)
     ~legal_fast:(fun d -> legal_configs_fast_packed d (CP.gemm_input i))
     ~legal_ref:(fun d ->
       legal_configs_reference d

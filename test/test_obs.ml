@@ -63,7 +63,7 @@ let test_json_roundtrip () =
 let test_span_roundtrip () =
   let path = tmp_trace () in
   Obs.Metrics.reset ();
-  Obs.Trace.start ~path;
+  Obs.Trace.start ~path ();
   Alcotest.(check bool) "enabled while open" true (Obs.Trace.enabled ());
   Obs.Span.with_ "a" (fun () ->
       Alcotest.(check string) "inner path" "a" (Obs.Span.current_path ());
@@ -104,7 +104,7 @@ let test_span_roundtrip () =
 let test_span_error_flag () =
   let path = tmp_trace () in
   Obs.Metrics.reset ();
-  Obs.Trace.start ~path;
+  Obs.Trace.start ~path ();
   (try Obs.Span.with_ "boom" (fun () -> failwith "x") with Failure _ -> ());
   Obs.Trace.stop ();
   let events = Obs.Trace.read_file path in
@@ -119,7 +119,7 @@ let test_span_error_flag () =
 let test_metrics_flush () =
   let path = tmp_trace () in
   Obs.Metrics.reset ();
-  Obs.Trace.start ~path;
+  Obs.Trace.start ~path ();
   Obs.Metrics.incr "c.hits";
   Obs.Metrics.add "c.hits" 4;
   Obs.Metrics.add "c.other" 2;
@@ -167,7 +167,7 @@ let test_metrics_flush () =
 let test_multi_domain_sink () =
   let path = tmp_trace () in
   Obs.Metrics.reset ();
-  Obs.Trace.start ~path;
+  Obs.Trace.start ~path ();
   let n_domains = 4 and iters = 200 in
   let worker d () =
     for i = 1 to iters do
@@ -305,6 +305,95 @@ let test_trap_snapshot () =
     if not (contains ~needle:"dyn:" msg) then
       Alcotest.failf "trap message lacks counter snapshot: %s" msg
 
+(* --- rotation, request ids, partial reads ------------------------------- *)
+
+let test_trace_rotation () =
+  let path = tmp_trace () in
+  let rotated = path ^ ".1" in
+  Obs.Metrics.reset ();
+  (* A cap of 4 KiB forces several rotations out of ~200 span events of
+     ~100 bytes each. *)
+  Obs.Trace.start ~max_bytes:4096 ~path ();
+  for i = 1 to 200 do
+    Obs.Span.with_ (Printf.sprintf "rot-%03d" i) (fun () -> ())
+  done;
+  Obs.Trace.stop ();
+  Alcotest.(check bool) "rotated file exists" true (Sys.file_exists rotated);
+  let live = Obs.Trace.read_file path
+  and old = Obs.Trace.read_file rotated in
+  Sys.remove path;
+  Sys.remove rotated;
+  let size events =
+    List.fold_left
+      (fun acc e -> acc + String.length (J.to_string e) + 1)
+      0 events
+  in
+  if size live > 4096 + 256 then
+    Alcotest.failf "live trace overshoots cap: %d bytes" (size live);
+  (* Every live segment announces where its predecessor went. *)
+  (match events_of "trace_rotate" live with
+   | marker :: _ ->
+     Alcotest.(check (option string)) "rotation marker names target"
+       (Some rotated)
+       (str_field "rotated_to" marker)
+   | [] -> Alcotest.fail "no trace_rotate marker in live file");
+  (* The newest span is in the live file, an older one only in .1. *)
+  let span_paths evs =
+    List.filter_map (fun e -> str_field "path" e) (events_of "span" evs)
+  in
+  Alcotest.(check bool) "newest span live" true
+    (List.mem "rot-200" (span_paths live));
+  Alcotest.(check bool) "rotated file holds older spans" true
+    (span_paths old <> [])
+
+let test_request_ids () =
+  let path = tmp_trace () in
+  Obs.Metrics.reset ();
+  Obs.Trace.start ~path ();
+  Alcotest.(check (option int)) "no request outside scope" None
+    (Obs.Span.current_request ());
+  let r1 =
+    Obs.Span.with_request (fun () ->
+        let id = Obs.Span.current_request () in
+        Obs.Span.with_ "req-span" (fun () -> ());
+        id)
+  in
+  let r2 = Obs.Span.with_request (fun () -> Obs.Span.current_request ()) in
+  Obs.Trace.stop ();
+  let events = Obs.Trace.read_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "scope restored" true (Obs.Span.current_request () = None);
+  (match (r1, r2) with
+   | Some a, Some b when a <> b -> ()
+   | _ -> Alcotest.fail "request ids missing or not distinct");
+  match events_of "span" events with
+  | [ sp ] ->
+    Alcotest.(check (option int)) "span tagged with request id" r1
+      (Option.bind (J.member "req" sp) J.to_int)
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+let test_read_file_partial () =
+  let path = tmp_trace () in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc "{\"ev\":\"counter\",\"name\":\"a\",\"value\":1}\n";
+      output_string oc "not json at all\n";
+      output_string oc "{\"ev\":\"counter\",\"name\":\"b\",\"value\":2}\n";
+      (* A torn final line, as left by a crashed writer. *)
+      output_string oc "{\"ev\":\"counter\",\"na");
+  let events, skipped = Obs.Trace.read_file_partial path in
+  Sys.remove path;
+  Alcotest.(check int) "parseable events survive" 2 (List.length events);
+  Alcotest.(check int) "garbage lines counted" 2 skipped;
+  Alcotest.(check (list (option string))) "order preserved"
+    [ Some "a"; Some "b" ]
+    (List.map (str_field "name") events);
+  (* Empty file: no events, no error. *)
+  let empty = tmp_trace () in
+  let events, skipped = Obs.Trace.read_file_partial empty in
+  Sys.remove empty;
+  Alcotest.(check int) "empty file events" 0 (List.length events);
+  Alcotest.(check int) "empty file skips" 0 skipped
+
 (* --- zero cost when disabled -------------------------------------------- *)
 
 let test_noop_when_disabled () =
@@ -338,7 +427,10 @@ let () =
         [ quick "span nesting + jsonl roundtrip" test_span_roundtrip;
           quick "error flag" test_span_error_flag;
           quick "metrics flush" test_metrics_flush;
-          quick "multi-domain emitters" test_multi_domain_sink ] );
+          quick "multi-domain emitters" test_multi_domain_sink;
+          quick "size-capped rotation" test_trace_rotation;
+          quick "request ids" test_request_ids;
+          quick "partial reads" test_read_file_partial ] );
       ( "interp",
         [ quick "known instruction mix" test_interp_counters;
           quick "per-warp coalescing" test_interp_counters_two_warps;
