@@ -53,6 +53,14 @@ let with_sched cost program =
   | Ok t -> Gpu.Kernel_cost.with_sched cost t.Ptx.Scoreboard.summary
   | Error _ -> cost
 
+(* The plan cache's kernel identity (packed-encoding hash of the
+   register-allocated kernel), carried on each sample so outliers can be
+   joined back to the exact kernel binary. *)
+let hash_of program =
+  match Ptx.Encode.hash_program (Ptx.Regalloc.allocate program) with
+  | Ok h -> Some h
+  | Error _ -> None
+
 let gemm_samples rng input =
   let legal = Tuner.Dataset.gemm_legal device input in
   let verify = Tuner.Dataset.gemm_static_ok input in
@@ -61,9 +69,8 @@ let gemm_samples rng input =
   List.filter_map
     (fun flat ->
       let cfg = GP.config_of_array flat in
-      let cost =
-        with_sched (GP.cost input cfg) (Codegen.Gemm.generate input cfg)
-      in
+      let program = Codegen.Gemm.generate input cfg in
+      let cost = with_sched (GP.cost input cfg) program in
       match Gpu.Perf_model.predict device cost with
       | None -> None
       | Some report ->
@@ -72,6 +79,7 @@ let gemm_samples rng input =
           { Gpu.Attribution.label =
               Printf.sprintf "gemm %dx%dx%d %s" input.m input.n input.k
                 (GP.describe cfg);
+            kernel_hash = hash_of program;
             report; counters })
     (sample_configs rng ~legal ~verify (per_shape ()))
 
@@ -89,15 +97,15 @@ let conv_samples rng input =
   List.filter_map
     (fun flat ->
       let cfg = GP.config_of_array flat in
-      let cost =
-        with_sched (CP.cost input cfg) (Codegen.Conv.generate input cfg)
-      in
+      let program = Codegen.Conv.generate input cfg in
+      let cost = with_sched (CP.cost input cfg) program in
       match Gpu.Perf_model.predict device cost with
       | None -> None
       | Some report ->
         let _, counters = Codegen.Conv.run_counted input cfg ~image ~filter in
         Some
           { Gpu.Attribution.label = CP.describe_name input cfg;
+            kernel_hash = hash_of program;
             report; counters })
     (sample_configs rng ~legal ~verify (per_shape ()))
 
@@ -110,7 +118,20 @@ let run () =
     @ List.concat_map (conv_samples rng) conv_shapes
   in
   let n = List.length samples in
-  Printf.printf "%d verified configurations executed under the interpreter\n" n;
+  let distinct =
+    let set = Hashtbl.create 64 in
+    List.iter
+      (fun (s : Gpu.Attribution.sample) ->
+        Option.iter (fun h -> Hashtbl.replace set h ()) s.kernel_hash)
+      samples;
+    Hashtbl.length set
+  in
+  Printf.printf
+    "%d verified configurations executed under the interpreter (%d distinct \
+     kernel hashes)\n"
+    n distinct;
+  Reporting.metric ~experiment:"attribution" ~unit_:"kernels" ~n
+    "attribution.distinct_kernels" (float_of_int distinct);
   if Util.Env_config.bool "ISAAC_ATTR_VERBOSE" false then
     Util.Table.print
       ~header:

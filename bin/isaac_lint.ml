@@ -5,6 +5,7 @@
      isaac_lint --seed 42 --count 3
      isaac_lint --op gemm --device "Tesla P100" --verbose
      isaac_lint --strict --json lint.json
+     isaac_lint --op gemm --count 1 --dump-binary
 
    For every task of the GEMM and CONV evaluation suites it draws legal
    configurations from the fitted generative model, generates the kernel,
@@ -45,7 +46,8 @@ type record = {
 
 let is_unanalyzable (d : Ptx.Verify.diag) = d.kind = Ptx.Verify.Unanalyzable
 
-let lint_one ~verbose ~stats ~records ~op ~task name program ~iargs ~block =
+let lint_one ~verbose ~dump_binary ~stats ~records ~op ~task name program
+    ~iargs ~block =
   let r = Ptx.Verify.run program ~iargs ~block in
   stats.checked <- stats.checked + 1;
   stats.factor_sum <- stats.factor_sum +. r.Ptx.Verify.bank.conflict_factor;
@@ -70,7 +72,14 @@ let lint_one ~verbose ~stats ~records ~op ~task name program ~iargs ~block =
       Printf.printf "ok   %s (bank factor %.2f, %d warnings)\n" name
         r.Ptx.Verify.bank.conflict_factor
         (List.length r.warnings)
-  end
+  end;
+  (* --dump-binary: the packed Ptx.Encode listing of the (register-
+     allocated) kernel — hex word, control-info stall byte, disassembled
+     text and field breakdown per instruction. *)
+  if dump_binary then
+    match Ptx.Encode.encode (Ptx.Regalloc.allocate program) with
+    | Ok e -> print_string (Ptx.Encode.dump e)
+    | Error msg -> Printf.printf "dump-binary %s: %s\n" name msg
 
 let sample_configs rng sampler ~count ~legal =
   let rec go n acc =
@@ -82,7 +91,7 @@ let sample_configs rng sampler ~count ~legal =
   in
   go count []
 
-let lint_gemm ~verbose ~count ~warmup rng device =
+let lint_gemm ~verbose ~dump_binary ~count ~warmup rng device =
   let sampler =
     Tuner.Dataset.fit_gemm_sampler ~warmup ~dtypes:[ Ptx.Types.F32 ] rng device
   in
@@ -101,7 +110,7 @@ let lint_gemm ~verbose ~count ~warmup rng device =
       List.iter
         (fun cfg_array ->
           let c = GP.config_of_array cfg_array in
-          lint_one ~verbose ~stats ~records ~op:"gemm"
+          lint_one ~verbose ~dump_binary ~stats ~records ~op:"gemm"
             ~task:(t.group ^ " " ^ t.label)
             (Printf.sprintf "%s [%s]" (GP.describe_name i c)
                (Tuner.Config_space.describe Tuner.Config_space.gemm cfg_array))
@@ -121,7 +130,7 @@ let lint_gemm ~verbose ~count ~warmup rng device =
     (Workloads.Gemm_suites.fp32_suite ~mk:2560);
   (stats, List.rev !rows, List.rev !records)
 
-let lint_conv ~verbose ~count ~warmup rng device =
+let lint_conv ~verbose ~dump_binary ~count ~warmup rng device =
   let sampler =
     Tuner.Dataset.fit_conv_sampler ~warmup ~dtypes:[ Ptx.Types.F32 ] rng device
   in
@@ -141,7 +150,7 @@ let lint_conv ~verbose ~count ~warmup rng device =
       List.iter
         (fun cfg_array ->
           let c = GP.config_of_array cfg_array in
-          lint_one ~verbose ~stats ~records ~op:"conv"
+          lint_one ~verbose ~dump_binary ~stats ~records ~op:"conv"
             ~task:(t.group ^ " " ^ t.label)
             (Printf.sprintf "%s [%s]" (CP.describe_name i c)
                (Tuner.Config_space.describe Tuner.Config_space.gemm cfg_array))
@@ -230,7 +239,7 @@ let write_json path ~device ~seed ~count sections =
   close_out oc;
   Printf.printf "lint: JSON report written to %s\n" path
 
-let run op device_name seed count warmup verbose strict json =
+let run op device_name seed count warmup verbose dump_binary strict json =
   let device =
     match
       List.find_opt (fun (d : Gpu.Device.t) -> d.name = device_name) Gpu.Device.all
@@ -242,10 +251,11 @@ let run op device_name seed count warmup verbose strict json =
   in
   let rng = Util.Rng.create seed in
   let sections =
-    (if op = "conv" then [] else [ ("GEMM", lint_gemm ~verbose ~count ~warmup rng device) ])
+    (if op = "conv" then []
+     else [ ("GEMM", lint_gemm ~verbose ~dump_binary ~count ~warmup rng device) ])
     @
     if op = "gemm" then []
-    else [ ("CONV", lint_conv ~verbose ~count ~warmup rng device) ]
+    else [ ("CONV", lint_conv ~verbose ~dump_binary ~count ~warmup rng device) ]
   in
   List.iter
     (fun (title, ((stats : stats), rows, _)) ->
@@ -311,6 +321,17 @@ let cmd =
       & info [ "warmup" ] ~doc:"Sampler warm-up draws (generative model fit).")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-kernel lines.") in
+  let dump_binary =
+    Arg.(
+      value & flag
+      & info [ "dump-binary" ]
+          ~doc:
+            "For every linted kernel, print its packed binary encoding: one \
+             line per instruction word (hex encoding, control-info stall \
+             byte, disassembly) plus the opcode/guard/operand field \
+             breakdown. Pair with --count 1 and --op to dump a single \
+             kernel.")
+  in
   let strict =
     Arg.(
       value & flag
@@ -329,6 +350,6 @@ let cmd =
   Cmd.v
     (Cmd.info "isaac_lint"
        ~doc:"Statically verify sampled GEMM/CONV kernels and report")
-    Term.(const run $ op $ device $ seed $ count $ warmup $ verbose $ strict $ json)
+    Term.(const run $ op $ device $ seed $ count $ warmup $ verbose $ dump_binary $ strict $ json)
 
 let () = exit (Cmd.eval cmd)

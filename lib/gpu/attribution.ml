@@ -1,5 +1,6 @@
 type sample = {
   label : string;
+  kernel_hash : int64 option;
   report : Perf_model.report;
   counters : Ptx.Interp.counters;
 }

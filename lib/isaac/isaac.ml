@@ -7,6 +7,7 @@ type plan = {
   predicted_tflops : float;
   n_legal : int;
   phases : (string * float) list;
+  kernel_hash : int64 option;
 }
 
 type t = {
@@ -103,7 +104,23 @@ let tune ?samples ?(epochs = 20) ?arch ?dtypes ?(noise = Gpu.Executor.default_no
 let profile t = t.profile
 let device t = t.device
 
-let plan_of_result (r : Tuner.Search.result) =
+(* The packed-encoding hash is the plan's kernel identity: O(1) equality
+   for the serving cache and the dedup key of the v3 artifact's kernel
+   corpus. Kernels are register-allocated before encoding — the packed
+   format's fixed-width register fields assume physical numbering, and
+   the canonical form also dedups kernels that differ only in virtual
+   register names. Computed once per cache miss; encoding failures (a
+   kernel outgrowing the fixed-width fields even post-allocation)
+   degrade to [None] rather than failing the plan. *)
+let encode_kernel generate input config =
+  match Ptx.Encode.encode (Ptx.Regalloc.allocate (generate input config)) with
+  | Ok e -> Some e
+  | Error _ -> None
+
+let hash_of_config generate input config =
+  Option.map Ptx.Encode.hash (encode_kernel generate input config)
+
+let plan_of_result ~kernel_hash (r : Tuner.Search.result) =
   let predicted =
     if Array.length r.candidates > 0 then r.candidates.(0).predicted_tflops
     else r.best_measurement.tflops
@@ -112,7 +129,8 @@ let plan_of_result (r : Tuner.Search.result) =
     measurement = r.best_measurement;
     predicted_tflops = predicted;
     n_legal = r.n_legal;
-    phases = r.phases }
+    phases = r.phases;
+    kernel_hash }
 
 let plan_gemm ?top_k ?engine t (i : GP.input) =
   Obs.Span.with_request (fun () ->
@@ -130,7 +148,15 @@ let plan_gemm ?top_k ?engine t (i : GP.input) =
               Tuner.Search.exhaustive_gemm ?top_k ?engine t.rng t.device
                 ~profile:t.profile i)
         in
-        let plan = Option.map plan_of_result result in
+        let plan =
+          Option.map
+            (fun r ->
+              let kernel_hash =
+                hash_of_config Codegen.Gemm.generate i r.Tuner.Search.best
+              in
+              plan_of_result ~kernel_hash r)
+            result
+        in
         Hashtbl.replace t.gemm_cache i (plan, Unix.gettimeofday ());
         record_plan_miss ~t0;
         plan)
@@ -151,7 +177,15 @@ let plan_conv ?top_k ?engine t (i : CP.input) =
               Tuner.Search.exhaustive_conv ?top_k ?engine t.rng t.device
                 ~profile:t.profile i)
         in
-        let plan = Option.map plan_of_result result in
+        let plan =
+          Option.map
+            (fun r ->
+              let kernel_hash =
+                hash_of_config Codegen.Conv.generate i r.Tuner.Search.best
+              in
+              plan_of_result ~kernel_hash r)
+            result
+        in
         Hashtbl.replace t.conv_cache i (plan, Unix.gettimeofday ());
         record_plan_miss ~t0;
         plan)
@@ -257,21 +291,39 @@ let config_fields (c : GP.config) =
 (* Artifact version 1 was the pre-checksum "isaac-plans v1" text file;
    version 2 is the same line format inside a checksummed
    {!Util.Artifact} envelope, with the device recorded on the first
-   payload line (and actually validated on load). *)
+   payload line (and actually validated on load). Version 3 appends
+   [@ <hash>] — the {!Ptx.Encode} kernel identity — to each plan line
+   and writes the deduplicated packed kernels to a sibling corpus
+   ([path ^ ".kernels"], kind {!Ptx.Encode.corpus_kind}): the plans file
+   stays human-greppable text while the kernels ship as dense binaries,
+   deduplicated across (op, shape) entries that lower to the same code. *)
 let plans_kind = "isaac-plans"
-let plans_version = 2
+let plans_version = 3
+
+let corpus_path path = path ^ ".kernels"
 
 let save_plans t path =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (Printf.sprintf "device %s\n" t.device.Gpu.Device.name);
+  (* Collected in cache-iteration order; [Encode.save_corpus] dedups by
+     hash, so shapes sharing a kernel cost one corpus entry. *)
+  let kernels = ref [] in
+  let pack generate input config =
+    match encode_kernel generate input config with
+    | Some e ->
+      kernels := e :: !kernels;
+      Printf.sprintf " @ %s" (Ptx.Encode.hash_hex (Ptx.Encode.hash e))
+    | None -> ""
+  in
   Hashtbl.iter
     (fun (i : GP.input) plan ->
       match plan with
       | Some p, _ ->
         Buffer.add_string buf
-          (Printf.sprintf "gemm %d %d %d %s %b %b : %s\n" i.m i.n i.k
-             (dtype_tag i.dtype) i.a_trans i.b_trans (config_fields p.config))
+          (Printf.sprintf "gemm %d %d %d %s %b %b : %s%s\n" i.m i.n i.k
+             (dtype_tag i.dtype) i.a_trans i.b_trans (config_fields p.config)
+             (pack Codegen.Gemm.generate i p.config))
       | None, _ -> ())
     t.gemm_cache;
   Hashtbl.iter
@@ -279,28 +331,32 @@ let save_plans t path =
       match plan with
       | Some p, _ ->
         Buffer.add_string buf
-          (Printf.sprintf "conv %d %d %d %d %d %d %d %d %d %s : %s\n" i.n i.c
-             i.k i.p i.q i.r i.s i.stride i.pad (dtype_tag i.dtype)
-             (config_fields p.config))
+          (Printf.sprintf "conv %d %d %d %d %d %d %d %d %d %s : %s%s\n" i.n
+             i.c i.k i.p i.q i.r i.s i.stride i.pad (dtype_tag i.dtype)
+             (config_fields p.config)
+             (pack Codegen.Conv.generate i p.config))
       | None, _ -> ())
     t.conv_cache;
+  Ptx.Encode.save_corpus ~path:(corpus_path path) (List.rev !kernels);
   Util.Artifact.write ~path ~kind:plans_kind ~version:plans_version
     (Buffer.contents buf)
 
-let plan_of_config t cost config =
+let plan_of_config t ~kernel_hash cost config =
   match Gpu.Executor.measure_best_of t.load_rng t.device cost with
   | None -> None
   | Some m ->
     Some
       { config; measurement = m; predicted_tflops = m.tflops; n_legal = 0;
-        phases = [] }
+        phases = []; kernel_hash }
 
 type plan_entry =
-  | Gemm_entry of GP.input * GP.config
-  | Conv_entry of CP.input * GP.config
+  | Gemm_entry of GP.input * GP.config * int64 option
+  | Conv_entry of CP.input * GP.config * int64 option
 
 (* One plan line -> entry, [None] on any malformed field. Pure parsing:
-   no cache mutation, no measurement. *)
+   no cache mutation, no measurement. The v3 [@ <hash>] kernel-identity
+   suffix is optional so v2 caches still load; a malformed hash rejects
+   the line like any other bad field. *)
 let parse_plan_line line =
   match String.index_opt line ':' with
   | None -> None
@@ -309,11 +365,35 @@ let parse_plan_line line =
       String.split_on_char ' ' (String.trim (String.sub line 0 colon))
       |> List.filter (( <> ) "")
     in
-    match
+    let tail =
       String.sub line (colon + 1) (String.length line - colon - 1)
       |> String.trim |> String.split_on_char ' '
       |> List.filter (( <> ) "")
-      |> List.map int_of_string |> Array.of_list |> GP.config_of_array
+    in
+    let cfg_part, hash_part =
+      let rec split acc = function
+        | "@" :: rest -> Some (List.rev acc, rest)
+        | x :: rest -> split (x :: acc) rest
+        | [] -> None
+      in
+      match split [] tail with
+      | Some (cfg, [ h ]) -> (cfg, Some h)
+      | Some _ -> ([], Some "malformed")  (* forces rejection below *)
+      | None -> (tail, None)
+    in
+    let hash =
+      match hash_part with
+      | None -> Ok None
+      | Some h -> (
+        match Int64.of_string_opt ("0x" ^ h) with
+        | Some v when String.length h = 16 -> Ok (Some v)
+        | _ -> Error ())
+    in
+    match hash with
+    | Error () -> None
+    | Ok hash -> (
+    match
+      cfg_part |> List.map int_of_string |> Array.of_list |> GP.config_of_array
     with
     | exception _ -> None
     | cfg -> (
@@ -325,7 +405,7 @@ let parse_plan_line line =
             GP.input ~dtype ~a_trans ~b_trans (int_of_string m)
               (int_of_string n) (int_of_string k)
           with
-          | input -> Some (Gemm_entry (input, cfg))
+          | input -> Some (Gemm_entry (input, cfg, hash))
           | exception _ -> None)
         | _ -> None)
       | [ "conv"; n; c; k; p; q; r; s; stride; pad; dt ] -> (
@@ -339,9 +419,9 @@ let parse_plan_line line =
               ~q:(int_of_string q) ~r:(int_of_string r) ~s:(int_of_string s)
               ()
           with
-          | input -> Some (Conv_entry (input, cfg))
+          | input -> Some (Conv_entry (input, cfg, hash))
           | exception _ -> None))
-      | _ -> None))
+      | _ -> None)))
 
 let load_plans t path =
   match
@@ -386,21 +466,57 @@ let load_plans t path =
                     m "%s:%d: skipping malformed plan line" path (lineno + 2)))
           rest;
         let entries = List.rev !entries in
+        (* The packed-kernel companion is advisory: plan lines are
+           authoritative, but when the corpus is present every referenced
+           hash must resolve to a (hash-verified) packed kernel, and a
+           stale reference is skipped rather than served. A missing
+           corpus (v2 caches, or a copied-without-sibling file) loads
+           with hashes taken on faith from the plan lines. *)
+        let corpus_hashes =
+          let cpath = corpus_path path in
+          if not (Sys.file_exists cpath) then None
+          else
+            match Ptx.Encode.load_corpus ~path:cpath with
+            | Ok kernels ->
+              let set = Hashtbl.create 16 in
+              List.iter
+                (fun k -> Hashtbl.replace set (Ptx.Encode.hash k) ())
+                kernels;
+              Some set
+            | Error e ->
+              Obs.Metrics.incr "plans.corpus_load_failures";
+              Log.warn (fun m ->
+                  m "%s: ignoring unreadable kernel corpus (%s)" cpath e);
+              None
+        in
+        let resolves hash =
+          match (hash, corpus_hashes) with
+          | Some h, Some set ->
+            let ok = Hashtbl.mem set h in
+            if not ok then begin
+              Obs.Metrics.incr "plans.kernel_unresolved";
+              Log.warn (fun m ->
+                  m "%s: plan references kernel %s absent from corpus; \
+                     skipping" path (Ptx.Encode.hash_hex h))
+            end;
+            ok
+          | _ -> true
+        in
         let installed = ref 0 in
         List.iter
           (fun entry ->
             match entry with
-            | Gemm_entry (input, cfg) ->
-              if GP.structurally_legal input cfg then begin
+            | Gemm_entry (input, cfg, hash) ->
+              if GP.structurally_legal input cfg && resolves hash then begin
                 Hashtbl.replace t.gemm_cache input
-                  (plan_of_config t (GP.cost input cfg) cfg,
+                  (plan_of_config t ~kernel_hash:hash (GP.cost input cfg) cfg,
                    Unix.gettimeofday ());
                 incr installed
               end
-            | Conv_entry (input, cfg) ->
-              if CP.structurally_legal input cfg then begin
+            | Conv_entry (input, cfg, hash) ->
+              if CP.structurally_legal input cfg && resolves hash then begin
                 Hashtbl.replace t.conv_cache input
-                  (plan_of_config t (CP.cost input cfg) cfg,
+                  (plan_of_config t ~kernel_hash:hash (CP.cost input cfg) cfg,
                    Unix.gettimeofday ());
                 incr installed
               end)

@@ -36,6 +36,12 @@ type plan = {
       {!Tuner.Search.result.phases}; empty for plans re-measured from a
       {!load_plans} cache file, which skip the search entirely. Shown by
       [isaac_query --timing]. *)
+  kernel_hash : int64 option;
+  (** {!Ptx.Encode.hash} of the generated kernel — the O(1) identity
+      under which the plan cache dedups kernels across (op, shape)
+      entries and the v3 artifact references its packed-kernel corpus.
+      [None] when the kernel exceeds the fixed-width encoding fields
+      (never for generated Table 4/5 kernels). *)
 }
 
 val tune :
@@ -115,8 +121,14 @@ val explain_conv : t -> Codegen.Conv_params.input -> string
 val save_plans : t -> string -> unit
 (** Persist the kernel-plan cache to disk — §6: inferred kernels may be
     "cached on the filesystem" so later runs skip the search. Written
-    through {!Util.Artifact.write} (kind ["isaac-plans"]): atomic and
-    checksummed, so a crash mid-save leaves the previous cache intact. *)
+    through {!Util.Artifact.write} (kind ["isaac-plans"], version 3):
+    atomic and checksummed, so a crash mid-save leaves the previous
+    cache intact. Each plan line carries the kernel's {!Ptx.Encode}
+    hash, and the packed kernels themselves — deduplicated across
+    (op, shape) entries by that hash — are written to a sibling binary
+    corpus at [path ^ ".kernels"] ({!Ptx.Encode.save_corpus}), keeping
+    the plans file greppable text while the kernel payload ships in the
+    dense wire format (several times smaller than kernel source). *)
 
 val load_plans : t -> string -> (int, string) result
 (** Pre-seed the plan cache from a file written by {!save_plans}: each
@@ -127,6 +139,11 @@ val load_plans : t -> string -> (int, string) result
     leaves the cache untouched. Individual malformed lines and entries
     whose configuration is no longer legal are skipped (counted in the
     [plans.skipped_lines] metric) rather than aborting the load.
-    [Ok n] is the number of plans installed. *)
+    Version 2 caches (no kernel hashes) still load. When the sibling
+    packed-kernel corpus exists, every referenced hash must resolve to a
+    hash-verified corpus entry; stale references are skipped (counted in
+    [plans.kernel_unresolved]), and an unreadable corpus is ignored with
+    a warning ([plans.corpus_load_failures]) since the plan lines are
+    authoritative. [Ok n] is the number of plans installed. *)
 
 val clear_cache : t -> unit

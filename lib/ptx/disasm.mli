@@ -3,6 +3,7 @@
     PTX syntax (guards as [@%p] / [@!%p], [ld.shared.f32], etc.) but is not
     meant to be assembled by ptxas. *)
 
+val special_name : Types.special -> string
 val operand_i : Types.ioperand -> string
 val operand_f : Types.foperand -> string
 val instr : Types.dtype -> Instr.t -> string

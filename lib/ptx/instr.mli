@@ -62,6 +62,18 @@ type t = {
 val mk : ?guard:preg * bool -> op -> t
 (** Build an instruction, unguarded by default. *)
 
+val opcode : op -> int
+(** Stable binary opcode number used by {!Encode}'s packed instruction
+    words. Follows constructor order; persisted artifacts and kernel
+    hashes depend on it, so existing numbers never change. *)
+
+val n_opcodes : int
+(** Exclusive upper bound of {!opcode}. *)
+
+val opcode_name : int -> string
+(** Short mnemonic for an opcode number (["?"] when out of range); used
+    by the [--dump-binary] field breakdown. *)
+
 (** Category used by dynamic instruction counting in the interpreter and by
     the static analysis; the timing model consumes these mixes. *)
 type category =

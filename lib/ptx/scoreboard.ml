@@ -170,10 +170,13 @@ let resolve_ud (p : Program.t) =
       (List.map (reg_id p) u, List.map (reg_id p) d))
     p.Program.body
 
+(* Returns the stall cycles charged at [pc] (0 for labels), so the binary
+   encoder can persist per-instruction nva-style control info without
+   re-deriving the schedule. *)
 let step lat (body : Instr.t array) ud sim pc =
   let instr = body.(pc) in
   match instr.Instr.op with
-  | Instr.Label _ -> ()
+  | Instr.Label _ -> 0
   | op ->
     let uid, did = ud.(pc) in
     let dep = ref 0 in
@@ -241,7 +244,8 @@ let step lat (body : Instr.t array) ud sim pc =
     (match pipe_of op with
      | Some pp -> sim.prev <- Some (uid, did, pp)
      | None -> ());
-    sim.clock <- issue_at + 1
+    sim.clock <- issue_at + 1;
+    stall
 
 (* Dataflow-only critical path (cycles) and dependence depth
    (instructions), both with infinite issue width. [Bar] acts as a
@@ -323,7 +327,7 @@ let analyze ?(lat = default_latency) (p : Program.t) =
     let ud = resolve_ud p in
     let nregs = n_regs p in
     let nb = Array.length cfg.Cfg.blocks in
-    let run_sim pcs sim = List.iter (step lat body ud sim) pcs in
+    let run_sim pcs sim = List.iter (fun pc -> ignore (step lat body ud sim pc)) pcs in
     let run_crit pcs c = List.iter (crit_step lat body ud c) pcs in
     let block_pcs (blk : Cfg.block) =
       List.init (blk.Cfg.last - blk.Cfg.first + 1) (fun i -> blk.Cfg.first + i)
@@ -415,9 +419,9 @@ let analyze ?(lat = default_latency) (p : Program.t) =
     let compute_lat = { lat with global = lat.alu; shared = lat.alu } in
     let steady_rate pcs =
       let sim = fresh_sim nregs in
-      List.iter (step compute_lat body ud sim) pcs;
+      List.iter (fun pc -> ignore (step compute_lat body ud sim pc)) pcs;
       let s1, f1 = (sim.fp_stalls, sim.fmas) in
-      List.iter (step compute_lat body ud sim) pcs;
+      List.iter (fun pc -> ignore (step compute_lat body ud sim pc)) pcs;
       let stalls = sim.fp_stalls - s1 and fmas = sim.fmas - f1 in
       if fmas = 0 then 0.0
       else float_of_int fmas /. float_of_int (fmas + stalls)
@@ -458,7 +462,7 @@ let analyze ?(lat = default_latency) (p : Program.t) =
         let issued = float_of_int sim.issued in
         let rate =
           let s = fresh_sim nregs in
-          List.iter (step compute_lat body ud s) pcs;
+          List.iter (fun pc -> ignore (step compute_lat body ud s pc)) pcs;
           if s.fmas = 0 then 0.0
           else float_of_int s.fmas /. float_of_int (s.fmas + s.fp_stalls)
         in
@@ -477,6 +481,27 @@ let analyze ?(lat = default_latency) (p : Program.t) =
     in
     ignore nb;
     Ok { blocks; loops; summary }
+
+(* Per-instruction stall cycles from the per-block issue simulation (the
+   first-execution schedule, inputs ready at cycle 0 — the same pass
+   [analyze] reports in [block_sched.stall_cycles]). Indexed by original
+   pc; labels are 0. Consumed by [Encode] as nva-style control info. *)
+let instr_stalls ?(lat = default_latency) (p : Program.t) =
+  match Cfg.build p with
+  | Error e -> Error e
+  | Ok cfg ->
+    let body = p.Program.body in
+    let ud = resolve_ud p in
+    let nregs = n_regs p in
+    let out = Array.make (max 1 (Array.length body)) 0 in
+    Array.iter
+      (fun (blk : Cfg.block) ->
+        let sim = fresh_sim nregs in
+        for pc = blk.Cfg.first to blk.Cfg.last do
+          out.(pc) <- step lat body ud sim pc
+        done)
+      cfg.Cfg.blocks;
+    Ok out
 
 (* ------------------------------------------------------------------ *)
 (* Lints                                                              *)

@@ -124,6 +124,13 @@ val analyze : ?lat:latency -> Program.t -> (t, string) result
     (same conditions as {!Cfg.build}; a [Verify]-clean program always
     analyzes). *)
 
+val instr_stalls : ?lat:latency -> Program.t -> (int array, string) result
+(** Per-original-pc stall cycles from the same per-block first-execution
+    schedule {!analyze} reports ([Label] entries are 0; block sums equal
+    {!block_sched.stall_cycles}). [Encode] embeds these as per-word
+    control info, mirroring real SASS encoders. [Error] iff the CFG
+    cannot be built. *)
+
 (** {1 Scheduling lints}
 
     Computed from the same def-use and liveness information; surfaced as

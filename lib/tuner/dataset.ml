@@ -402,3 +402,63 @@ let throughput_probe rng device ~n =
   let (_ : t) = generate_gemm rng device ~n in
   let dt = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
   float_of_int n /. dt
+
+(* --- packed-kernel corpus export ---------------------------------- *)
+
+let export_kernel_corpus ?dtypes ?(warmup = 2_000) ~op rng device ~n ~path =
+  let sampler, random_input, legal, generate =
+    match op with
+    | `Gemm ->
+      ( fit_gemm_sampler ~warmup ?dtypes rng device,
+        (fun rng -> `G (random_gemm_input ?dtypes rng)),
+        (fun input c ->
+          match input with `G i -> gemm_legal device i c | `C _ -> false),
+        fun input c ->
+          match input with
+          | `G i -> Codegen.Gemm.generate i (GP.config_of_array c)
+          | `C _ -> assert false )
+    | `Conv ->
+      ( fit_conv_sampler ~warmup ?dtypes rng device,
+        (fun rng -> `C (random_conv_input ?dtypes rng)),
+        (fun input c ->
+          match input with `C i -> conv_legal device i c | `G _ -> false),
+        fun input c ->
+          match input with
+          | `C i -> Codegen.Conv.generate i (GP.config_of_array c)
+          | `G _ -> assert false )
+  in
+  let kernels = ref [] and seen = Hashtbl.create 64 in
+  let accepted = ref 0 and skips = ref 0 in
+  while !accepted < n do
+    let input = random_input rng in
+    let drawn =
+      Sampler.sample_legal rng sampler ~legal:(fun c -> legal input c)
+    in
+    match drawn with
+    | None ->
+      Obs.Metrics.incr "dataset.skipped_inputs";
+      incr skips;
+      if !skips >= max_consecutive_skips then
+        failwith
+          (Printf.sprintf
+             "Dataset.export_kernel_corpus: no legal configuration in %d \
+              consecutive input draws — the restricted configuration space \
+              appears to be empty"
+             !skips)
+    | Some cfg_array -> (
+      skips := 0;
+      incr accepted;
+      (* Encode the register-allocated kernel: the packed format's
+         fixed-width fields size a physical register file, and the
+         canonical form is what the plan cache hashes. *)
+      match Ptx.Encode.encode (Ptx.Regalloc.allocate (generate input cfg_array)) with
+      | Error _ -> Obs.Metrics.incr "dataset.kernel_encode_failures"
+      | Ok e ->
+        let h = Ptx.Encode.hash e in
+        if not (Hashtbl.mem seen h) then begin
+          Hashtbl.add seen h ();
+          kernels := e :: !kernels
+        end)
+  done;
+  Ptx.Encode.save_corpus ~path (List.rev !kernels);
+  Hashtbl.length seen

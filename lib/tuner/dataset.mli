@@ -119,3 +119,23 @@ val throughput_probe :
     simulated device beats by construction; reported for completeness).
     Measured in wall-clock time, so multi-domain runs are not credited
     with their summed CPU time. *)
+
+val export_kernel_corpus :
+  ?dtypes:Ptx.Types.dtype list ->
+  ?warmup:int ->
+  op:[ `Gemm | `Conv ] ->
+  Util.Rng.t ->
+  Gpu.Device.t ->
+  n:int ->
+  path:string ->
+  int
+(** Sample [n] legal (input, configuration) pairs exactly as dataset
+    generation does, lower each to its kernel, and persist the
+    register-allocated kernels in {!Ptx.Encode}'s packed binary corpus
+    format at [path] (kind ["isaac-packed-kernels"], deduplicated by
+    kernel hash — the same identity the plan cache uses, so a dataset's
+    kernel population can be joined against served plans). Kernels that
+    exceed the fixed-width encoding even post-allocation are counted in
+    [dataset.kernel_encode_failures] and skipped. Returns the number of
+    distinct kernels written. Deterministic given the rng; raises
+    [Failure] like [generate_*] when the restricted space is empty. *)

@@ -250,6 +250,7 @@ let synthetic_sample i =
   c.Ptx.Interp.shared_transactions <- 7 * i;
   c.Ptx.Interp.bar <- i;
   { Gpu.Attribution.label = Printf.sprintf "cfg%d" i;
+    kernel_hash = None;
     report =
       perf_report
         ~arith:(1e-9 *. float_of_int (100 * i))

@@ -1,0 +1,379 @@
+(* Binary encoding round-trips, three ways:
+
+   1. qcheck: [decode (encode p) = p] and [of_bytes (to_bytes e) = e]
+      over random valid programs (random register files, guards, labels,
+      wide and inline immediates — wide ones exercise the constant
+      pools).
+
+   2. Real generated kernels across the Table 4/5 suites: exact
+      encode/decode and wire round-trips, the [asm -> disasm -> asm]
+      fixed point the round-trip tests depend on, control-info
+      consistency with the scoreboard schedule, and hash-collision
+      sanity (distinct programs => distinct hashes; renamed copies of
+      the same kernel hash identically — the plan cache's cross-shape
+      dedup key).
+
+   3. Kernel-corpus artifacts: save/load with dedup and hash
+      verification. *)
+
+open Ptx.Types
+module I = Ptx.Instr
+module E = Ptx.Encode
+module GP = Codegen.Gemm_params
+module CP = Codegen.Conv_params
+
+let quick name f = Alcotest.test_case name `Quick f
+
+(* Structural equality that treats NaN float immediates as equal. *)
+let same_program (a : Ptx.Program.t) (b : Ptx.Program.t) = compare a b = 0
+
+let encode_exn p =
+  match E.encode p with
+  | Ok e -> e
+  | Error e -> Alcotest.failf "encode failed: %s" e
+
+let decode_exn e =
+  match E.decode e with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Random programs                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A random but always-valid program: registers drawn inside a fixed
+   file, labels emitted before any branch that targets them (backward
+   branches only, guarded so the interpreter semantics don't matter —
+   only the structure does here). *)
+let gen_program : Ptx.Program.t QCheck.Gen.t =
+  QCheck.Gen.(
+    let nf = 8 and ni = 8 and np = 4 in
+    let ireg = map (fun r -> Ireg r) (int_bound (ni - 1)) in
+    let imm =
+      frequency
+        [ (3, map (fun v -> Iimm (v - 100)) (int_bound 200));
+          (1, map (fun v -> Iimm ((v * 7919) - 400_000)) (int_bound 100_000)) ]
+    in
+    let ioperand =
+      frequency
+        [ (4, ireg); (2, imm);
+          (1, map (fun s -> Iparam (s mod 2)) (int_bound 10));
+          (1,
+           map
+             (fun s ->
+               Ispecial
+                 [| Tid_x; Tid_y; Tid_z; Ctaid_x; Ctaid_y; Ctaid_z; Ntid_x;
+                    Ntid_y; Ntid_z; Nctaid_x; Nctaid_y; Nctaid_z |].(s mod 12))
+             (int_bound 11)) ]
+    in
+    let foperand =
+      frequency
+        [ (3, map (fun r -> Freg r) (int_bound (nf - 1)));
+          (1, map (fun v -> Fimm ((float_of_int v *. 0.37) -. 9.0)) (int_bound 1000)) ]
+    in
+    let dst_i = int_bound (ni - 1) and dst_f = int_bound (nf - 1) in
+    let dst_p = int_bound (np - 1) in
+    let cmp = map (fun c -> [| Eq; Ne; Lt; Le; Gt; Ge |].(c mod 6)) (int_bound 5) in
+    let op =
+      frequency
+        [ (3, map2 (fun d a -> I.Mov (d, a)) dst_i ioperand);
+          (3, map3 (fun d a b -> I.Iadd (d, a, b)) dst_i ioperand ioperand);
+          (2, map3 (fun d a b -> I.Isub (d, a, b)) dst_i ioperand ioperand);
+          (2, map3 (fun d a b -> I.Imul (d, a, b)) dst_i ioperand ioperand);
+          (1, map3 (fun d a b -> I.Ishl (d, a, b)) dst_i ioperand ioperand);
+          (1, map3 (fun d a b -> I.Iand (d, a, b)) dst_i ioperand ioperand);
+          (2,
+           (fun st ->
+             I.Imad (dst_i st, ioperand st, ioperand st, ioperand st)));
+          (2,
+           (fun st -> I.Setp (cmp st, dst_p st, ioperand st, ioperand st)));
+          (1, map3 (fun d a b -> I.And_p (d, a, b)) dst_p dst_p dst_p);
+          (1, map2 (fun d a -> I.Not_p (d, a)) dst_p dst_p);
+          (2, map2 (fun d a -> I.Movf (d, a)) dst_f foperand);
+          (2, map3 (fun d a b -> I.Fadd (d, a, b)) dst_f foperand foperand);
+          (2,
+           (fun st ->
+             I.Ffma (dst_f st, foperand st, foperand st, foperand st)));
+          (1, map2 (fun d a -> I.Ld_global (d, 0, a)) dst_f ioperand);
+          (1, map2 (fun d a -> I.Ld_shared (d, a)) dst_f ioperand);
+          (1, map2 (fun a v -> I.St_global (1, a, v)) ioperand foperand);
+          (1, map2 (fun a v -> I.St_shared (a, v)) ioperand foperand);
+          (1, map2 (fun a v -> I.Atom_global_add (1, a, v)) ioperand foperand) ]
+    in
+    let guarded =
+      map2
+        (fun g (o : I.op) ->
+          match g with
+          | 0 -> I.mk o
+          | 1 -> I.mk ~guard:(0, true) o
+          | _ -> I.mk ~guard:(1, false) o)
+        (int_bound 5) op
+    in
+    map2
+      (fun steps with_loop ->
+        let body = List.map (fun i -> i) steps in
+        let body =
+          if with_loop && body <> [] then
+            (I.mk (I.Label "top") :: body)
+            @ [ I.mk ~guard:(2, true) (I.Bra "top") ]
+          else body
+        in
+        let body = body @ [ I.mk I.Ret ] in
+        { Ptx.Program.name = "rand";
+          dtype = F32;
+          buf_params = [| "IN"; "OUT" |];
+          int_params = [| "M"; "N" |];
+          shared_words = 16;
+          shared_int_words = 4;
+          body = Array.of_list body;
+          n_fregs = nf;
+          n_iregs = ni;
+          n_pregs = np })
+      (list_size (int_range 1 40) guarded)
+      bool)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"decode (encode p) = p" ~count:500
+    (QCheck.make gen_program)
+    (fun p ->
+      (match Ptx.Program.validate p with Ok () -> () | Error e -> failwith e);
+      match E.encode p with
+      | Error e -> failwith e
+      | Ok enc -> (
+        let wire =
+          match E.of_bytes (E.to_bytes enc) with
+          | Ok w -> w
+          | Error e -> failwith ("of_bytes: " ^ e)
+        in
+        if compare wire enc <> 0 then failwith "wire round-trip mismatch";
+        if E.hash wire <> E.hash enc then failwith "wire hash drift";
+        match E.decode enc with
+        | Error e -> failwith ("decode: " ^ e)
+        | Ok p' -> same_program p p'))
+
+(* ------------------------------------------------------------------ *)
+(* Generated kernels across the suites                                *)
+(* ------------------------------------------------------------------ *)
+
+let base_cfg =
+  { GP.ms = 2; ns = 2; ks = 1; ml = 16; nl = 16; u = 8; kl = 1; kg = 1;
+    vec = 1; db = 1 }
+
+let configs =
+  [ base_cfg;
+    { base_cfg with ns = 4; vec = 2; db = 2 };
+    { base_cfg with kl = 2 };
+    { base_cfg with ks = 2 };
+    { base_cfg with kg = 2 };
+    { base_cfg with ms = 4; ns = 4; ml = 32; nl = 32; u = 4 } ]
+
+(* Kernels for every Table 4 task (all groups, fp32 + mixed suites) and
+   the Table 5-style conv shapes, across configs and bounds modes. *)
+let suite_kernels () =
+  let kernels = ref [] in
+  let add name p = kernels := (name, p) :: !kernels in
+  let tasks =
+    Workloads.Gemm_suites.fp32_suite ~mk:1760
+    @ Workloads.Gemm_suites.mixed_suite ~mk:1760
+  in
+  List.iter
+    (fun (t : Workloads.Gemm_suites.task) ->
+      List.iteri
+        (fun ci cfg ->
+          if GP.structurally_legal t.input cfg then
+            List.iter
+              (fun (bname, bounds) ->
+                add
+                  (Printf.sprintf "%s/%s cfg%d %s" t.group t.label ci bname)
+                  (Codegen.Gemm.generate ~bounds t.input cfg))
+              [ ("exact", GP.Unchecked); ("pred", GP.Predicated);
+                ("branch", GP.Branch) ])
+        configs)
+    tasks;
+  List.iter
+    (fun (name, i) ->
+      List.iteri
+        (fun ci cfg ->
+          if CP.structurally_legal i cfg then
+            add
+              (Printf.sprintf "conv %s cfg%d" name ci)
+              (Codegen.Conv.generate i cfg))
+        configs)
+    [ ("5x5 pad1", CP.input ~pad:1 ~n:1 ~c:2 ~k:4 ~p:5 ~q:5 ~r:3 ~s:3 ());
+      ("stride2", CP.input ~stride:2 ~n:2 ~c:3 ~k:4 ~p:4 ~q:4 ~r:3 ~s:3 ()) ];
+  List.rev !kernels
+
+let test_kernel_roundtrip () =
+  let kernels = suite_kernels () in
+  if List.length kernels < 20 then
+    Alcotest.failf "suite too small: %d kernels" (List.length kernels);
+  List.iter
+    (fun (name, p) ->
+      let enc = encode_exn p in
+      let p' = decode_exn enc in
+      if not (same_program p p') then
+        Alcotest.failf "%s: decode(encode p) <> p" name;
+      (match E.of_bytes (E.to_bytes enc) with
+       | Error e -> Alcotest.failf "%s: of_bytes: %s" name e
+       | Ok wire ->
+         if compare wire enc <> 0 then
+           Alcotest.failf "%s: wire round-trip mismatch" name);
+      (* The packed form must be denser than the text form. *)
+      let text = String.length (Ptx.Disasm.program p) in
+      let packed = E.byte_size enc in
+      if packed * 3 > text * 2 then
+        Alcotest.failf "%s: packed %dB not dense vs %dB text" name packed text)
+    kernels
+
+let test_disasm_fixed_point () =
+  List.iter
+    (fun (name, p) ->
+      let text = Ptx.Disasm.program p in
+      let p' =
+        match Ptx.Asm.parse text with
+        | Ok p' -> p'
+        | Error e -> Alcotest.failf "%s: reparse failed: %s" name e
+      in
+      if not (same_program p p') then
+        Alcotest.failf "%s: asm -> disasm -> asm not a fixed point" name;
+      let text' = Ptx.Disasm.program p' in
+      if text <> text' then
+        Alcotest.failf "%s: disasm text not stable under reparse" name)
+    (suite_kernels ())
+
+let test_control_info () =
+  List.iter
+    (fun (name, p) ->
+      let enc = encode_exn p in
+      match Ptx.Scoreboard.analyze p with
+      | Error e -> Alcotest.failf "%s: scoreboard: %s" name e
+      | Ok t ->
+        let total_sched =
+          Array.fold_left
+            (fun acc (b : Ptx.Scoreboard.block_sched) -> acc + b.stall_cycles)
+            0 t.Ptx.Scoreboard.blocks
+        in
+        let saturated = Array.exists (fun c -> c = 255) enc.E.ctrl in
+        let total_ctrl = Array.fold_left ( + ) 0 enc.E.ctrl in
+        if saturated then begin
+          if total_ctrl > total_sched then
+            Alcotest.failf "%s: control info exceeds schedule stalls" name
+        end
+        else if total_ctrl <> total_sched then
+          Alcotest.failf
+            "%s: control-info stalls %d disagree with scoreboard %d" name
+            total_ctrl total_sched)
+    (suite_kernels ())
+
+let test_hashes () =
+  let kernels = suite_kernels () in
+  let by_hash = Hashtbl.create 64 in
+  List.iter
+    (fun (name, p) ->
+      let enc = encode_exn p in
+      let h = E.hash enc in
+      (* Hash ignores the entry name: a renamed copy dedups. *)
+      let renamed = encode_exn { p with Ptx.Program.name = "other" } in
+      if E.hash renamed <> h then
+        Alcotest.failf "%s: hash depends on kernel name" name;
+      match Hashtbl.find_opt by_hash h with
+      | Some (name0, p0) ->
+        if not (same_program { p0 with Ptx.Program.name = "" }
+                  { p with Ptx.Program.name = "" }) then
+          Alcotest.failf "%s / %s: distinct programs share hash %s" name0 name
+            (E.hash_hex h)
+      | None -> Hashtbl.add by_hash h (name, p))
+    kernels;
+  (* A one-instruction perturbation must change the hash. *)
+  match kernels with
+  | (_, p) :: _ ->
+    let body = Array.copy p.Ptx.Program.body in
+    let swapped = ref false in
+    Array.iteri
+      (fun i (ins : I.t) ->
+        if not !swapped then
+          match ins.I.op with
+          | I.Iadd (d, a, b) ->
+            body.(i) <- { ins with I.op = I.Isub (d, a, b) };
+            swapped := true
+          | _ -> ())
+      body;
+    if !swapped then begin
+      let h0 = E.hash (encode_exn p) in
+      let h1 = E.hash (encode_exn { p with Ptx.Program.body = body }) in
+      if h0 = h1 then Alcotest.fail "perturbed kernel kept its hash"
+    end
+  | [] -> ()
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_field_overflow () =
+  let p =
+    { Ptx.Program.name = "wide";
+      dtype = F32;
+      buf_params = [| "OUT" |];
+      int_params = [||];
+      shared_words = 0;
+      shared_int_words = 0;
+      body =
+        [| I.mk (I.Mov (300, Iimm 0)); I.mk I.Ret |];
+      n_fregs = 0;
+      n_iregs = 512;
+      n_pregs = 0 }
+  in
+  match E.encode p with
+  | Ok _ -> Alcotest.fail "register 300 must overflow the 8-bit field"
+  | Error e ->
+    if String.length e = 0 then Alcotest.fail "empty overflow message"
+
+let test_corpus () =
+  let kernels = suite_kernels () in
+  let encs = List.map (fun (_, p) -> encode_exn p) kernels in
+  let dir = Filename.temp_file "corpus" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "kernels.bin" in
+  (* Duplicate the list: save_corpus must dedup by hash. *)
+  E.save_corpus ~fsync:false ~path (encs @ encs);
+  (match E.load_corpus ~path with
+   | Error e -> Alcotest.failf "load_corpus: %s" e
+   | Ok loaded ->
+     let uniq = Hashtbl.create 16 in
+     List.iter (fun e -> Hashtbl.replace uniq (E.hash e) ()) encs;
+     if List.length loaded <> Hashtbl.length uniq then
+       Alcotest.failf "corpus not deduplicated: %d vs %d" (List.length loaded)
+         (Hashtbl.length uniq);
+     List.iter
+       (fun e ->
+         if not (Hashtbl.mem uniq (E.hash e)) then
+           Alcotest.fail "corpus returned an unknown kernel")
+       loaded);
+  Sys.remove path;
+  Unix.rmdir dir
+
+let test_dump () =
+  let _, p = List.hd (suite_kernels ()) in
+  let enc = encode_exn p in
+  let d = E.dump enc in
+  if String.length d < 100 then Alcotest.fail "dump suspiciously short";
+  List.iter
+    (fun needle ->
+      if not (contains_sub d needle) then
+        Alcotest.failf "dump misses %S" needle)
+    [ "hash="; "stall="; "op="; "pools:" ]
+
+let () =
+  Alcotest.run "encode"
+    [ ("random", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+      ( "kernels",
+        [ quick "encode/decode + wire round-trip" test_kernel_roundtrip;
+          quick "asm -> disasm -> asm fixed point" test_disasm_fixed_point;
+          quick "control info matches scoreboard stalls" test_control_info;
+          quick "hash: distinct kernels, name-independent" test_hashes;
+          quick "field overflow is a clean error" test_field_overflow ] );
+      ( "artifacts",
+        [ quick "corpus save/load with dedup" test_corpus;
+          quick "dump is human-readable" test_dump ] ) ]

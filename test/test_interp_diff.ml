@@ -262,9 +262,11 @@ let check_same name (out_ref, c_ref) (out_got, c_got) =
     Alcotest.failf "%s: counters differ:\n  ref: %s\n  got: %s" name
       (Ptx.Interp.summary c_ref) (Ptx.Interp.summary c_got)
 
-(* Launch the same program + inputs through all three paths and insist
-   they are indistinguishable. Fresh output buffers per launch so an
-   atomics kernel (kg > 1) accumulates from zero each time. *)
+(* Launch the same program + inputs through the naive reference and both
+   production engines (flat bytecode and threaded closures) at 1 and 4
+   domains, and insist all five runs are indistinguishable. Fresh output
+   buffers per launch so an atomics kernel (kg > 1) accumulates from
+   zero each time. *)
 let diff_launch name program ~grid ~block ~bufs ~iargs ~out_len =
   let launch run =
     let out = Array.make out_len 0.0 in
@@ -274,14 +276,20 @@ let diff_launch name program ~grid ~block ~bufs ~iargs ~out_len =
   let reference =
     launch (fun bufs -> Ptx.Interp_ref.run program ~grid ~block ~bufs ~iargs)
   in
-  let serial =
-    launch (fun bufs -> Ptx.Interp.run ~domains:1 program ~grid ~block ~bufs ~iargs)
-  in
-  let par =
-    launch (fun bufs -> Ptx.Interp.run ~domains:4 program ~grid ~block ~bufs ~iargs)
-  in
-  check_same (name ^ " [domains=1]") reference serial;
-  check_same (name ^ " [domains=4]") reference par
+  List.iter
+    (fun (ename, engine) ->
+      List.iter
+        (fun domains ->
+          let got =
+            launch (fun bufs ->
+                Ptx.Interp.run ~engine ~domains program ~grid ~block ~bufs
+                  ~iargs)
+          in
+          check_same
+            (Printf.sprintf "%s [%s domains=%d]" name ename domains)
+            reference got)
+        [ 1; 4 ])
+    [ ("bytecode", `Bytecode); ("closures", `Closures) ]
 
 let gemm_case ?bounds name (m, n, k) (cfg : GP.config) =
   let input = GP.input m n k in

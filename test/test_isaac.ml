@@ -6,6 +6,13 @@ let () = Unix.putenv "ISAAC_SEARCH_CAP" "4000"
 
 let slow name f = Alcotest.test_case name `Slow f
 
+(* save_plans writes a sibling packed-kernel corpus next to the plans
+   file; tests must clean up both. *)
+let remove_plans path =
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; path ^ ".kernels" ]
+
 module GP = Codegen.Gemm_params
 module CP = Codegen.Conv_params
 
@@ -111,7 +118,7 @@ let test_profile_roundtrip_through_engine () =
   let engine = Lazy.force gemm_engine in
   let path = Filename.temp_file "isaac_engine" ".profile" in
   Fun.protect
-    ~finally:(fun () -> Sys.remove path)
+    ~finally:(fun () -> remove_plans path)
     (fun () ->
       Tuner.Profile.save (Isaac.profile engine) path;
       let engine2 = Isaac.of_profile Gpu.Device.gtx980ti (Tuner.Profile.load_exn path) in
@@ -139,7 +146,7 @@ let test_plan_cache_roundtrip () =
   let plans = List.map (fun i -> Option.get (Isaac.plan_gemm engine i)) inputs in
   let path = Filename.temp_file "isaac_plans" ".txt" in
   Fun.protect
-    ~finally:(fun () -> Sys.remove path)
+    ~finally:(fun () -> remove_plans path)
     (fun () ->
       Isaac.save_plans engine path;
       (* A fresh engine with the same profile: loading must pre-seed the
@@ -161,7 +168,7 @@ let test_plan_cache_conv_and_empty () =
   Isaac.clear_cache engine;
   let path = Filename.temp_file "isaac_plans" ".txt" in
   Fun.protect
-    ~finally:(fun () -> Sys.remove path)
+    ~finally:(fun () -> remove_plans path)
     (fun () ->
       (* Empty cache round-trips to an empty cache. *)
       Isaac.save_plans engine path;
@@ -187,7 +194,7 @@ let test_plan_cache_rejects_garbage () =
   let engine = Lazy.force gemm_engine in
   let path = Filename.temp_file "isaac_plans" ".txt" in
   Fun.protect
-    ~finally:(fun () -> Sys.remove path)
+    ~finally:(fun () -> remove_plans path)
     (fun () ->
       let oc = open_out path in
       output_string oc "not a plan cache\n";
@@ -204,7 +211,7 @@ let test_plan_cache_detects_corruption () =
   ignore (Isaac.plan_gemm engine (GP.input 256 256 256));
   let path = Filename.temp_file "isaac_plans" ".txt" in
   Fun.protect
-    ~finally:(fun () -> Sys.remove path)
+    ~finally:(fun () -> remove_plans path)
     (fun () ->
       Isaac.save_plans engine path;
       let ic = open_in_bin path in
@@ -241,11 +248,11 @@ let test_plan_cache_skips_malformed_lines () =
   let plan = Option.get (Isaac.plan_gemm engine input) in
   let path = Filename.temp_file "isaac_plans" ".txt" in
   Fun.protect
-    ~finally:(fun () -> Sys.remove path)
+    ~finally:(fun () -> remove_plans path)
     (fun () ->
       Isaac.save_plans engine path;
       let payload =
-        match Util.Artifact.read ~path ~kind:"isaac-plans" ~max_version:2 with
+        match Util.Artifact.read ~path ~kind:"isaac-plans" ~max_version:3 with
         | Ok (_, p) -> p
         | Error e -> Alcotest.fail (Util.Artifact.error_to_string ~path e)
       in
@@ -253,10 +260,11 @@ let test_plan_cache_skips_malformed_lines () =
         payload
         ^ "gemm 12 12 not-an-int f32 false false : 1 2 3\n"
         ^ "gemm 12 12 12 f99 false false : 16 16 16 4 4 2 1 1 1 1\n"
+        ^ "gemm 12 12 12 f32 false false : 16 16 16 4 4 2 1 1 1 1 @ nothex\n"
         ^ "mystery-op 1 2 3 : 4 5 6\n"
         ^ "no colon at all\n"
       in
-      Util.Artifact.write ~path ~kind:"isaac-plans" ~version:2 doctored;
+      Util.Artifact.write ~path ~kind:"isaac-plans" ~version:3 doctored;
       let engine2 = Isaac.of_profile Gpu.Device.gtx980ti (Isaac.profile engine) in
       match Isaac.load_plans engine2 path with
       | Error e -> Alcotest.fail e
@@ -275,7 +283,7 @@ let test_load_plans_does_not_perturb_planning () =
   ignore (Isaac.plan_gemm engine (GP.input 256 256 256));
   let path = Filename.temp_file "isaac_plans" ".txt" in
   Fun.protect
-    ~finally:(fun () -> Sys.remove path)
+    ~finally:(fun () -> remove_plans path)
     (fun () ->
       Isaac.save_plans engine path;
       let probe = GP.input ~b_trans:true 192 192 768 in
@@ -295,6 +303,63 @@ let test_load_plans_does_not_perturb_planning () =
         (GP.equal_config without_load.config with_load.config);
       Alcotest.(check (float 1e-12)) "same measurement"
         without_load.measurement.tflops with_load.measurement.tflops)
+
+(* v3 plan caches: every plan line carries the Ptx.Encode kernel hash,
+   the sibling corpus holds the (deduplicated, hash-verified) packed
+   kernels, loaded plans carry the hash back, and a plan referencing a
+   kernel absent from the corpus is skipped rather than served. *)
+let test_plan_cache_kernel_corpus () =
+  let engine = Lazy.force gemm_engine in
+  Isaac.clear_cache engine;
+  let input = GP.input 256 256 256 in
+  let plan = Option.get (Isaac.plan_gemm engine input) in
+  let h =
+    match plan.Isaac.kernel_hash with
+    | Some h -> h
+    | None -> Alcotest.fail "fresh plan has no kernel hash"
+  in
+  let path = Filename.temp_file "isaac_plans" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> remove_plans path)
+    (fun () ->
+      Isaac.save_plans engine path;
+      (* The sibling corpus exists and contains exactly the plan's kernel. *)
+      let kernels =
+        match Ptx.Encode.load_corpus ~path:(path ^ ".kernels") with
+        | Ok ks -> ks
+        | Error e -> Alcotest.fail e
+      in
+      Alcotest.(check (list string)) "corpus holds the plan's kernel"
+        [ Ptx.Encode.hash_hex h ]
+        (List.map (fun k -> Ptx.Encode.hash_hex (Ptx.Encode.hash k)) kernels);
+      (* Loading threads the hash back into the cached plan. *)
+      let fresh () = Isaac.of_profile Gpu.Device.gtx980ti (Isaac.profile engine) in
+      let engine2 = fresh () in
+      (match Isaac.load_plans engine2 path with
+       | Ok n -> Alcotest.(check int) "plan installed" 1 n
+       | Error e -> Alcotest.fail e);
+      let reloaded = Option.get (Isaac.plan_gemm engine2 input) in
+      Alcotest.(check bool) "hash survives the round trip" true
+        (reloaded.Isaac.kernel_hash = Some h);
+      (* A plan line whose hash is not in the corpus must be skipped. *)
+      let payload =
+        match Util.Artifact.read ~path ~kind:"isaac-plans" ~max_version:3 with
+        | Ok (_, p) -> p
+        | Error e -> Alcotest.fail (Util.Artifact.error_to_string ~path e)
+      in
+      let stale =
+        payload
+        ^ Printf.sprintf "gemm 128 128 128 f32 false false : %s @ %s\n"
+            (String.concat " "
+               (List.map string_of_int
+                  (Array.to_list (GP.config_to_array plan.config))))
+            (Ptx.Encode.hash_hex (Int64.lognot h))
+      in
+      Util.Artifact.write ~path ~kind:"isaac-plans" ~version:3 stale;
+      let engine3 = fresh () in
+      match Isaac.load_plans engine3 path with
+      | Ok n -> Alcotest.(check int) "stale kernel reference skipped" 1 n
+      | Error e -> Alcotest.fail e)
 
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -338,4 +403,5 @@ let () =
          slow "rejects garbage" test_plan_cache_rejects_garbage;
          slow "detects corruption" test_plan_cache_detects_corruption;
          slow "skips malformed lines" test_plan_cache_skips_malformed_lines;
+         slow "kernel hashes + packed corpus" test_plan_cache_kernel_corpus;
          slow "load does not perturb planning" test_load_plans_does_not_perturb_planning ]) ]
