@@ -1,0 +1,257 @@
+(* Plan-serving load generator: drive the isaac_serve daemon core
+   (Serve.handle, the exact code behind both transports) with a mixed
+   GEMM/CONV workload and report cold vs warm latency percentiles,
+   plus the deterministic serving invariants the PR rests on:
+
+   - coalescing: 4 domains racing one cold input run exactly one search;
+   - the warm (hit) response carries a plan bit-identical to the cold
+     (miss) response, at the wire level;
+   - plans are a deterministic function of (profile, device, input) —
+     a 4-domain hammer produces the same plans as a 1-domain pass;
+   - a bounded cache evicts exactly the least-recently-used plans.
+
+   The timing metrics regress loosely (Timing kind); the invariants are
+   Deterministic metrics and blocking shape checks. *)
+
+module GP = Codegen.Gemm_params
+module CP = Codegen.Conv_params
+
+let device = Gpu.Device.p100
+
+(* Small DeepBench-flavoured shapes: distinct enough to exercise the
+   sharding, small enough that nine cold searches stay cheap. *)
+let gemm_shapes =
+  [ GP.input 256 64 256;
+    GP.input 512 16 512;
+    GP.input 128 128 128;
+    GP.input ~b_trans:true 256 256 64;
+    GP.input ~a_trans:true 192 64 192;
+    GP.input ~dtype:Ptx.Types.F16 256 32 256 ]
+
+let conv_shapes =
+  [ CP.input ~n:4 ~c:16 ~k:32 ~p:12 ~q:12 ~r:3 ~s:3 ();
+    CP.input ~n:2 ~c:32 ~k:32 ~p:8 ~q:8 ~r:3 ~s:3 ();
+    CP.input ~n:8 ~c:8 ~k:16 ~p:14 ~q:14 ~r:5 ~s:5 ~pad:2 () ]
+
+(* --- wire-level requests ------------------------------------------------ *)
+
+let gemm_req ~id (i : GP.input) =
+  Printf.sprintf
+    {|{"op":"gemm","id":%d,"m":%d,"n":%d,"k":%d,"dtype":"%s","a_trans":%b,"b_trans":%b}|}
+    id i.m i.n i.k (Ptx.Types.dtype_name i.dtype) i.a_trans i.b_trans
+
+let conv_req ~id (i : CP.input) =
+  Printf.sprintf
+    {|{"op":"conv","id":%d,"n":%d,"c":%d,"k":%d,"p":%d,"q":%d,"r":%d,"s":%d,"stride":%d,"pad":%d,"dtype":"%s"}|}
+    id i.n i.c i.k i.p i.q i.r i.s i.stride i.pad
+    (Ptx.Types.dtype_name i.dtype)
+
+let requests =
+  List.mapi (fun id i -> gemm_req ~id i) gemm_shapes
+  @ List.mapi
+      (fun id i -> conv_req ~id:(id + List.length gemm_shapes) i)
+      conv_shapes
+
+let response_field line name =
+  let json = Obs.Json.of_string line in
+  Option.map Obs.Json.to_string (Obs.Json.member name json)
+
+let cache_of line = Option.bind (Obs.Json.member "cache" (Obs.Json.of_string line)) Obs.Json.to_str
+
+(* One daemon over a temp profile file (Serve.create loads from disk,
+   like the binary does). *)
+let with_daemon engine f =
+  let path = Filename.temp_file "exp_serve" ".profile" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Tuner.Profile.save (Isaac.profile engine) path;
+      let conv_path = Filename.temp_file "exp_serve_conv" ".profile" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove conv_path with Sys_error _ -> ())
+        (fun () ->
+          Tuner.Profile.save (Isaac.profile (Engines.conv device)) conv_path;
+          match
+            Serve.create ~gemm_profile:path ~conv_profile:conv_path ()
+          with
+          | Error msg -> failwith ("exp_serve: " ^ msg)
+          | Ok srv -> f srv))
+
+let percentile xs q =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  a.(min (n - 1) (int_of_float (float_of_int n *. q)))
+
+let ms l = 1e3 *. l
+
+(* --- phases ------------------------------------------------------------- *)
+
+(* Cold + warm passes through the wire protocol. Returns latencies and
+   whether every warm plan matched its cold plan byte-for-byte. *)
+let run_load srv =
+  let shoot line =
+    let t0 = Unix.gettimeofday () in
+    let response, _ = Serve.handle srv line in
+    (Unix.gettimeofday () -. t0, response)
+  in
+  let cold = List.map shoot requests in
+  let cold_plans =
+    List.map (fun (_, r) -> Option.get (response_field r "plan")) cold
+  in
+  let warm_rounds = 20 in
+  let warm = List.concat_map (fun _ -> List.map shoot requests)
+      (List.init warm_rounds Fun.id)
+  in
+  let all_cold_missed =
+    List.for_all (fun (_, r) -> cache_of r = Some "miss") cold
+  in
+  let warm_match =
+    (* every warm response is a hit and re-serializes the identical plan *)
+    List.for_all2
+      (fun plan (_, r) ->
+        cache_of r = Some "hit"
+        && Option.get (response_field r "plan") = plan)
+      (List.concat_map (fun _ -> cold_plans) (List.init warm_rounds Fun.id))
+      warm
+  in
+  ( List.map fst cold, List.map fst warm, all_cold_missed, warm_match )
+
+let fresh_gemm_engine ?cache_entries () =
+  let e = Engines.gemm device in
+  Isaac.of_profile ?cache_entries (Isaac.device e) (Isaac.profile e)
+
+(* 4 domains race one cold input: exactly one search (miss), everyone
+   gets the identical plan value. *)
+let run_coalesce () =
+  let engine = fresh_gemm_engine () in
+  let input = GP.input 320 96 320 in
+  let results =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> Isaac.plan_gemm_with_status engine input))
+    |> List.map Domain.join
+  in
+  let count o =
+    List.length
+      (List.filter (fun (_, o') -> o' = (o : Isaac.Plan_cache.outcome)) results)
+  in
+  let plans_identical =
+    match results with
+    | (p0, _) :: rest -> List.for_all (fun (p, _) -> p = p0) rest
+    | [] -> false
+  in
+  (count Miss, count Coalesced, count Hit, plans_identical)
+
+let strip_phases = function
+  | None -> None
+  | Some (p : Isaac.plan) -> Some { p with phases = [] }
+
+(* Plans must be a deterministic function of the input: a 1-domain pass
+   and a 4-domain hammer over the same shapes yield bit-identical plans
+   (modulo the wall-clock phase timings), and the hammer runs exactly
+   one search per distinct input. *)
+let run_hammer () =
+  let solo = fresh_gemm_engine () in
+  let solo_plans = List.map (Isaac.plan_gemm solo) gemm_shapes in
+  let hammered = fresh_gemm_engine () in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            (* each domain walks the shapes in a different rotation so
+               the race covers miss, coalesce and hit interleavings *)
+            let n = List.length gemm_shapes in
+            List.init n (fun j -> List.nth gemm_shapes ((j + d) mod n))
+            |> List.iter (fun i -> ignore (Isaac.plan_gemm hammered i))))
+  in
+  List.iter Domain.join domains;
+  let identical =
+    List.for_all2
+      (fun solo_p i ->
+        strip_phases (Isaac.plan_gemm hammered i) = strip_phases solo_p)
+      solo_plans gemm_shapes
+  in
+  let stats = Isaac.cache_stats hammered in
+  (identical, stats.misses)
+
+(* A cache bounded to 4 entries planning 6 shapes evicts exactly the 2
+   least-recently-used plans: the last shape stays resident (hit), the
+   first is gone (miss). *)
+let run_eviction () =
+  let engine = fresh_gemm_engine ~cache_entries:4 () in
+  List.iter (fun i -> ignore (Isaac.plan_gemm engine i)) gemm_shapes;
+  let evictions = (Isaac.cache_stats engine).evictions in
+  let last_hit =
+    snd (Isaac.plan_gemm_with_status engine (List.nth gemm_shapes 5)) = Hit
+  in
+  let first_missed =
+    snd (Isaac.plan_gemm_with_status engine (List.hd gemm_shapes)) <> Hit
+  in
+  (evictions, last_hit, first_missed)
+
+(* --- the experiment ----------------------------------------------------- *)
+
+let run () =
+  Reporting.print_header "Plan serving: latency and cache invariants";
+  let cold, warm, all_cold_missed, warm_match =
+    Reporting.time_section "serve load" (fun () ->
+        with_daemon (Engines.gemm device) run_load)
+  in
+  let misses, coalesced, hits, coalesce_identical =
+    Reporting.time_section "coalesce race" run_coalesce
+  in
+  let hammer_identical, hammer_misses =
+    Reporting.time_section "4-domain hammer" run_hammer
+  in
+  let evictions, last_hit, first_missed =
+    Reporting.time_section "bounded cache" run_eviction
+  in
+  let cp v = ms (percentile cold v) and wp v = ms (percentile warm v) in
+  Util.Table.print
+    ~header:[| "pass"; "requests"; "p50 ms"; "p95 ms"; "p99 ms" |]
+    [ [| "cold"; string_of_int (List.length cold);
+         Reporting.fmt_tf (cp 0.5); Reporting.fmt_tf (cp 0.95);
+         Reporting.fmt_tf (cp 0.99) |];
+      [| "warm"; string_of_int (List.length warm);
+         Reporting.fmt_tf (wp 0.5); Reporting.fmt_tf (wp 0.95);
+         Reporting.fmt_tf (wp 0.99) |] ];
+  Reporting.save_csv "serve_latency"
+    ~header:[ "cold_pass"; "p50_ms"; "p95_ms"; "p99_ms" ]
+    [ [| 1.0; cp 0.5; cp 0.95; cp 0.99 |];
+      [| 0.0; wp 0.5; wp 0.95; wp 0.99 |] ];
+  let timing name v =
+    Reporting.metric ~experiment:"serve" ~unit_:"ms"
+      ~kind:Obs.Bench_report.Timing ~direction:Obs.Bench_report.Lower_better
+      name v
+  in
+  timing "serve.cold_p50_ms" (cp 0.5);
+  timing "serve.cold_p99_ms" (cp 0.99);
+  timing "serve.warm_p50_ms" (wp 0.5);
+  timing "serve.warm_p99_ms" (wp 0.99);
+  let det name v =
+    Reporting.metric ~experiment:"serve" ~unit_:"count"
+      ~direction:Obs.Bench_report.Neutral name v
+  in
+  det "serve.coalesce_searches" (float_of_int misses);
+  det "serve.hammer_misses" (float_of_int hammer_misses);
+  det "serve.evictions" (float_of_int evictions);
+  det "serve.warm_wire_match" (if warm_match then 1.0 else 0.0);
+  det "serve.hammer_identical" (if hammer_identical then 1.0 else 0.0);
+  [ Reporting.check
+      ~claim:"coalescing: 4 racing domains run exactly one search"
+      ~paper:"one resident cache, N clients"
+      ~ours:(Printf.sprintf "%d miss / %d coalesced / %d hit" misses coalesced hits)
+      ~pass:(misses = 1 && coalesced + hits = 3 && coalesce_identical);
+    Reporting.check ~claim:"cold requests all miss; warm hits match cold bit-for-bit"
+      ~paper:"plans cached after first query (§6)"
+      ~ours:(Printf.sprintf "cold_missed=%b warm_match=%b" all_cold_missed warm_match)
+      ~pass:(all_cold_missed && warm_match);
+    Reporting.check ~claim:"4-domain hammer: one search per distinct input, plans = 1-domain plans"
+      ~paper:"deterministic given profile+input"
+      ~ours:(Printf.sprintf "misses=%d/%d identical=%b" hammer_misses
+               (List.length gemm_shapes) hammer_identical)
+      ~pass:(hammer_misses = List.length gemm_shapes && hammer_identical);
+    Reporting.check ~claim:"bounded cache evicts exactly the LRU plans"
+      ~paper:"entry-budgeted serving cache"
+      ~ours:(Printf.sprintf "evictions=%d last_hit=%b first_missed=%b" evictions
+               last_hit first_missed)
+      ~pass:(evictions = 2 && last_hit && first_missed) ]

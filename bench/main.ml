@@ -30,6 +30,7 @@ let experiments : (string * string * (unit -> Reporting.check list)) list =
     ("ablations", "Ablations: top-k, optimizers, prior, energy", Exp_ablations.run);
     ("networks", "End-to-end network layer stacks", Exp_networks.run);
     ("attribution", "Perf_model cost terms vs interpreter counters", Exp_attribution.run);
+    ("serve", "Plan serving: latency percentiles and cache invariants", Exp_serve.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run) ]
 
 let usage () =

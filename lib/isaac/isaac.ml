@@ -1,3 +1,4 @@
+module Plan_cache = Plan_cache
 module GP = Codegen.Gemm_params
 module CP = Codegen.Conv_params
 
@@ -10,6 +11,14 @@ type plan = {
   kernel_hash : int64 option;
 }
 
+(* Resident size estimate for the cache's byte budget: the config, the
+   measurement (with its nested report), the phase list and the boxing
+   around them. Precision is irrelevant — this is a budget knob, not an
+   allocator. *)
+let plan_weight = function
+  | None -> 64
+  | Some p -> 512 + (32 * List.length p.phases)
+
 type t = {
   profile : Tuner.Profile.t;
   device : Gpu.Device.t;
@@ -18,10 +27,11 @@ type t = {
      [rng], merely loading a plan cache would perturb every subsequent
      [plan_*] search, making planning results depend on load order. *)
   load_rng : Util.Rng.t;
-  (* Cache values carry their insertion time so serving telemetry can
-     histogram the age of plans being served (stale-cache detection). *)
-  gemm_cache : (GP.input, plan option * float) Hashtbl.t;
-  conv_cache : (CP.input, plan option * float) Hashtbl.t;
+  (* Sharded, coalescing, LRU-bounded caches (entry timestamps live
+     inside, so serving telemetry can histogram the age of plans being
+     served for stale-cache detection). *)
+  gemm_cache : (GP.input, plan option) Plan_cache.t;
+  conv_cache : (CP.input, plan option) Plan_cache.t;
 }
 
 let src = Logs.Src.create "isaac" ~doc:"ISAAC auto-tuner"
@@ -32,26 +42,45 @@ module Log = (val Logs.src_log src : Logs.LOG)
    Metrics counters used alongside them). *)
 let t_cache_hit = Obs.Telemetry.counter "plan.cache_hit"
 let t_cache_miss = Obs.Telemetry.counter "plan.cache_miss"
+let t_coalesced = Obs.Telemetry.counter "plan.coalesced"
 let t_plan_latency = Obs.Telemetry.histo "plan.latency_s"
 let t_hit_age = Obs.Telemetry.histo "plan.cache_hit_age_s"
 
-let record_plan_hit ~t0 ~inserted_at =
+let observe_latency ~t0 =
+  Obs.Telemetry.Histo.observe t_plan_latency
+    (Float.max 0.0 (Unix.gettimeofday () -. t0))
+
+(* [age_s] is already clamped non-negative by the cache (its timestamps
+   are wall clock, which NTP can step backwards). *)
+let record_plan_hit ~t0 ~age_s =
   Obs.Metrics.incr "plan.cache_hit";
   if Obs.Telemetry.enabled () then begin
-    let now = Unix.gettimeofday () in
     Obs.Telemetry.Counter.incr t_cache_hit;
-    Obs.Telemetry.Histo.observe t_hit_age (Float.max 0.0 (now -. inserted_at));
-    Obs.Telemetry.Histo.observe t_plan_latency (Float.max 0.0 (now -. t0))
+    Obs.Telemetry.Histo.observe t_hit_age age_s;
+    observe_latency ~t0
   end
 
 let record_plan_miss ~t0 =
+  Obs.Metrics.incr "plan.cache_miss";
   if Obs.Telemetry.enabled () then begin
     Obs.Telemetry.Counter.incr t_cache_miss;
-    Obs.Telemetry.Histo.observe t_plan_latency
-      (Float.max 0.0 (Unix.gettimeofday () -. t0))
+    observe_latency ~t0
   end
 
-let of_profile device (profile : Tuner.Profile.t) =
+let record_plan_coalesced ~t0 =
+  Obs.Metrics.incr "plan.coalesced";
+  if Obs.Telemetry.enabled () then begin
+    Obs.Telemetry.Counter.incr t_coalesced;
+    observe_latency ~t0
+  end
+
+let record_outcome ~t0 ~age_s = function
+  | Plan_cache.Hit -> record_plan_hit ~t0 ~age_s
+  | Plan_cache.Miss -> record_plan_miss ~t0
+  | Plan_cache.Coalesced -> record_plan_coalesced ~t0
+
+let of_profile ?cache_entries ?cache_bytes ?(metrics_prefix = "plan") device
+    (profile : Tuner.Profile.t) =
   if profile.device <> device.Gpu.Device.name then
     invalid_arg
       (Printf.sprintf "Isaac.of_profile: profile tuned on %s, device is %s"
@@ -59,8 +88,12 @@ let of_profile device (profile : Tuner.Profile.t) =
   { profile; device;
     rng = Util.Rng.create 0x15aac;
     load_rng = Util.Rng.create 0x10ad5;
-    gemm_cache = Hashtbl.create 16;
-    conv_cache = Hashtbl.create 16 }
+    gemm_cache =
+      Plan_cache.create ?max_entries:cache_entries ?max_bytes:cache_bytes
+        ~metrics_prefix ();
+    conv_cache =
+      Plan_cache.create ?max_entries:cache_entries ?max_bytes:cache_bytes
+        ~metrics_prefix () }
 
 let tune ?samples ?(epochs = 20) ?arch ?dtypes ?(noise = Gpu.Executor.default_noise)
     ?domains ?checkpoint rng device ~op () =
@@ -132,63 +165,79 @@ let plan_of_result ~kernel_hash (r : Tuner.Search.result) =
     phases = r.phases;
     kernel_hash }
 
-let plan_gemm ?top_k ?engine t (i : GP.input) =
-  Obs.Span.with_request (fun () ->
-      let t0 = if Obs.Telemetry.enabled () then Unix.gettimeofday () else 0.0 in
-      match Hashtbl.find_opt t.gemm_cache i with
-      | Some (cached, inserted_at) ->
-        record_plan_hit ~t0 ~inserted_at;
-        cached
-      | None ->
-        Obs.Metrics.incr "plan.cache_miss";
-        let result =
-          Obs.Span.with_ "plan"
-            ~meta:(fun () -> [ ("op", Obs.Json.String "gemm") ])
-            (fun () ->
-              Tuner.Search.exhaustive_gemm ?top_k ?engine t.rng t.device
-                ~profile:t.profile i)
-        in
-        let plan =
-          Option.map
-            (fun r ->
-              let kernel_hash =
-                hash_of_config Codegen.Gemm.generate i r.Tuner.Search.best
-              in
-              plan_of_result ~kernel_hash r)
-            result
-        in
-        Hashtbl.replace t.gemm_cache i (plan, Unix.gettimeofday ());
-        record_plan_miss ~t0;
-        plan)
+(* Each planning run draws its measurement noise from a generator
+   seeded by the (op, input) pair rather than from a shared mutable
+   stream. Two properties follow, and both matter now that plans are
+   served concurrently:
+   - the search is free of shared mutable state, so racing requests for
+     different inputs cannot corrupt each other's noise draws (the
+     profile, device and enumerator are all read-only);
+   - a plan is a deterministic function of (profile, device, input) —
+     independent of the order requests arrive in, of how many plans
+     were served before, and of how many domains are hammering the
+     cache. The daemon's warm-vs-cold bit-identity check and the
+     multi-domain hammer test both pin this. *)
+let plan_seed_base = 0x15aac
 
-let plan_conv ?top_k ?engine t (i : CP.input) =
+let request_rng tag input =
+  Util.Rng.create (plan_seed_base lxor Hashtbl.hash (tag, input))
+
+let plan_gemm_with_status ?top_k ?engine t (i : GP.input) =
   Obs.Span.with_request (fun () ->
       let t0 = if Obs.Telemetry.enabled () then Unix.gettimeofday () else 0.0 in
-      match Hashtbl.find_opt t.conv_cache i with
-      | Some (cached, inserted_at) ->
-        record_plan_hit ~t0 ~inserted_at;
-        cached
-      | None ->
-        Obs.Metrics.incr "plan.cache_miss";
-        let result =
-          Obs.Span.with_ "plan"
-            ~meta:(fun () -> [ ("op", Obs.Json.String "conv") ])
-            (fun () ->
-              Tuner.Search.exhaustive_conv ?top_k ?engine t.rng t.device
-                ~profile:t.profile i)
-        in
-        let plan =
-          Option.map
-            (fun r ->
-              let kernel_hash =
-                hash_of_config Codegen.Conv.generate i r.Tuner.Search.best
-              in
-              plan_of_result ~kernel_hash r)
-            result
-        in
-        Hashtbl.replace t.conv_cache i (plan, Unix.gettimeofday ());
-        record_plan_miss ~t0;
-        plan)
+      let plan, outcome, age_s =
+        Plan_cache.find_or_compute t.gemm_cache i ~weight:plan_weight
+          (fun () ->
+            let result =
+              Obs.Span.with_ "plan"
+                ~meta:(fun () -> [ ("op", Obs.Json.String "gemm") ])
+                (fun () ->
+                  Tuner.Search.exhaustive_gemm ?top_k ?engine
+                    (request_rng "gemm" i) t.device ~profile:t.profile i)
+            in
+            Option.map
+              (fun r ->
+                let kernel_hash =
+                  hash_of_config Codegen.Gemm.generate i r.Tuner.Search.best
+                in
+                plan_of_result ~kernel_hash r)
+              result)
+      in
+      record_outcome ~t0 ~age_s outcome;
+      (plan, outcome))
+
+let plan_gemm ?top_k ?engine t i = fst (plan_gemm_with_status ?top_k ?engine t i)
+
+let plan_conv_with_status ?top_k ?engine t (i : CP.input) =
+  Obs.Span.with_request (fun () ->
+      let t0 = if Obs.Telemetry.enabled () then Unix.gettimeofday () else 0.0 in
+      let plan, outcome, age_s =
+        Plan_cache.find_or_compute t.conv_cache i ~weight:plan_weight
+          (fun () ->
+            let result =
+              Obs.Span.with_ "plan"
+                ~meta:(fun () -> [ ("op", Obs.Json.String "conv") ])
+                (fun () ->
+                  Tuner.Search.exhaustive_conv ?top_k ?engine
+                    (request_rng "conv" i) t.device ~profile:t.profile i)
+            in
+            Option.map
+              (fun r ->
+                let kernel_hash =
+                  hash_of_config Codegen.Conv.generate i r.Tuner.Search.best
+                in
+                plan_of_result ~kernel_hash r)
+              result)
+      in
+      record_outcome ~t0 ~age_s outcome;
+      (plan, outcome))
+
+let plan_conv ?top_k ?engine t i = fst (plan_conv_with_status ?top_k ?engine t i)
+
+let cache_stats t =
+  Plan_cache.merge_stats
+    (Plan_cache.stats t.gemm_cache)
+    (Plan_cache.stats t.conv_cache)
 
 let gemm t i ~a ~b =
   match plan_gemm t i with
@@ -316,27 +365,23 @@ let save_plans t path =
       Printf.sprintf " @ %s" (Ptx.Encode.hash_hex (Ptx.Encode.hash e))
     | None -> ""
   in
-  Hashtbl.iter
-    (fun (i : GP.input) plan ->
+  Plan_cache.iter t.gemm_cache (fun (i : GP.input) plan ->
       match plan with
-      | Some p, _ ->
+      | Some p ->
         Buffer.add_string buf
           (Printf.sprintf "gemm %d %d %d %s %b %b : %s%s\n" i.m i.n i.k
              (dtype_tag i.dtype) i.a_trans i.b_trans (config_fields p.config)
              (pack Codegen.Gemm.generate i p.config))
-      | None, _ -> ())
-    t.gemm_cache;
-  Hashtbl.iter
-    (fun (i : CP.input) plan ->
+      | None -> ());
+  Plan_cache.iter t.conv_cache (fun (i : CP.input) plan ->
       match plan with
-      | Some p, _ ->
+      | Some p ->
         Buffer.add_string buf
           (Printf.sprintf "conv %d %d %d %d %d %d %d %d %d %s : %s%s\n" i.n
              i.c i.k i.p i.q i.r i.s i.stride i.pad (dtype_tag i.dtype)
              (config_fields p.config)
              (pack Codegen.Conv.generate i p.config))
-      | None, _ -> ())
-    t.conv_cache;
+      | None -> ());
   Ptx.Encode.save_corpus ~path:(corpus_path path) (List.rev !kernels);
   Util.Artifact.write ~path ~kind:plans_kind ~version:plans_version
     (Buffer.contents buf)
@@ -508,22 +553,30 @@ let load_plans t path =
             match entry with
             | Gemm_entry (input, cfg, hash) ->
               if GP.structurally_legal input cfg && resolves hash then begin
-                Hashtbl.replace t.gemm_cache input
-                  (plan_of_config t ~kernel_hash:hash (GP.cost input cfg) cfg,
-                   Unix.gettimeofday ());
-                incr installed
+                let plan =
+                  plan_of_config t ~kernel_hash:hash (GP.cost input cfg) cfg
+                in
+                if
+                  Plan_cache.insert t.gemm_cache input
+                    ~weight:(plan_weight plan) plan
+                then incr installed
               end
+              else incr skipped
             | Conv_entry (input, cfg, hash) ->
               if CP.structurally_legal input cfg && resolves hash then begin
-                Hashtbl.replace t.conv_cache input
-                  (plan_of_config t ~kernel_hash:hash (CP.cost input cfg) cfg,
-                   Unix.gettimeofday ());
-                incr installed
-              end)
+                let plan =
+                  plan_of_config t ~kernel_hash:hash (CP.cost input cfg) cfg
+                in
+                if
+                  Plan_cache.insert t.conv_cache input
+                    ~weight:(plan_weight plan) plan
+                then incr installed
+              end
+              else incr skipped)
           entries;
-        Ok !installed
+        Ok (!installed, !skipped)
       end)
 
 let clear_cache t =
-  Hashtbl.reset t.gemm_cache;
-  Hashtbl.reset t.conv_cache
+  Plan_cache.clear t.gemm_cache;
+  Plan_cache.clear t.conv_cache

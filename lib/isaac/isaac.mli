@@ -21,8 +21,16 @@
       let c = Isaac.gemm engine input ~a ~b
     ]} *)
 
+module Plan_cache = Plan_cache
+(** The sharded, coalescing, LRU-bounded cache the engine serves plans
+    from — re-exported so servers and tests can reach its {!Plan_cache.stats}
+    and {!Plan_cache.outcome} types. *)
+
 type t
-(** A tuned engine: device + trained profile + kernel-plan cache. *)
+(** A tuned engine: device + trained profile + kernel-plan caches (one
+    per op). Safe to share across domains: plan lookups are lock-free,
+    concurrent misses on the same input coalesce onto one planning run,
+    and the planning path itself has no shared mutable state. *)
 
 (** The outcome of runtime inference for one input. *)
 type plan = {
@@ -70,9 +78,20 @@ val tune :
     {!Tuner.Dataset.generate_gemm}/[generate_conv] so a killed tuning run
     can resume its dataset generation where it left off. *)
 
-val of_profile : Gpu.Device.t -> Tuner.Profile.t -> t
+val of_profile :
+  ?cache_entries:int ->
+  ?cache_bytes:int ->
+  ?metrics_prefix:string ->
+  Gpu.Device.t ->
+  Tuner.Profile.t ->
+  t
 (** Wrap a previously saved profile. Raises [Invalid_argument] if the
-    profile was tuned for a different device. *)
+    profile was tuned for a different device. [cache_entries] /
+    [cache_bytes] bound each per-op plan cache (LRU eviction beyond
+    them; unbounded by default — library users typically plan a handful
+    of shapes, while the serving daemon passes explicit budgets).
+    [metrics_prefix] (default ["plan"]) names the {!Obs.Telemetry}
+    counter evictions are reported under ([<prefix>.evictions]). *)
 
 val profile : t -> Tuner.Profile.t
 val device : t -> Gpu.Device.t
@@ -87,7 +106,14 @@ val plan_gemm :
     repeated calls are free (the paper's filesystem cache). [engine]
     selects the {!Tuner.Search} scoring engine (default [`Batched]); the
     [`Scalar] reference chooses the identical config, only slower, so
-    the plan cache may safely mix engines. *)
+    the plan cache may safely mix engines.
+
+    Concurrency-safe: lookups are lock-free, and N domains racing a
+    cold input trigger exactly one search (the rest park on it and
+    receive the identical plan). The search's measurement noise is
+    seeded from the (op, input) pair, so a plan is a deterministic
+    function of (profile, device, input) — independent of request
+    order and domain count. *)
 
 val plan_conv :
   ?top_k:int ->
@@ -95,6 +121,29 @@ val plan_conv :
   t ->
   Codegen.Conv_params.input ->
   plan option
+
+val plan_gemm_with_status :
+  ?top_k:int ->
+  ?engine:Tuner.Search.engine ->
+  t ->
+  Codegen.Gemm_params.input ->
+  plan option * Plan_cache.outcome
+(** {!plan_gemm} plus how the cache served it ([Hit]/[Miss]/[Coalesced])
+    — the serving daemon reports this on the wire. *)
+
+val plan_conv_with_status :
+  ?top_k:int ->
+  ?engine:Tuner.Search.engine ->
+  t ->
+  Codegen.Conv_params.input ->
+  plan option * Plan_cache.outcome
+
+val cache_stats : t -> Plan_cache.stats
+(** Merged counters of the GEMM and CONV plan caches. Cache-hit ages
+    reported to telemetry ([plan.cache_hit_age_s]) are clamped at 0:
+    entry timestamps are wall clock ([Unix.gettimeofday], the process
+    has no monotonic-clock dependency), so an NTP step backwards
+    surfaces as zero-age hits rather than negative ages. *)
 
 val gemm :
   t -> Codegen.Gemm_params.input -> a:float array -> b:float array -> float array
@@ -130,20 +179,23 @@ val save_plans : t -> string -> unit
     the plans file greppable text while the kernel payload ships in the
     dense wire format (several times smaller than kernel source). *)
 
-val load_plans : t -> string -> (int, string) result
+val load_plans : t -> string -> (int * int, string) result
 (** Pre-seed the plan cache from a file written by {!save_plans}: each
     cached configuration is re-benchmarked once on the device (no model
     search) using a dedicated RNG, so loading never perturbs subsequent
     [plan_*] searches. The whole file is validated (checksum) and parsed
     before any cache mutation — a corrupt file returns [Error] and
     leaves the cache untouched. Individual malformed lines and entries
-    whose configuration is no longer legal are skipped (counted in the
-    [plans.skipped_lines] metric) rather than aborting the load.
+    whose configuration is no longer legal are skipped rather than
+    aborting the load — counted in the [plans.skipped_lines] metric
+    {e and} returned to the caller, so a partially-stale file is
+    detectable without scraping metrics.
     Version 2 caches (no kernel hashes) still load. When the sibling
     packed-kernel corpus exists, every referenced hash must resolve to a
     hash-verified corpus entry; stale references are skipped (counted in
     [plans.kernel_unresolved]), and an unreadable corpus is ignored with
     a warning ([plans.corpus_load_failures]) since the plan lines are
-    authoritative. [Ok n] is the number of plans installed. *)
+    authoritative. [Ok (installed, skipped)] is the number of plans
+    installed and the number of lines dropped. *)
 
 val clear_cache : t -> unit

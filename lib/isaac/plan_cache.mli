@@ -1,0 +1,116 @@
+(** Sharded, coalescing, LRU-bounded cache for kernel plans.
+
+    The concurrency substrate of {!Isaac}'s plan cache and the
+    [isaac_serve] daemon. Three properties matter to its users:
+
+    - {b Lock-free reads.} Keys hash onto 16 (configurable, rounded up
+      to a power of two) shards; each shard publishes an immutable
+      snapshot of its table through an [Atomic.t], so a cache hit is
+      one atomic load plus a hash lookup — no mutex, safe from any
+      number of domains. Writers (misses, evictions, inserts) serialize
+      per shard on a mutex and publish a fresh snapshot.
+    - {b Request coalescing.} N concurrent {!find_or_compute} misses on
+      the same key run the computation exactly once: the first arrival
+      plans, the others park on the in-flight slot and receive the
+      identical value (reported as [Coalesced]). If the computation
+      raises, waiters re-raise the same exception and the slot is
+      removed so a later request can retry.
+    - {b LRU eviction under a budget.} When [max_entries] and/or
+      [max_bytes] (caller-estimated weights) are exceeded, the globally
+      least-recently-used entry is evicted — exact LRU ordered by a
+      global access tick, O(entries) scan per eviction (plans are
+      hundreds of bytes and planning runs are milliseconds; the scan is
+      noise). Evictions bump [<metrics_prefix>.evictions] in
+      {!Obs.Telemetry} when a prefix was given.
+
+    {b Clock caveat.} Entry timestamps come from the injectable [clock]
+    (default [Unix.gettimeofday]) — {e wall} time, not a monotonic
+    clock, so an NTP step can move it backwards. Served hit ages are
+    therefore clamped at 0; a backwards step shows up as a burst of
+    zero-age hits in the telemetry histogram, never as a negative age.
+    Recency ordering for LRU does not use the clock at all (it uses a
+    monotonic tick counter), so eviction order is immune to clock
+    steps. *)
+
+type ('k, 'v) t
+(** A cache from structurally-compared keys ['k] to values ['v].
+    Sharding uses the polymorphic [Hashtbl.hash], so keys must be
+    hashable immutable data (the planner's input records are). *)
+
+(** How a {!find_or_compute} request was served. *)
+type outcome =
+  | Hit        (** value was resident *)
+  | Miss       (** this request ran the computation *)
+  | Coalesced  (** parked on another request's in-flight computation *)
+
+val outcome_name : outcome -> string
+(** ["hit"], ["miss"], ["coalesced"] — the wire spelling used by the
+    serving protocol. *)
+
+(** Cumulative counters plus current occupancy. Counter reads are exact
+    once writers are quiescent, monotonically catching-up while they
+    race (same contract as {!Obs.Telemetry.Counter.value}). *)
+type stats = {
+  hits : int;
+  misses : int;
+  coalesced : int;
+  evictions : int;
+  entries : int;  (** resident entries (in-flight slots excluded) *)
+  bytes : int;    (** sum of resident entry weights *)
+}
+
+val create :
+  ?shards:int ->
+  ?max_entries:int ->
+  ?max_bytes:int ->
+  ?clock:(unit -> float) ->
+  ?metrics_prefix:string ->
+  unit ->
+  ('k, 'v) t
+(** [shards] defaults to 16 and is rounded up to a power of two (use 1
+    in tests that assert exact LRU order across all keys). Omitted
+    budgets are unbounded. [clock] is injectable for age/eviction
+    tests. [metrics_prefix] enables telemetry reporting of evictions
+    under [<prefix>.evictions]. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lock-free lookup; refreshes the entry's recency on hit. [None] for
+    absent keys {e and} for keys whose computation is still in flight
+    (use {!find_or_compute} to park on those). *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Lock-free; [true] only for resident (Ready) entries. Does not
+    refresh recency. *)
+
+val find_or_compute :
+  ('k, 'v) t -> 'k -> weight:('v -> int) -> (unit -> 'v) -> 'v * outcome * float
+(** [find_or_compute t k ~weight f] returns [(value, outcome, age_s)]:
+    the cached value and its clamped-non-negative age on [Hit], or the
+    just-computed value and age 0 on [Miss]/[Coalesced]. The
+    computation runs with no cache locks held. [weight v] estimates the
+    entry's resident size in bytes for the [max_bytes] budget. *)
+
+val insert : ('k, 'v) t -> 'k -> weight:int -> 'v -> bool
+(** Direct installation (plan-cache preloading from disk). Replaces a
+    resident entry; returns [false] without installing when a
+    computation for the key is in flight (the in-flight run will
+    publish its own result). May trigger evictions. *)
+
+val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit
+(** Iterate a snapshot of the resident entries (in-flight slots are
+    skipped; entries inserted after the snapshot may be missed).
+    Iteration order is unspecified. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every resident entry. In-flight computations are untouched and
+    re-install their results on completion. Occupancy counters are
+    reset; not linearizable with respect to concurrent writers (callers
+    quiesce first, as the CLI and tests do). *)
+
+val length : ('k, 'v) t -> int
+val bytes : ('k, 'v) t -> int
+
+val stats : ('k, 'v) t -> stats
+
+val merge_stats : stats -> stats -> stats
+(** Field-wise sum — for reporting one number across the per-op caches. *)

@@ -235,4 +235,6 @@ let to_float = function
 
 let to_int = function Int i -> Some i | _ -> None
 
+let to_bool = function Bool b -> Some b | _ -> None
+
 let to_str = function String s -> Some s | _ -> None

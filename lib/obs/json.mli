@@ -42,4 +42,5 @@ val to_float : t -> float option
     string encodings produced by {!to_string}. *)
 
 val to_int : t -> int option
+val to_bool : t -> bool option
 val to_str : t -> string option

@@ -1,0 +1,58 @@
+(** Plan-serving daemon core — the transport-independent half of
+    [isaac_serve].
+
+    One {!t} holds a resident {!Isaac.t} engine per op (GEMM / CONV),
+    both backed by the sharded coalescing {!Isaac.Plan_cache}, so any
+    number of transport workers (domains reading a Unix socket, or the
+    single stdin loop) may call {!handle} concurrently: plan lookups
+    are lock-free and racing cold requests coalesce onto one planning
+    run.
+
+    {b Protocol} (one JSON object per line, see DESIGN.md "Plan
+    serving" for the full schema): requests carry [op] ∈ [ping], [stats],
+    [reload], [gemm], [conv], [shutdown] plus an optional [id] echoed
+    back verbatim. Plan responses report [cache] ∈ ["hit"] / ["miss"] /
+    ["coalesced"], the request [latency_s], and the chosen kernel
+    configuration ([plan], [null] when no kernel is legal — that
+    negative result is cached too, so the retry is a hit).
+
+    {b Telemetry}: [serve.requests] / [serve.coalesced] /
+    [serve.errors] / [serve.reloads] counters, a [serve.latency_s]
+    histogram, and [serve.evictions] from the underlying caches
+    (cache-hit ages land in the engine-level [plan.cache_hit_age_s]
+    histogram). [serve.requests] counts only plan ops — [ping] /
+    [stats] / [reload] probes don't pollute the load counters. *)
+
+type t
+
+val create :
+  ?cache_entries:int ->
+  ?cache_bytes:int ->
+  ?reload_interval:float ->
+  ?gemm_profile:string ->
+  ?conv_profile:string ->
+  unit ->
+  (t, string) result
+(** Load the given profile files (at least one required; both must
+    target the same device) and build the resident engines.
+    [cache_entries] / [cache_bytes] bound each per-op plan cache (LRU
+    beyond them). [reload_interval] (default 2s) rate-limits the
+    on-request hot-reload fingerprint checks. *)
+
+val device : t -> Gpu.Device.t
+
+val handle : t -> string -> string * [ `Continue | `Stop ]
+(** Process one request line, returning the one-line JSON response and
+    whether the transport should keep going ([`Stop] only for the
+    [shutdown] op). Never raises: malformed requests produce an
+    [{"ok":false,"error":..}] response. Safe to call from multiple
+    domains. *)
+
+val maybe_reload : ?force:bool -> t -> int
+(** Re-check the profile files' {!Util.Artifact.fingerprint}s and swap
+    in freshly built engines for any that changed on disk, returning
+    how many were reloaded. Rate-limited to one check per
+    [reload_interval] unless [force]d (the [reload] request forces).
+    In-flight requests finish against the engine they started with; a
+    swapped engine starts with a cold plan cache (old plans are stale
+    by definition). Reload failures keep the previous engine serving. *)

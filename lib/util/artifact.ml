@@ -132,3 +132,58 @@ let read ~path ~kind ~max_version =
               else header
             in
             Error (Bad_header ("first line " ^ String.escaped shown))))
+
+(* --- change watching ---------------------------------------------------- *)
+
+type fingerprint = {
+  fp_mtime : float;
+  fp_size : int;
+  fp_checksum : string;
+}
+
+(* The checksum covers the raw file bytes (header included), so it
+   changes whenever the artifact is rewritten with different content —
+   even if the writer reused the same kind/version and the payload
+   length happens to match. *)
+let checksum_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error (Io msg)
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        Ok (checksum (really_input_string ic len), len))
+
+let fingerprint ~path =
+  match Unix.stat path with
+  | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
+  | st -> (
+    match checksum_file path with
+    | Error e -> Error e
+    | Ok (sum, len) ->
+      (* Re-stat after reading: if the file was replaced mid-read, the
+         stale mtime forces the next poll to re-checksum. *)
+      let mtime =
+        match Unix.stat path with
+        | st2 when st2.Unix.st_size = len -> st2.Unix.st_mtime
+        | _ | (exception Unix.Unix_error _) -> st.Unix.st_mtime
+      in
+      Ok { fp_mtime = mtime; fp_size = len; fp_checksum = sum })
+
+let fingerprint_changed ~path last =
+  match Unix.stat path with
+  | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
+  | st ->
+    if st.Unix.st_mtime = last.fp_mtime && st.Unix.st_size = last.fp_size then
+      (* Cheap path: nothing the filesystem can see has moved. *)
+      Ok (`Unchanged last)
+    else (
+      match fingerprint ~path with
+      | Error e -> Error e
+      | Ok fp ->
+        if fp.fp_checksum = last.fp_checksum then
+          (* Touched but identical (e.g. an idempotent re-save): adopt
+             the new stat fields so the next poll stays cheap. *)
+          Ok (`Unchanged fp)
+        else Ok (`Changed fp))

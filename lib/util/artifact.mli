@@ -50,3 +50,38 @@ val read : path:string -> kind:string -> max_version:int -> (int * string, error
 (** [read ~path ~kind ~max_version] returns [(version, payload)] after
     validating the header's kind, version ([<= max_version]), payload
     length and checksum. Never raises. *)
+
+(** {2 Change watching}
+
+    A resident process serving artifacts from disk (the plan-serving
+    daemon) needs to notice when an artifact is atomically replaced
+    under it. {!fingerprint} captures the observable identity of the
+    file — mtime, size, and the FNV-1a checksum of the {e raw file
+    bytes} (header included) — and {!fingerprint_changed} answers "did
+    it really change?" with a stat-only fast path: when mtime and size
+    are untouched the file is not re-read, so polling every second is
+    cheap even for large profiles. mtime granularity is
+    filesystem-dependent (can be whole seconds), which is why the
+    checksum, not the timestamp, is the authority whenever the stat
+    fields move. *)
+
+type fingerprint = {
+  fp_mtime : float;    (** stat mtime at capture *)
+  fp_size : int;       (** file size in bytes *)
+  fp_checksum : string; (** {!checksum} of the raw file bytes *)
+}
+
+val fingerprint : path:string -> (fingerprint, error) result
+(** Read and checksum the whole file. [Error (Io _)] if it cannot be
+    opened or statted. *)
+
+val fingerprint_changed :
+  path:string ->
+  fingerprint ->
+  ([ `Unchanged of fingerprint | `Changed of fingerprint ], error) result
+(** [fingerprint_changed ~path last] compares the file against a
+    previously captured fingerprint. [`Unchanged fp] means the content
+    checksum is the same — store the returned [fp], whose refreshed
+    stat fields keep the next poll on the stat-only fast path.
+    [`Changed fp] means the bytes differ; [fp] describes the new
+    content. *)

@@ -153,7 +153,9 @@ let test_plan_cache_roundtrip () =
          cache with the same configurations, bypassing the search. *)
       let engine2 = Isaac.of_profile Gpu.Device.gtx980ti (Isaac.profile engine) in
       (match Isaac.load_plans engine2 path with
-       | Ok n -> Alcotest.(check int) "all plans installed" (List.length inputs) n
+       | Ok (n, skipped) ->
+         Alcotest.(check int) "all plans installed" (List.length inputs) n;
+         Alcotest.(check int) "nothing skipped" 0 skipped
        | Error e -> Alcotest.fail e);
       List.iter2
         (fun input (plan : Isaac.plan) ->
@@ -175,7 +177,7 @@ let test_plan_cache_conv_and_empty () =
       let fresh () = Isaac.of_profile Gpu.Device.gtx980ti (Isaac.profile engine) in
       let engine2 = fresh () in
       (match Isaac.load_plans engine2 path with
-       | Ok n -> Alcotest.(check int) "empty cache loads 0 plans" 0 n
+       | Ok (n, _) -> Alcotest.(check int) "empty cache loads 0 plans" 0 n
        | Error e -> Alcotest.fail e);
       (* CONV entries round-trip too. *)
       let input = CP.input ~n:2 ~c:16 ~k:32 ~p:8 ~q:8 ~r:3 ~s:3 () in
@@ -183,7 +185,7 @@ let test_plan_cache_conv_and_empty () =
       Isaac.save_plans engine path;
       let engine3 = fresh () in
       (match Isaac.load_plans engine3 path with
-       | Ok n -> Alcotest.(check int) "one conv plan" 1 n
+       | Ok (n, _) -> Alcotest.(check int) "one conv plan" 1 n
        | Error e -> Alcotest.fail e);
       let reloaded = Option.get (Isaac.plan_conv engine3 input) in
       Alcotest.(check bool) "same conv config" true
@@ -268,8 +270,9 @@ let test_plan_cache_skips_malformed_lines () =
       let engine2 = Isaac.of_profile Gpu.Device.gtx980ti (Isaac.profile engine) in
       match Isaac.load_plans engine2 path with
       | Error e -> Alcotest.fail e
-      | Ok n ->
+      | Ok (n, skipped) ->
         Alcotest.(check int) "only the well-formed plan installed" 1 n;
+        Alcotest.(check int) "every doctored line counted as skipped" 5 skipped;
         let reloaded = Option.get (Isaac.plan_gemm engine2 input) in
         Alcotest.(check bool) "good line survived" true
           (GP.equal_config plan.config reloaded.config))
@@ -336,7 +339,7 @@ let test_plan_cache_kernel_corpus () =
       let fresh () = Isaac.of_profile Gpu.Device.gtx980ti (Isaac.profile engine) in
       let engine2 = fresh () in
       (match Isaac.load_plans engine2 path with
-       | Ok n -> Alcotest.(check int) "plan installed" 1 n
+       | Ok (n, _) -> Alcotest.(check int) "plan installed" 1 n
        | Error e -> Alcotest.fail e);
       let reloaded = Option.get (Isaac.plan_gemm engine2 input) in
       Alcotest.(check bool) "hash survives the round trip" true
@@ -358,8 +361,76 @@ let test_plan_cache_kernel_corpus () =
       Util.Artifact.write ~path ~kind:"isaac-plans" ~version:3 stale;
       let engine3 = fresh () in
       match Isaac.load_plans engine3 path with
-      | Ok n -> Alcotest.(check int) "stale kernel reference skipped" 1 n
+      | Ok (n, skipped) ->
+        Alcotest.(check int) "stale kernel reference skipped" 1 n;
+        Alcotest.(check int) "skip reported to the caller" 1 skipped
       | Error e -> Alcotest.fail e)
+
+(* Satellite of the serving PR: the plan cache must be safe to hammer
+   from several domains at once, run exactly one search per distinct
+   input (coalescing), and — because search noise is seeded per input —
+   produce plans bit-identical to a single-domain pass. *)
+let hammer_plans n_domains inputs =
+  let base = Lazy.force gemm_engine in
+  let engine = Isaac.of_profile (Isaac.device base) (Isaac.profile base) in
+  let n = List.length inputs in
+  let domains =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            (* distinct rotations so misses, coalesced waits and hits
+               all happen *)
+            List.init n (fun j -> List.nth inputs ((j + d) mod n))
+            |> List.iter (fun i -> ignore (Isaac.plan_gemm engine i))))
+  in
+  List.iter Domain.join domains;
+  let stats = Isaac.cache_stats engine in
+  Alcotest.(check int)
+    (Printf.sprintf "%d domains: one search per distinct input" n_domains)
+    n stats.misses;
+  List.map (fun i -> Option.get (Isaac.plan_gemm engine i)) inputs
+
+let test_multi_domain_hammer () =
+  let inputs =
+    [ GP.input 256 256 256;
+      GP.input 384 128 384;
+      GP.input ~b_trans:true 128 384 128;
+      GP.input ~a_trans:true 192 192 192;
+      GP.input 320 64 320 ]
+  in
+  let strip (p : Isaac.plan) = { p with phases = [] } in
+  let solo = hammer_plans 1 inputs in
+  let raced = hammer_plans 4 inputs in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "input %d: 1-domain and 4-domain plans bit-identical" i)
+        true
+        (strip a = strip b))
+    (List.combine solo raced)
+
+let test_coalescing_single_search () =
+  let base = Lazy.force gemm_engine in
+  let engine = Isaac.of_profile (Isaac.device base) (Isaac.profile base) in
+  let input = GP.input 448 96 448 in
+  let results =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> Isaac.plan_gemm_with_status engine input))
+    |> List.map Domain.join
+  in
+  let count o = List.length (List.filter (fun (_, o') -> o' = o) results) in
+  Alcotest.(check int) "exactly one search ran" 1
+    (count Isaac.Plan_cache.Miss);
+  Alcotest.(check int) "everyone else parked or hit" 3
+    (count Isaac.Plan_cache.Coalesced + count Isaac.Plan_cache.Hit);
+  (match results with
+   | (p0, _) :: rest ->
+     List.iter
+       (fun (p, _) ->
+         Alcotest.(check bool) "identical plan for every domain" true (p = p0))
+       rest
+   | [] -> assert false);
+  let stats = Isaac.cache_stats engine in
+  Alcotest.(check int) "cache counted one miss" 1 stats.misses
 
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -404,4 +475,7 @@ let () =
          slow "detects corruption" test_plan_cache_detects_corruption;
          slow "skips malformed lines" test_plan_cache_skips_malformed_lines;
          slow "kernel hashes + packed corpus" test_plan_cache_kernel_corpus;
-         slow "load does not perturb planning" test_load_plans_does_not_perturb_planning ]) ]
+         slow "load does not perturb planning" test_load_plans_does_not_perturb_planning ]);
+      ("concurrency",
+       [ slow "multi-domain hammer, 1 vs 4 domains" test_multi_domain_hammer;
+         slow "coalescing: one search for racing domains" test_coalescing_single_search ]) ]

@@ -1,0 +1,182 @@
+(* Protocol-level tests of the plan-serving daemon core (Serve.handle):
+   cold/warm plan requests, malformed-request handling, the stats
+   endpoint, and profile hot-reload through the artifact fingerprint
+   watcher. These drive the exact code path behind both isaac_serve
+   transports, minus the fd plumbing. *)
+
+let () = Unix.putenv "ISAAC_SEARCH_CAP" "4000"
+
+module J = Obs.Json
+
+let profile =
+  lazy
+    (let rng = Util.Rng.create 604 in
+     let engine =
+       Isaac.tune ~samples:1200 ~epochs:10 ~arch:[| 32; 32 |] rng
+         Gpu.Device.gtx980ti ~op:`Gemm ()
+     in
+     Isaac.profile engine)
+
+(* A second profile for the same device/op with different weights, so a
+   hot reload has a genuinely different file to pick up. *)
+let profile2 =
+  lazy
+    (let rng = Util.Rng.create 1303 in
+     let engine =
+       Isaac.tune ~samples:1200 ~epochs:10 ~arch:[| 24; 24 |] rng
+         Gpu.Device.gtx980ti ~op:`Gemm ()
+     in
+     Isaac.profile engine)
+
+let with_server ?reload_interval f =
+  let path = Filename.temp_file "serve_test" ".profile" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Tuner.Profile.save (Lazy.force profile) path;
+      match Serve.create ?reload_interval ~gemm_profile:path () with
+      | Error msg -> Alcotest.fail msg
+      | Ok srv -> f srv path)
+
+let field response name =
+  match J.member name (J.of_string response) with
+  | Some v -> v
+  | None -> Alcotest.failf "response %s lacks field %S" response name
+
+let expect_ok response =
+  Alcotest.(check (option bool))
+    ("ok in " ^ response) (Some true)
+    (J.to_bool (field response "ok"))
+
+let handle_line srv line =
+  let response, verdict = Serve.handle srv line in
+  Alcotest.(check bool) "connection stays open" true (verdict = `Continue);
+  response
+
+let gemm_req = {|{"op":"gemm","id":1,"m":256,"n":64,"k":256}|}
+
+let test_ping_and_ids () =
+  with_server (fun srv _ ->
+      let r = handle_line srv {|{"op":"ping","id":42}|} in
+      expect_ok r;
+      Alcotest.(check (option int)) "id echoed" (Some 42)
+        (J.to_int (field r "id")))
+
+let test_cold_then_warm () =
+  with_server (fun srv _ ->
+      let cold = handle_line srv gemm_req in
+      expect_ok cold;
+      Alcotest.(check (option string)) "first query misses" (Some "miss")
+        (J.to_str (field cold "cache"));
+      let warm = handle_line srv gemm_req in
+      expect_ok warm;
+      Alcotest.(check (option string)) "second query hits" (Some "hit")
+        (J.to_str (field warm "cache"));
+      (* the warm response re-serializes the identical plan *)
+      Alcotest.(check string) "bit-identical plan on the wire"
+        (J.to_string (field cold "plan"))
+        (J.to_string (field warm "plan"));
+      let plan = field cold "plan" in
+      List.iter
+        (fun k ->
+          match J.member k plan with
+          | Some (J.Int v) ->
+            Alcotest.(check bool) (k ^ " positive") true (v > 0)
+          | _ -> Alcotest.failf "plan lacks integer field %S" k)
+        [ "ms"; "ns"; "ks"; "ml"; "nl"; "u"; "vec"; "db" ])
+
+let test_errors () =
+  with_server (fun srv _ ->
+      let check_error line =
+        let r = handle_line srv line in
+        Alcotest.(check (option bool)) ("not ok: " ^ line) (Some false)
+          (J.to_bool (field r "ok"));
+        ignore (field r "error")
+      in
+      check_error "this is not json";
+      check_error {|{"no_op_field":1}|};
+      check_error {|{"op":"teleport"}|};
+      check_error {|{"op":"gemm","m":256,"n":64}|};
+      check_error {|{"op":"gemm","m":"big","n":64,"k":256}|};
+      check_error {|{"op":"gemm","m":256,"n":64,"k":256,"dtype":"f128"}|};
+      (* no conv profile was loaded *)
+      check_error {|{"op":"conv","n":1,"c":8,"k":8,"p":4,"q":4,"r":3,"s":3}|})
+
+let stats_cache_entries srv =
+  let r = handle_line srv {|{"op":"stats"}|} in
+  expect_ok r;
+  match J.member "entries" (field r "cache") with
+  | Some (J.Int n) -> n
+  | _ -> Alcotest.fail "stats lacks cache.entries"
+
+let test_stats () =
+  with_server (fun srv _ ->
+      Alcotest.(check int) "cold daemon: empty cache" 0 (stats_cache_entries srv);
+      ignore (handle_line srv gemm_req);
+      ignore (handle_line srv gemm_req);
+      let r = handle_line srv {|{"op":"stats"}|} in
+      let cache = field r "cache" in
+      let get k =
+        match J.member k cache with
+        | Some (J.Int n) -> n
+        | _ -> Alcotest.failf "stats lacks cache.%s" k
+      in
+      Alcotest.(check int) "one resident plan" 1 (get "entries");
+      Alcotest.(check int) "one miss" 1 (get "misses");
+      Alcotest.(check int) "one hit" 1 (get "hits");
+      (* plan requests counted; ping/stats probes are not *)
+      match J.member "requests" (J.of_string r) with
+      | Some (J.Int n) -> Alcotest.(check int) "two plan requests" 2 n
+      | _ -> Alcotest.fail "stats lacks requests")
+
+let test_shutdown_verdict () =
+  with_server (fun srv _ ->
+      let response, verdict = Serve.handle srv {|{"op":"shutdown","id":9}|} in
+      expect_ok response;
+      Alcotest.(check bool) "transport told to stop" true (verdict = `Stop))
+
+(* Rewriting the profile file must swap in a fresh engine (cold cache)
+   on the next forced reload; rewriting identical bytes must not. *)
+let test_hot_reload () =
+  with_server ~reload_interval:3600.0 (fun srv path ->
+      ignore (handle_line srv gemm_req);
+      Alcotest.(check int) "plan resident" 1 (stats_cache_entries srv);
+      (* identical bytes -> fingerprint unchanged -> no reload *)
+      Tuner.Profile.save (Lazy.force profile) path;
+      Alcotest.(check int) "same profile: no reload" 0
+        (Serve.maybe_reload ~force:true srv);
+      Alcotest.(check int) "cache untouched" 1 (stats_cache_entries srv);
+      (* different profile -> reload, engine swapped, cache cold *)
+      Tuner.Profile.save (Lazy.force profile2) path;
+      let r = handle_line srv {|{"op":"reload"}|} in
+      expect_ok r;
+      Alcotest.(check (option int)) "one slot reloaded" (Some 1)
+        (J.to_int (field r "reloaded"));
+      Alcotest.(check int) "new engine starts cold" 0 (stats_cache_entries srv);
+      (* and it still serves plans *)
+      let cold = handle_line srv gemm_req in
+      Alcotest.(check (option string)) "re-planned after reload" (Some "miss")
+        (J.to_str (field cold "cache")))
+
+(* The rate limiter: without force, a second check inside the interval
+   is a no-op even if the file changed. *)
+let test_reload_rate_limit () =
+  with_server ~reload_interval:3600.0 (fun srv path ->
+      Tuner.Profile.save (Lazy.force profile2) path;
+      Alcotest.(check int) "inside the interval: not even checked" 0
+        (Serve.maybe_reload srv);
+      Alcotest.(check int) "forced: picked up" 1 (Serve.maybe_reload ~force:true srv))
+
+let slow name f = Alcotest.test_case name `Slow f
+
+let () =
+  Alcotest.run "serve"
+    [ ("protocol",
+       [ slow "ping + id echo" test_ping_and_ids;
+         slow "cold miss, warm hit, identical plan" test_cold_then_warm;
+         slow "malformed requests" test_errors;
+         slow "stats endpoint" test_stats;
+         slow "shutdown verdict" test_shutdown_verdict ]);
+      ("hot reload",
+       [ slow "rewritten profile picked up without restart" test_hot_reload;
+         slow "rate limited unless forced" test_reload_rate_limit ]) ]
